@@ -1,0 +1,135 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section (§6): Table 3 (IPC without control independence),
+// Table 4 (trace selection impact), Table 5 (conditional branch statistics),
+// Figure 9 (selection-only IPC deltas) and Figure 10 (control independence
+// performance), plus the configuration and benchmark tables (1-2).
+//
+// Usage:
+//
+//	experiments                  # everything, default instruction budget
+//	experiments -table 5         # one table
+//	experiments -figure 10       # one figure
+//	experiments -n 1000000       # larger runs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tracep"
+	"tracep/internal/report"
+)
+
+func main() {
+	table := flag.Int("table", 0, "regenerate a single table (1-5); 0 = all")
+	figure := flag.Int("figure", 0, "regenerate a single figure (9 or 10); 0 = all")
+	n := flag.Uint64("n", 300_000, "target dynamic instruction count per run")
+	flag.Parse()
+
+	wantTable := func(t int) bool { return (*table == 0 && *figure == 0) || *table == t }
+	wantFigure := func(f int) bool { return (*table == 0 && *figure == 0) || *figure == f }
+
+	if wantTable(1) {
+		printTable1()
+	}
+	if wantTable(2) {
+		printTable2(*n)
+	}
+
+	needSelection := wantTable(3) || wantTable(4) || wantTable(5) || wantFigure(9)
+	needCI := wantFigure(10)
+
+	rs := report.NewResultSet()
+	run := func(models []tracep.Model) {
+		for _, bm := range tracep.Benchmarks() {
+			for _, m := range models {
+				if _, ok := rs.Get(bm.Name, m.Name); ok {
+					continue
+				}
+				res, err := tracep.RunBenchmark(bm, m, *n)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				rs.Add(bm.Name, m.Name, res.Stats)
+			}
+		}
+	}
+
+	if needSelection {
+		run(tracep.SelectionModels())
+	}
+	if needCI {
+		run([]tracep.Model{tracep.ModelBase})
+		run(tracep.CIModels())
+	}
+
+	selNames := modelNames(tracep.SelectionModels())
+	if wantTable(3) {
+		report.Table3(os.Stdout, rs, selNames)
+		fmt.Println()
+	}
+	if wantTable(4) {
+		report.Table4(os.Stdout, rs, selNames)
+		fmt.Println()
+	}
+	if wantTable(5) {
+		report.Table5(os.Stdout, rs, tracep.ModelBase.Name)
+		fmt.Println()
+	}
+	if wantFigure(9) {
+		report.Figure(os.Stdout, "FIGURE 9: Performance impact of trace selection (% IPC improvement over base).",
+			rs, selNames[1:], tracep.ModelBase.Name)
+		fmt.Println()
+	}
+	if wantFigure(10) {
+		ciNames := modelNames(tracep.CIModels())
+		report.Figure(os.Stdout, "FIGURE 10: Performance of control independence (% IPC improvement over base).",
+			rs, ciNames, tracep.ModelBase.Name)
+		fmt.Println()
+		report.BestPerBenchmark(os.Stdout, rs, ciNames, tracep.ModelBase.Name)
+		fmt.Println()
+	}
+}
+
+func modelNames(ms []tracep.Model) []string {
+	names := make([]string, len(ms))
+	for i, m := range ms {
+		names[i] = m.Name
+	}
+	return names
+}
+
+func printTable1() {
+	cfg := tracep.DefaultConfig()
+	fmt.Println("TABLE 1: Trace processor configuration.")
+	fmt.Printf("  frontend latency         2 cycles (fetch + dispatch)\n")
+	fmt.Printf("  trace predictor (hybrid) %d-entry path-based (8-trace hist.), %d-entry simple (1-trace hist.)\n",
+		cfg.TPred.PathEntries, cfg.TPred.SimpleEntries)
+	fmt.Printf("  trace cache              %d sets x %d ways, %d-instruction lines\n",
+		cfg.TCache.Sets, cfg.TCache.Assoc, cfg.MaxTraceLen)
+	fmt.Printf("  instruction cache        %d insts, %d-way, %d-inst lines, %d-cycle miss\n",
+		cfg.ICache.SizeInsts, cfg.ICache.Assoc, cfg.ICache.LineInsts, cfg.ICache.MissPenalty)
+	fmt.Printf("  branch predictor         %d-entry tagless BTB, 2-bit counters\n", cfg.BPred.Entries)
+	fmt.Printf("  BIT                      %d-entry, %d-way assoc.\n", cfg.BIT.Entries, cfg.BIT.Assoc)
+	fmt.Printf("  trace construction b/w   1 port to instr. cache, branch pred., BIT\n")
+	fmt.Printf("  processing elements      %d PEs, %d-way issue per PE\n", cfg.NumPEs, cfg.PEIssueWidth)
+	fmt.Printf("  global result buses      %d buses, up to %d per PE, extra %d-cycle bypass latency\n",
+		cfg.GlobalBuses, cfg.MaxBusPerPE, cfg.BusLatency)
+	fmt.Printf("  cache buses              %d buses, up to %d per PE\n", cfg.CacheBuses, cfg.MaxCachePerPE)
+	fmt.Printf("  data cache               %d words, %d-way, %d-word lines, %d-cycle hit, %d-cycle miss penalty\n",
+		cfg.DCache.SizeWords, cfg.DCache.Assoc, cfg.DCache.LineWords, cfg.DCache.HitLatency, cfg.DCache.MissPenalty)
+	fmt.Printf("  execution latencies      agen 1, memory 2 (hit), int ALU 1, mul 5, div 34 (R10000)\n")
+	fmt.Println()
+}
+
+func printTable2(n uint64) {
+	fmt.Println("TABLE 2: Benchmarks (synthetic SPEC95int analogues; see DESIGN.md).")
+	for _, bm := range tracep.Benchmarks() {
+		fmt.Printf("  %-10s ~ %-13s scale=%-7d ~%d dynamic instructions\n",
+			bm.Name, bm.Analogue, bm.ScaleFor(n), n)
+		fmt.Printf("             %s\n", bm.Profile)
+	}
+	fmt.Println()
+}

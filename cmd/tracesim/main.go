@@ -1,0 +1,83 @@
+// Command tracesim runs one benchmark under one model and prints the
+// statistics the paper reports.
+//
+// Usage:
+//
+//	tracesim -bench compress -model FG+MLB-RET -n 300000
+//	tracesim -bench all -model base -n 100000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tracep"
+)
+
+func main() {
+	benchName := flag.String("bench", "compress", "benchmark name or 'all'")
+	modelName := flag.String("model", "base", "model: base, base(ntb), base(fg), base(fg,ntb), RET, MLB-RET, FG, FG+MLB-RET, or 'all'")
+	n := flag.Uint64("n", 300_000, "target dynamic instruction count")
+	verbose := flag.Bool("v", false, "print extended statistics")
+	flag.Parse()
+
+	var models []tracep.Model
+	if *modelName == "all" {
+		models = tracep.Models()
+	} else {
+		m, ok := findModel(*modelName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown model %q\n", *modelName)
+			os.Exit(1)
+		}
+		models = []tracep.Model{m}
+	}
+
+	var benches []tracep.Benchmark
+	if *benchName == "all" {
+		benches = tracep.Benchmarks()
+	} else {
+		bm, err := tracep.BenchmarkByName(*benchName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		benches = []tracep.Benchmark{bm}
+	}
+
+	for _, bm := range benches {
+		for _, m := range models {
+			res, err := tracep.RunBenchmark(bm, m, *n)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			s := res.Stats
+			fmt.Printf("%-9s %-13s IPC=%.2f insts=%d cycles=%d traceLen=%.1f traceMisp/1k=%.1f tc$miss/1k=%.1f brMisp=%.1f%%\n",
+				bm.Name, m.Name, s.IPC(), s.RetiredInsts, s.Cycles, s.AvgTraceLen(),
+				s.TraceMispPer1000(), s.TCMissPer1000(), 100*s.BranchMispRate())
+			if *verbose {
+				fmt.Printf("  recoveries=%d (fgci=%d cgci=%d base=%d) reconv=%d degenerate=%d reclaims=%d\n",
+					s.Recoveries, s.FGCIRecoveries, s.CGCIRecoveries, s.BaseRecoveries,
+					s.Reconvergences, s.CGCIDegenerate, s.TailReclaims)
+				fmt.Printf("  reissues=%d loadSnoopReissues=%d redispatched=%d rebinds=%d broadcasts=%d\n",
+					s.Reissues, s.LoadSnoopReissues, s.RedispatchedTraces, s.RedispatchRebinds, s.Broadcasts)
+				fg := s.FGCISmall()
+				fmt.Printf("  branches: fgci<=32 %d (misp %.1f%%) fgci>32 %d otherFwd %d (misp %.1f%%) backward %d (misp %.1f%%)\n",
+					fg.Dynamic, 100*fg.MispRate(), s.FGCIBig().Dynamic,
+					s.OtherForward().Dynamic, 100*s.OtherForward().MispRate(),
+					s.Backward().Dynamic, 100*s.Backward().MispRate())
+			}
+		}
+	}
+}
+
+func findModel(name string) (tracep.Model, bool) {
+	for _, m := range tracep.Models() {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return tracep.Model{}, false
+}

@@ -1,0 +1,79 @@
+// fgci_regions demonstrates the FGCI-algorithm and FGCI trace selection on
+// the exact control-flow graph of the paper's Figure 7: eight basic blocks
+// A(1) B(5) C(3) D(2) E(3) F(1) G(5) H(6), a nested forward-branching region
+// headed by the branch in A, dynamic region size 10, and four alternate
+// traces of lengths 16/15/11/15 that all end at the same instruction.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tracep"
+	"tracep/internal/core"
+	"tracep/internal/trace"
+)
+
+func main() {
+	b := tracep.NewProgram("figure7")
+	b.Label("A").Bne(1, 0, "E")
+	b.Addi(2, 2, 1).Addi(2, 2, 1).Addi(2, 2, 1).Addi(2, 2, 1)
+	b.Bne(3, 0, "D")
+	b.Addi(4, 4, 1).Addi(4, 4, 1)
+	b.Jump("F")
+	b.Label("D").Addi(5, 5, 1)
+	b.Jump("F")
+	b.Label("E").Addi(6, 6, 1).Addi(6, 6, 1)
+	b.Bne(7, 0, "G")
+	b.Label("F").Jump("H")
+	b.Label("G").Addi(8, 8, 1).Addi(8, 8, 1).Addi(8, 8, 1).Addi(8, 8, 1).Addi(8, 8, 1)
+	b.Label("H").Addi(9, 9, 1).Addi(9, 9, 1).Addi(9, 9, 1).Addi(9, 9, 1).Addi(9, 9, 1).Addi(9, 9, 1)
+	b.Halt()
+	prog, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Run the FGCI-algorithm (single-pass region detection) on every
+	// forward conditional branch.
+	fmt.Println("FGCI-algorithm results (paper §3.1):")
+	for pc := uint32(0); int(pc) < prog.Len(); pc++ {
+		in := prog.At(pc)
+		if !in.IsForwardBranch(pc) {
+			continue
+		}
+		reg := core.AnalyzeRegion(prog, pc, core.DefaultAnalyzeConfig())
+		fmt.Printf("  branch @%-3d found=%-5v dynamic size=%-3d reconv pc=%-3d static size=%-3d cond branches=%d scan cycles=%d\n",
+			pc, reg.Found, reg.Size, reg.ReconvPC, reg.StaticSize, reg.NumCondBr, reg.Scanned)
+	}
+
+	// FGCI trace selection with maximum trace length 16 (the figure's
+	// parameter): all four outcome combinations produce traces ending at
+	// the same instruction — trace-level re-convergence.
+	bit := core.NewBIT(prog, core.BITConfig{
+		Entries: 8192, Assoc: 4,
+		Analyze: core.AnalyzeConfig{MaxSize: 16, MaxEdges: 8, MaxScan: 512},
+	})
+	ctor := &trace.Constructor{Prog: prog, Sel: trace.SelConfig{MaxLen: 16, FG: true}, BIT: bit}
+
+	fmt.Println("\nFGCI trace selection (Figure 7's trace table):")
+	names := map[string]string{
+		"00": "{A,B,C,F,H}", "01": "{A,B,D,F,H}",
+		"10": "{A,E,F,H}", "11": "{A,E,G,H}",
+	}
+	for _, outcomes := range [][]bool{{false, false}, {false, true}, {true, false}, {true, true}} {
+		key := fmt.Sprintf("%d%d", btoi(outcomes[0]), btoi(outcomes[1]))
+		tr, _ := ctor.Build(0, outcomes)
+		fmt.Printf("  %s: length %-2d ends at pc %-2d next pc %d\n",
+			names[key], tr.Len(), tr.PCs[tr.Len()-1], tr.NextPC)
+	}
+	fmt.Println("\nAll traces end at the last instruction of block H: a misprediction of")
+	fmt.Println("any branch in the region swaps the trace without moving later traces.")
+}
+
+func btoi(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,266 @@
+// Package asm provides a programmatic assembler for building isa.Program
+// images: a fluent builder with labels, forward references, and data-segment
+// helpers. All eight synthetic benchmarks (internal/bench) and most test
+// programs are written with it.
+package asm
+
+import (
+	"fmt"
+
+	"tracep/internal/isa"
+)
+
+// Builder accumulates instructions and resolves label references at Build
+// time. Methods append one instruction each and return the builder for
+// chaining.
+type Builder struct {
+	name   string
+	insts  []isa.Inst
+	labels map[string]uint32
+	fixups []fixup
+	data   map[uint32]int64
+	errs   []error
+}
+
+type fixup struct {
+	instIdx int
+	label   string
+}
+
+// New creates an empty builder for a program with the given name.
+func New(name string) *Builder {
+	return &Builder{
+		name:   name,
+		labels: make(map[string]uint32),
+		data:   make(map[uint32]int64),
+	}
+}
+
+// PC returns the index the next emitted instruction will occupy.
+func (b *Builder) PC() uint32 { return uint32(len(b.insts)) }
+
+// Label binds name to the current PC. Redefinition is an error reported by
+// Build.
+func (b *Builder) Label(name string) *Builder {
+	if _, dup := b.labels[name]; dup {
+		b.errs = append(b.errs, fmt.Errorf("asm: duplicate label %q", name))
+		return b
+	}
+	b.labels[name] = b.PC()
+	return b
+}
+
+// Word initialises the data-memory word at addr.
+func (b *Builder) Word(addr uint32, v int64) *Builder {
+	b.data[addr] = v
+	return b
+}
+
+// Words initialises consecutive data-memory words starting at addr.
+func (b *Builder) Words(addr uint32, vs ...int64) *Builder {
+	for i, v := range vs {
+		b.data[addr+uint32(i)] = v
+	}
+	return b
+}
+
+func (b *Builder) emit(in isa.Inst) *Builder {
+	b.insts = append(b.insts, in)
+	return b
+}
+
+func (b *Builder) emitRef(in isa.Inst, label string) *Builder {
+	b.fixups = append(b.fixups, fixup{instIdx: len(b.insts), label: label})
+	b.insts = append(b.insts, in)
+	return b
+}
+
+// Nop appends a no-op.
+func (b *Builder) Nop() *Builder { return b.emit(isa.Inst{Op: isa.OpNop}) }
+
+// Halt appends a halt.
+func (b *Builder) Halt() *Builder { return b.emit(isa.Inst{Op: isa.OpHalt}) }
+
+// Register-register ALU ops.
+
+func (b *Builder) rrr(op isa.Op, rd, rs1, rs2 isa.Reg) *Builder {
+	return b.emit(isa.Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// Add appends rd = rs1 + rs2.
+func (b *Builder) Add(rd, rs1, rs2 isa.Reg) *Builder { return b.rrr(isa.OpAdd, rd, rs1, rs2) }
+
+// Sub appends rd = rs1 - rs2.
+func (b *Builder) Sub(rd, rs1, rs2 isa.Reg) *Builder { return b.rrr(isa.OpSub, rd, rs1, rs2) }
+
+// And appends rd = rs1 & rs2.
+func (b *Builder) And(rd, rs1, rs2 isa.Reg) *Builder { return b.rrr(isa.OpAnd, rd, rs1, rs2) }
+
+// Or appends rd = rs1 | rs2.
+func (b *Builder) Or(rd, rs1, rs2 isa.Reg) *Builder { return b.rrr(isa.OpOr, rd, rs1, rs2) }
+
+// Xor appends rd = rs1 ^ rs2.
+func (b *Builder) Xor(rd, rs1, rs2 isa.Reg) *Builder { return b.rrr(isa.OpXor, rd, rs1, rs2) }
+
+// Shl appends rd = rs1 << rs2.
+func (b *Builder) Shl(rd, rs1, rs2 isa.Reg) *Builder { return b.rrr(isa.OpShl, rd, rs1, rs2) }
+
+// Shr appends rd = rs1 >> rs2 (logical).
+func (b *Builder) Shr(rd, rs1, rs2 isa.Reg) *Builder { return b.rrr(isa.OpShr, rd, rs1, rs2) }
+
+// Mul appends rd = rs1 * rs2.
+func (b *Builder) Mul(rd, rs1, rs2 isa.Reg) *Builder { return b.rrr(isa.OpMul, rd, rs1, rs2) }
+
+// Div appends rd = rs1 / rs2 (0 when rs2 is 0).
+func (b *Builder) Div(rd, rs1, rs2 isa.Reg) *Builder { return b.rrr(isa.OpDiv, rd, rs1, rs2) }
+
+// Slt appends rd = (rs1 < rs2) ? 1 : 0.
+func (b *Builder) Slt(rd, rs1, rs2 isa.Reg) *Builder { return b.rrr(isa.OpSlt, rd, rs1, rs2) }
+
+// Register-immediate ALU ops.
+
+func (b *Builder) rri(op isa.Op, rd, rs1 isa.Reg, imm int64) *Builder {
+	return b.emit(isa.Inst{Op: op, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Addi appends rd = rs1 + imm.
+func (b *Builder) Addi(rd, rs1 isa.Reg, imm int64) *Builder { return b.rri(isa.OpAddi, rd, rs1, imm) }
+
+// Andi appends rd = rs1 & imm.
+func (b *Builder) Andi(rd, rs1 isa.Reg, imm int64) *Builder { return b.rri(isa.OpAndi, rd, rs1, imm) }
+
+// Ori appends rd = rs1 | imm.
+func (b *Builder) Ori(rd, rs1 isa.Reg, imm int64) *Builder { return b.rri(isa.OpOri, rd, rs1, imm) }
+
+// Xori appends rd = rs1 ^ imm.
+func (b *Builder) Xori(rd, rs1 isa.Reg, imm int64) *Builder { return b.rri(isa.OpXori, rd, rs1, imm) }
+
+// Shli appends rd = rs1 << imm.
+func (b *Builder) Shli(rd, rs1 isa.Reg, imm int64) *Builder { return b.rri(isa.OpShli, rd, rs1, imm) }
+
+// Shri appends rd = rs1 >> imm (logical).
+func (b *Builder) Shri(rd, rs1 isa.Reg, imm int64) *Builder { return b.rri(isa.OpShri, rd, rs1, imm) }
+
+// Slti appends rd = (rs1 < imm) ? 1 : 0.
+func (b *Builder) Slti(rd, rs1 isa.Reg, imm int64) *Builder { return b.rri(isa.OpSlti, rd, rs1, imm) }
+
+// Lui appends rd = imm << 16.
+func (b *Builder) Lui(rd isa.Reg, imm int64) *Builder {
+	return b.emit(isa.Inst{Op: isa.OpLui, Rd: rd, Imm: imm})
+}
+
+// Li loads an arbitrary 32-bit constant using lui/ori (or a single addi for
+// small values), mirroring how real RISC compilers materialise constants.
+func (b *Builder) Li(rd isa.Reg, v int64) *Builder {
+	if v >= -32768 && v <= 32767 {
+		return b.Addi(rd, 0, v)
+	}
+	b.Lui(rd, (v>>16)&0xFFFF)
+	if low := v & 0xFFFF; low != 0 {
+		b.Ori(rd, rd, low)
+	}
+	return b
+}
+
+// Mov appends rd = rs.
+func (b *Builder) Mov(rd, rs isa.Reg) *Builder { return b.Addi(rd, rs, 0) }
+
+// Memory ops.
+
+// Load appends rd = Mem[rs1 + imm].
+func (b *Builder) Load(rd, rs1 isa.Reg, imm int64) *Builder {
+	return b.emit(isa.Inst{Op: isa.OpLoad, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Store appends Mem[rs1 + imm] = rs2.
+func (b *Builder) Store(rs2, rs1 isa.Reg, imm int64) *Builder {
+	return b.emit(isa.Inst{Op: isa.OpStore, Rs1: rs1, Rs2: rs2, Imm: imm})
+}
+
+// Control transfer ops; all take label operands.
+
+// Beq appends: if rs1 == rs2 goto label.
+func (b *Builder) Beq(rs1, rs2 isa.Reg, label string) *Builder {
+	return b.emitRef(isa.Inst{Op: isa.OpBeq, Rs1: rs1, Rs2: rs2}, label)
+}
+
+// Bne appends: if rs1 != rs2 goto label.
+func (b *Builder) Bne(rs1, rs2 isa.Reg, label string) *Builder {
+	return b.emitRef(isa.Inst{Op: isa.OpBne, Rs1: rs1, Rs2: rs2}, label)
+}
+
+// Blt appends: if rs1 < rs2 goto label.
+func (b *Builder) Blt(rs1, rs2 isa.Reg, label string) *Builder {
+	return b.emitRef(isa.Inst{Op: isa.OpBlt, Rs1: rs1, Rs2: rs2}, label)
+}
+
+// Bge appends: if rs1 >= rs2 goto label.
+func (b *Builder) Bge(rs1, rs2 isa.Reg, label string) *Builder {
+	return b.emitRef(isa.Inst{Op: isa.OpBge, Rs1: rs1, Rs2: rs2}, label)
+}
+
+// Jump appends an unconditional jump to label.
+func (b *Builder) Jump(label string) *Builder {
+	return b.emitRef(isa.Inst{Op: isa.OpJump}, label)
+}
+
+// Call appends a direct call to label (writes RLink).
+func (b *Builder) Call(label string) *Builder {
+	return b.emitRef(isa.Inst{Op: isa.OpCall}, label)
+}
+
+// Jr appends an indirect jump through rs1.
+func (b *Builder) Jr(rs1 isa.Reg) *Builder {
+	return b.emit(isa.Inst{Op: isa.OpJr, Rs1: rs1})
+}
+
+// CallR appends an indirect call through rs1 (writes RLink).
+func (b *Builder) CallR(rs1 isa.Reg) *Builder {
+	return b.emit(isa.Inst{Op: isa.OpCallR, Rs1: rs1})
+}
+
+// Ret appends a return (jump through RLink).
+func (b *Builder) Ret() *Builder { return b.emit(isa.Inst{Op: isa.OpRet}) }
+
+// LabelAddr materialises the address of a label into rd at build time via a
+// single addi (labels fit in 16 bits for all programs here).
+func (b *Builder) LabelAddr(rd isa.Reg, label string) *Builder {
+	return b.emitRef(isa.Inst{Op: isa.OpAddi, Rd: rd, Rs1: 0}, label)
+}
+
+// Build resolves labels and returns the program. It fails on undefined or
+// duplicate labels.
+func (b *Builder) Build() (*isa.Program, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	insts := make([]isa.Inst, len(b.insts))
+	copy(insts, b.insts)
+	for _, f := range b.fixups {
+		pc, ok := b.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("asm: undefined label %q", f.label)
+		}
+		switch insts[f.instIdx].Op {
+		case isa.OpAddi:
+			insts[f.instIdx].Imm = int64(pc)
+		default:
+			insts[f.instIdx].Target = pc
+		}
+	}
+	data := make(map[uint32]int64, len(b.data))
+	for k, v := range b.data {
+		data[k] = v
+	}
+	return &isa.Program{Name: b.name, Insts: insts, Data: data}, nil
+}
+
+// MustBuild is Build that panics on error; intended for tests and the static
+// benchmark definitions, where a label error is a programming bug.
+func (b *Builder) MustBuild() *isa.Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,120 @@
+package asm
+
+import (
+	"testing"
+
+	"tracep/internal/isa"
+)
+
+func TestLabelsResolve(t *testing.T) {
+	b := New("t")
+	b.Jump("end")
+	b.Label("mid").Addi(1, 0, 5)
+	b.Label("end").Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insts[0].Target != 2 {
+		t.Errorf("jump target = %d, want 2", p.Insts[0].Target)
+	}
+}
+
+func TestForwardAndBackwardRefs(t *testing.T) {
+	b := New("t")
+	b.Label("loop")
+	b.Addi(1, 1, 1)
+	b.Blt(1, 2, "loop") // backward
+	b.Beq(1, 2, "done") // forward
+	b.Nop()
+	b.Label("done").Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insts[1].Target != 0 {
+		t.Errorf("backward target = %d, want 0", p.Insts[1].Target)
+	}
+	if p.Insts[2].Target != 4 {
+		t.Errorf("forward target = %d, want 4", p.Insts[2].Target)
+	}
+}
+
+func TestUndefinedLabel(t *testing.T) {
+	b := New("t")
+	b.Jump("nowhere")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected error for undefined label")
+	}
+}
+
+func TestDuplicateLabel(t *testing.T) {
+	b := New("t")
+	b.Label("x").Nop().Label("x")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected error for duplicate label")
+	}
+}
+
+func TestLiSmallAndLarge(t *testing.T) {
+	b := New("t")
+	b.Li(1, 42)       // one addi
+	b.Li(2, 0x123456) // lui+ori
+	b.Li(3, 0x70000)  // lui only (low bits zero)
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insts[0].Op != isa.OpAddi || p.Insts[0].Imm != 42 {
+		t.Errorf("small Li should be addi 42, got %v", p.Insts[0])
+	}
+	if p.Insts[1].Op != isa.OpLui || p.Insts[2].Op != isa.OpOri {
+		t.Errorf("large Li should be lui+ori, got %v %v", p.Insts[1], p.Insts[2])
+	}
+	if p.Insts[3].Op != isa.OpLui || p.Insts[4].Op != isa.OpHalt {
+		t.Errorf("Li with zero low bits should be a single lui, got %v %v", p.Insts[3], p.Insts[4])
+	}
+}
+
+func TestLabelAddr(t *testing.T) {
+	b := New("t")
+	b.LabelAddr(5, "fn")
+	b.Halt()
+	b.Label("fn").Ret()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insts[0].Op != isa.OpAddi || p.Insts[0].Imm != 2 {
+		t.Errorf("LabelAddr should resolve to addi imm=2, got %v", p.Insts[0])
+	}
+}
+
+func TestWordsData(t *testing.T) {
+	b := New("t")
+	b.Words(100, 1, 2, 3)
+	b.Word(200, 9)
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[uint32]int64{100: 1, 101: 2, 102: 3, 200: 9}
+	for a, v := range want {
+		if p.Data[a] != v {
+			t.Errorf("data[%d] = %d, want %d", a, p.Data[a], v)
+		}
+	}
+}
+
+func TestPC(t *testing.T) {
+	b := New("t")
+	if b.PC() != 0 {
+		t.Error("fresh builder PC should be 0")
+	}
+	b.Nop().Nop()
+	if b.PC() != 2 {
+		t.Errorf("PC after two insts = %d, want 2", b.PC())
+	}
+}

@@ -1,0 +1,81 @@
+package asm
+
+import (
+	"testing"
+
+	"tracep/internal/emu"
+	"tracep/internal/isa"
+)
+
+// TestAllEmittersExecute runs one instance of every builder emitter through
+// the functional emulator, checking both encoding and semantics.
+func TestAllEmittersExecute(t *testing.T) {
+	b := New("all")
+	b.Li(1, 12)
+	b.Li(2, 5)
+	b.Add(3, 1, 2)   // 17
+	b.Sub(4, 1, 2)   // 7
+	b.And(5, 1, 2)   // 4
+	b.Or(6, 1, 2)    // 13
+	b.Xor(7, 1, 2)   // 9
+	b.Shl(8, 2, 2)   // 160... 5<<5
+	b.Shr(9, 1, 2)   // 0
+	b.Mul(10, 1, 2)  // 60
+	b.Div(11, 1, 2)  // 2
+	b.Slt(12, 2, 1)  // 1
+	b.Addi(13, 1, 3) // 15
+	b.Andi(14, 1, 4) // 4
+	b.Ori(15, 1, 16) // 28
+	b.Xori(16, 1, 1) // 13
+	b.Shli(17, 2, 2) // 20
+	b.Shri(18, 1, 2) // 3
+	b.Slti(19, 2, 9) // 1
+	b.Lui(20, 2)     // 131072
+	b.Mov(21, 1)     // 12
+	b.Nop()
+	b.Store(3, 0, 64)
+	b.Load(22, 0, 64) // 17
+	b.Halt()
+	prog := b.MustBuild()
+	e := emu.New(prog)
+	e.Run(100)
+	want := map[isa.Reg]int64{
+		3: 17, 4: 7, 5: 4, 6: 13, 7: 9, 8: 160, 9: 0, 10: 60, 11: 2, 12: 1,
+		13: 15, 14: 4, 15: 28, 16: 13, 17: 20, 18: 3, 19: 1, 20: 131072,
+		21: 12, 22: 17,
+	}
+	for r, v := range want {
+		if got := e.Reg(r); got != v {
+			t.Errorf("r%d = %d, want %d", r, got, v)
+		}
+	}
+}
+
+func TestControlEmitters(t *testing.T) {
+	b := New("ctl")
+	b.Li(1, 1)
+	b.Beq(1, 1, "a")
+	b.Halt() // skipped
+	b.Label("a").Bne(1, 0, "b")
+	b.Halt()
+	b.Label("b").Blt(0, 1, "c")
+	b.Halt()
+	b.Label("c").Bge(1, 1, "d")
+	b.Halt()
+	b.Label("d").Addi(2, 0, 1)
+	b.Halt()
+	e := emu.New(b.MustBuild())
+	e.Run(100)
+	if e.Reg(2) != 1 {
+		t.Errorf("r2 = %d, want 1 (all branch forms taken)", e.Reg(2))
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBuild with undefined label must panic")
+		}
+	}()
+	New("bad").Jump("missing").MustBuild()
+}

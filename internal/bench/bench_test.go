@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"testing"
+
+	"tracep/internal/emu"
+)
+
+func TestSuiteBuildsAndHalts(t *testing.T) {
+	for _, bm := range Suite() {
+		prog := bm.Build(50)
+		e := emu.New(prog)
+		n := e.Run(5_000_000)
+		if !e.Halted {
+			t.Errorf("%s: did not halt in %d instructions", bm.Name, n)
+		}
+	}
+}
+
+func TestSuiteDeterministic(t *testing.T) {
+	for _, bm := range Suite() {
+		p1 := bm.Build(20)
+		p2 := bm.Build(20)
+		e1, e2 := emu.New(p1), emu.New(p2)
+		e1.Run(1_000_000)
+		e2.Run(1_000_000)
+		if e1.Count != e2.Count {
+			t.Errorf("%s: nondeterministic instruction count", bm.Name)
+		}
+		if e1.Mem.Read(4096) != e2.Mem.Read(4096) {
+			t.Errorf("%s: nondeterministic result", bm.Name)
+		}
+	}
+}
+
+func TestScaleControlsLength(t *testing.T) {
+	for _, bm := range Suite() {
+		small := emu.New(bm.Build(10))
+		large := emu.New(bm.Build(40))
+		small.Run(10_000_000)
+		large.Run(10_000_000)
+		if large.Count <= small.Count {
+			t.Errorf("%s: scale 40 (%d insts) not longer than scale 10 (%d insts)",
+				bm.Name, large.Count, small.Count)
+		}
+	}
+}
+
+func TestInstsPerIterCalibration(t *testing.T) {
+	// The declared per-iteration instruction count must be within 30% of
+	// the measured value so ScaleFor produces sane run lengths.
+	for _, bm := range Suite() {
+		e := emu.New(bm.Build(200))
+		e.Run(10_000_000)
+		perIter := float64(e.Count) / 200
+		declared := float64(bm.InstsPerIter)
+		if perIter < declared*0.7 || perIter > declared*1.3 {
+			t.Errorf("%s: measured %.1f insts/iter, declared %d", bm.Name, perIter, bm.InstsPerIter)
+		}
+	}
+}
+
+func TestScaleFor(t *testing.T) {
+	bm, err := ByName("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := bm.ScaleFor(uint64(1000 * bm.InstsPerIter)); s < 900 || s > 1100 {
+		t.Errorf("ScaleFor(1000 iters worth) = %d, want ~1000", s)
+	}
+	if s := bm.ScaleFor(1); s != 1 {
+		t.Errorf("ScaleFor(1) = %d, want 1 (floor)", s)
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown benchmark must error")
+	}
+}

@@ -1,0 +1,146 @@
+package bench
+
+import (
+	"fmt"
+
+	"tracep/internal/asm"
+	"tracep/internal/isa"
+)
+
+// GenConfig parameterises the synthetic workload generator: a knob per
+// control-flow property the paper's evaluation turns on. It complements the
+// fixed SPEC95 analogues for ablation studies — e.g. sweeping hammock
+// unpredictability to move a workload along the compress→vortex axis.
+type GenConfig struct {
+	// Seed drives both program structure and the embedded LCG data.
+	Seed int64
+	// OuterIters is the outer loop trip count (run length knob).
+	OuterIters int64
+	// Hammocks is the number of FGCI hammocks per iteration.
+	Hammocks int
+	// HammockBias is the mask for hammock conditions: taken probability is
+	// 1/(HammockBias+1); 1 = 50/50 (hard), 63 = rare (easy).
+	HammockBias int64
+	// HammockArm is the maximum instructions per hammock arm (region size
+	// knob; arms beyond the trace length produce the FGCI ">32" class).
+	HammockArm int
+	// GuardedCalls is the number of call-guarding forward branches per
+	// iteration (the "other forward branch" class).
+	GuardedCalls int
+	// CallBias is the guard condition mask (like HammockBias).
+	CallBias int64
+	// InnerLoops is the number of short inner loops per iteration.
+	InnerLoops int
+	// InnerLoopVariance is the mask of the data-dependent extra trip count;
+	// 0 = fixed trip (predictable), larger = unpredictable loop exits.
+	InnerLoopVariance int64
+	// InnerLoopBase is the fixed part of the inner trip count.
+	InnerLoopBase int64
+	// MemOps is the number of load-modify-store chains per iteration.
+	MemOps int
+}
+
+// DefaultGenConfig is a moderate mixed workload.
+func DefaultGenConfig(seed int64) GenConfig {
+	return GenConfig{
+		Seed:              seed,
+		OuterIters:        1000,
+		Hammocks:          2,
+		HammockBias:       7,
+		HammockArm:        4,
+		GuardedCalls:      1,
+		CallBias:          15,
+		InnerLoops:        1,
+		InnerLoopVariance: 3,
+		InnerLoopBase:     2,
+		MemOps:            1,
+	}
+}
+
+// Generate builds a program from the configuration. Programs are
+// deterministic in (GenConfig); the result always halts after OuterIters
+// iterations and stores its accumulators at data addresses 900+.
+func Generate(cfg GenConfig) *isa.Program {
+	rng := uint64(cfg.Seed)*2862933555777941757 + 3037000493
+	next := func(n int) int {
+		if n <= 0 {
+			return 0
+		}
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return int((rng >> 33) % uint64(n))
+	}
+
+	b := asm.New(fmt.Sprintf("gen-%d", cfg.Seed))
+	prologue(b, cfg.Seed|1, cfg.OuterIters)
+	b.Jump("outer")
+
+	// Helper functions for guarded calls.
+	nFuncs := 1
+	if cfg.GuardedCalls > 1 {
+		nFuncs = 2
+	}
+	for fi := 0; fi < nFuncs; fi++ {
+		b.Label(fmt.Sprintf("fn%d", fi))
+		for k := 0; k < 2+next(3); k++ {
+			b.Addi(rAcc2, rAcc2, int64(1+k))
+		}
+		b.Ret()
+	}
+
+	b.Label("outer")
+	lcg(b)
+
+	for h := 0; h < cfg.Hammocks; h++ {
+		el := fmt.Sprintf("g_el_%d", h)
+		jn := fmt.Sprintf("g_jn_%d", h)
+		randField(b, rBit, int64(3+next(24)), cfg.HammockBias)
+		b.Beq(rBit, 0, el)
+		for k := 0; k < 1+next(cfg.HammockArm); k++ {
+			b.Addi(rAcc, rAcc, int64(k+1))
+		}
+		b.Jump(jn)
+		b.Label(el)
+		for k := 0; k < 1+next(cfg.HammockArm); k++ {
+			b.Addi(rAcc, rAcc, int64(k+3))
+		}
+		b.Label(jn)
+	}
+
+	for g := 0; g < cfg.GuardedCalls; g++ {
+		sk := fmt.Sprintf("g_sk_%d", g)
+		randField(b, rBit2, int64(5+next(20)), cfg.CallBias)
+		b.Bne(rBit2, 0, sk)
+		b.Call(fmt.Sprintf("fn%d", g%nFuncs))
+		b.Label(sk)
+	}
+
+	for l := 0; l < cfg.InnerLoops; l++ {
+		lp := fmt.Sprintf("g_lp_%d", l)
+		if cfg.InnerLoopVariance > 0 {
+			randField(b, rCnt, int64(7+next(18)), cfg.InnerLoopVariance)
+			b.Addi(rCnt, rCnt, cfg.InnerLoopBase)
+		} else {
+			b.Addi(rCnt, 0, cfg.InnerLoopBase)
+		}
+		b.Label(lp)
+		b.Add(rAcc3, rAcc3, rCnt)
+		b.Addi(rCnt, rCnt, -1)
+		b.Bne(rCnt, 0, lp)
+	}
+
+	for m := 0; m < cfg.MemOps; m++ {
+		b.Andi(rPtr, rLCG, 63)
+		b.Add(rPtr, rPtr, rBase)
+		b.Load(rVal, rPtr, int64(m*64))
+		b.Addi(rVal, rVal, 1)
+		b.Store(rVal, rPtr, int64(m*64))
+	}
+
+	b.Addi(rIdx, rIdx, 1)
+	b.Blt(rIdx, rLim, "outer")
+	b.Store(rAcc, 0, 900)
+	b.Store(rAcc2, 0, 901)
+	b.Store(rAcc3, 0, 902)
+	b.Halt()
+	return b.MustBuild()
+}

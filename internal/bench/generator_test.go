@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"testing"
+	"testing/quick"
+
+	"tracep/internal/emu"
+	"tracep/internal/isa"
+)
+
+func TestGeneratedProgramsHalt(t *testing.T) {
+	f := func(seed int64) bool {
+		cfg := DefaultGenConfig(seed)
+		cfg.OuterIters = 30
+		prog := Generate(cfg)
+		e := emu.New(prog)
+		e.Run(2_000_000)
+		return e.Halted
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	cfg := DefaultGenConfig(99)
+	cfg.OuterIters = 25
+	a, b := Generate(cfg), Generate(cfg)
+	if len(a.Insts) != len(b.Insts) {
+		t.Fatal("same config must generate identical programs")
+	}
+	for i := range a.Insts {
+		if a.Insts[i] != b.Insts[i] {
+			t.Fatalf("instruction %d differs", i)
+		}
+	}
+	ea, eb := emu.New(a), emu.New(b)
+	ea.Run(1_000_000)
+	eb.Run(1_000_000)
+	if ea.Count != eb.Count || ea.Mem.Read(900) != eb.Mem.Read(900) {
+		t.Error("same config must produce identical executions")
+	}
+}
+
+func TestGeneratorKnobs(t *testing.T) {
+	// More hammocks -> more static conditional branches.
+	few := DefaultGenConfig(7)
+	few.Hammocks, few.OuterIters = 1, 10
+	many := DefaultGenConfig(7)
+	many.Hammocks, many.OuterIters = 6, 10
+	if countCond(Generate(few)) >= countCond(Generate(many)) {
+		t.Error("Hammocks knob must add conditional branches")
+	}
+
+	// Fixed inner loops: InnerLoopVariance 0 must not consume randomness
+	// differently across runs — just check it builds and halts.
+	fixed := DefaultGenConfig(7)
+	fixed.InnerLoopVariance = 0
+	fixed.OuterIters = 10
+	e := emu.New(Generate(fixed))
+	e.Run(500_000)
+	if !e.Halted {
+		t.Error("fixed-loop program must halt")
+	}
+
+	// Zero of everything still produces a valid looping program.
+	empty := DefaultGenConfig(3)
+	empty.Hammocks, empty.GuardedCalls, empty.InnerLoops, empty.MemOps = 0, 0, 0, 0
+	empty.OuterIters = 5
+	e = emu.New(Generate(empty))
+	e.Run(100_000)
+	if !e.Halted {
+		t.Error("empty-body program must halt")
+	}
+}
+
+func countCond(p *isa.Program) int {
+	n := 0
+	for _, in := range p.Insts {
+		if in.IsCondBranch() {
+			n++
+		}
+	}
+	return n
+}

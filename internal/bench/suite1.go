@@ -1,0 +1,348 @@
+package bench
+
+import (
+	"tracep/internal/asm"
+	"tracep/internal/isa"
+)
+
+// buildCompress mirrors 129.compress: a tight compression loop whose
+// mispredictions concentrate in small data-dependent hammocks (FGCI) with a
+// short unpredictable inner loop (code-length emission).
+func buildCompress(scale int64) *isa.Program {
+	b := asm.New("compress")
+	prologue(b, 88172645463325252, scale)
+	b.Jump("outer")
+
+	// Hash-table update helper; the call/return boundary exposes a global
+	// re-convergent point for the RET heuristic, as compress's real output
+	// routine does.
+	b.Label("update")
+	b.Add(rPtr, rBase, rVal)
+	b.Load(rCnt, rPtr, 0)
+	b.Add(rCnt, rCnt, rTmp)
+	b.Store(rCnt, rPtr, 0)
+	b.Ret()
+
+	b.Label("outer")
+	lcg(b)
+
+	// Hash the "input symbol" into the table index.
+	b.Shri(rTmp, rLCG, 7)
+	b.Xor(rVal, rTmp, rLCG)
+	b.Andi(rVal, rVal, 255)
+
+	// Hammock 1: hash-hit test, ~12% taken, if-then-else (FGCI).
+	randField(b, rBit, 17, 7)
+	b.Beq(rBit, 0, "h1_else")
+	b.Addi(rAcc, rAcc, 3)
+	b.Shli(rTmp, rVal, 1)
+	b.Jump("h1_join")
+	b.Label("h1_else")
+	b.Addi(rAcc, rAcc, 5)
+	b.Addi(rTmp, rVal, 9)
+	b.Label("h1_join")
+
+	// Table update via the helper, skipped for "clear" codes (~6%): the
+	// guard branch jumps over a call, so it is an "other forward" branch.
+	randField(b, rTmp2, 3, 15)
+	b.Beq(rTmp2, 0, "no_update")
+	b.Call("update")
+	b.Label("no_update")
+
+	// Hammock 2: code-size check, ~6% taken, if-then (FGCI).
+	randField(b, rBit2, 9, 15)
+	b.Bne(rBit2, 0, "h2_skip")
+	b.Addi(rAcc2, rAcc2, 1)
+	b.Shli(rAcc2, rAcc2, 1)
+	b.Andi(rAcc2, rAcc2, 4095)
+	b.Label("h2_skip")
+
+	// Hammock 3: ratio check, ~12% taken, if-then-else (FGCI) — the hard
+	// one.
+	randField(b, rBit3, 23, 7)
+	b.Beq(rBit3, 0, "h3_else")
+	b.Add(rAcc3, rAcc3, rVal)
+	b.Jump("h3_join")
+	b.Label("h3_else")
+	b.Sub(rAcc3, rAcc3, rBit2)
+	b.Label("h3_join")
+
+	// Inner loop: emit 1-2 code words, trip count data-dependent
+	// (unpredictable loop exit -> backward-branch mispredictions).
+	randField(b, rCnt, 28, 7)
+	b.Slti(rCnt, rCnt, 1)
+	b.Addi(rCnt, rCnt, 1)
+	b.Label("emit")
+	b.Add(rAcc, rAcc, rCnt)
+	b.Addi(rCnt, rCnt, -1)
+	b.Bne(rCnt, 0, "emit")
+
+	b.Addi(rIdx, rIdx, 1)
+	b.Blt(rIdx, rLim, "outer")
+	b.Store(rAcc, rBase, 0)
+	b.Store(rAcc2, rBase, 1)
+	b.Store(rAcc3, rBase, 2)
+	b.Halt()
+	return b.MustBuild()
+}
+
+// buildGCC mirrors 126.gcc: branchy compilation passes where most branches
+// are forward but guard calls (so their regions are not embeddable), with
+// moderate overall predictability.
+func buildGCC(scale int64) *isa.Program {
+	b := asm.New("gcc")
+	prologue(b, 1234567891011, scale)
+	b.Jump("outer")
+
+	// Small analysis helpers.
+	b.Label("fold")
+	b.Add(rVal, rVal, rTmp)
+	b.Shri(rTmp, rVal, 3)
+	b.Xor(rVal, rVal, rTmp)
+	b.Ret()
+	b.Label("mark")
+	b.Add(rPtr, rBase, rBit)
+	b.Load(rCnt, rPtr, 64)
+	b.Addi(rCnt, rCnt, 1)
+	b.Store(rCnt, rPtr, 64)
+	b.Ret()
+	b.Label("emitrtl")
+	b.Add(rAcc2, rAcc2, rVal)
+	b.Andi(rAcc2, rAcc2, 65535)
+	b.Ret()
+
+	b.Label("outer")
+	lcg(b)
+	b.Shri(rVal, rLCG, 5)
+	b.Andi(rVal, rVal, 1023)
+
+	// Pass 1: three guarded transformations — forward branches over calls
+	// (not embeddable -> "other forward branches"), taken ~12% each.
+	randField(b, rBit, 11, 15)
+	b.Bne(rBit, 0, "no_fold")
+	b.Addi(rTmp, rVal, 17)
+	b.Call("fold")
+	b.Label("no_fold")
+	randField(b, rBit, 19, 15)
+	b.Bne(rBit, 0, "no_mark")
+	b.Call("mark")
+	b.Label("no_mark")
+	randField(b, rBit, 27, 15)
+	b.Bne(rBit, 0, "no_emit")
+	b.Call("emitrtl")
+	b.Label("no_emit")
+
+	// Pass 2: two mid-size FGCI hammocks (constant folding decisions),
+	// taken ~25%.
+	randField(b, rBit2, 8, 15)
+	b.Beq(rBit2, 0, "cf_else")
+	b.Add(rAcc, rAcc, rVal)
+	b.Shli(rTmp, rVal, 2)
+	b.Sub(rAcc, rAcc, rTmp)
+	b.Addi(rAcc, rAcc, 29)
+	b.Jump("cf_join")
+	b.Label("cf_else")
+	b.Shri(rTmp, rVal, 1)
+	b.Add(rAcc, rAcc, rTmp)
+	b.Label("cf_join")
+
+	randField(b, rBit3, 14, 31)
+	b.Bne(rBit3, 0, "dc_skip")
+	b.Xor(rAcc3, rAcc3, rVal)
+	b.Addi(rAcc3, rAcc3, 3)
+	b.Label("dc_skip")
+
+	// Rare reload pass: a forward branch over a 40-instruction arm — a
+	// detected region too large to embed in a trace (the FGCI ">32" class).
+	randField(b, rBit, 6, 63)
+	b.Bne(rBit, 0, "no_reload")
+	for i := 0; i < 40; i++ {
+		b.Addi(rAcc3, rAcc3, 1)
+	}
+	b.Label("no_reload")
+
+	// Pass 3: walk a short IR list (fixed 4 iterations, predictable).
+	b.Addi(rCnt, 0, 4)
+	b.Mov(rPtr, rBase)
+	b.Label("walk")
+	b.Load(rTmp, rPtr, 128)
+	b.Add(rAcc2, rAcc2, rTmp)
+	b.Addi(rPtr, rPtr, 1)
+	b.Addi(rCnt, rCnt, -1)
+	b.Bne(rCnt, 0, "walk")
+	b.Store(rAcc2, rBase, 128)
+
+	b.Addi(rIdx, rIdx, 1)
+	b.Blt(rIdx, rLim, "outer")
+	b.Store(rAcc, rBase, 0)
+	b.Halt()
+	return b.MustBuild()
+}
+
+// buildGo mirrors 099.go: position-evaluation code with near-50/50
+// data-dependent branches, mostly forward and not embeddable (arms contain
+// calls), producing a high misprediction rate.
+func buildGo(scale int64) *isa.Program {
+	b := asm.New("go")
+	prologue(b, 6364136223846793005, scale)
+	b.Jump("outer")
+
+	b.Label("libscore")
+	b.Add(rVal, rVal, rBit)
+	b.Shli(rTmp, rVal, 1)
+	b.Xor(rVal, rVal, rTmp)
+	b.Ret()
+	b.Label("atariscore")
+	b.Sub(rVal, rVal, rBit2)
+	b.Addi(rVal, rVal, 11)
+	b.Ret()
+
+	b.Label("outer")
+	lcg(b)
+	b.Shri(rVal, rLCG, 3)
+	b.Andi(rVal, rVal, 511)
+
+	// Evaluation 1: liberty test, 50/50, arms call helpers (other forward).
+	randField(b, rBit, 13, 7)
+	b.Beq(rBit, 0, "ev1_else")
+	b.Call("libscore")
+	b.Add(rAcc, rAcc, rVal)
+	b.Jump("ev1_join")
+	b.Label("ev1_else")
+	b.Call("atariscore")
+	b.Sub(rAcc, rAcc, rVal)
+	b.Label("ev1_join")
+
+	// Evaluation 2: territory test, ~25%, guarded call.
+	randField(b, rBit2, 21, 7)
+	b.Bne(rBit2, 0, "ev2_skip")
+	b.Call("libscore")
+	b.Label("ev2_skip")
+
+	// Evaluation 3: two 50/50 FGCI hammocks (influence counting).
+	randField(b, rBit3, 29, 15)
+	b.Beq(rBit3, 0, "inf_else")
+	b.Addi(rAcc2, rAcc2, 2)
+	b.Add(rAcc2, rAcc2, rBit)
+	b.Jump("inf_join")
+	b.Label("inf_else")
+	b.Addi(rAcc2, rAcc2, 7)
+	b.Label("inf_join")
+	randField(b, rTmp, 7, 15)
+	b.Bne(rTmp, 0, "eye_skip")
+	b.Xor(rAcc3, rAcc3, rVal)
+	b.Addi(rAcc3, rAcc3, 1)
+	b.Label("eye_skip")
+
+	// Board-scan loop: short, occasionally extended (unpredictable exit).
+	randField(b, rCnt, 25, 15)
+	b.Slti(rCnt, rCnt, 1)
+	b.Addi(rCnt, rCnt, 2)
+	b.Label("scan")
+	b.Add(rPtr, rBase, rCnt)
+	b.Load(rTmp, rPtr, 256)
+	b.Add(rAcc, rAcc, rTmp)
+	b.Addi(rCnt, rCnt, -1)
+	b.Bne(rCnt, 0, "scan")
+
+	b.Addi(rIdx, rIdx, 1)
+	b.Blt(rIdx, rLim, "outer")
+	b.Store(rAcc, rBase, 0)
+	b.Halt()
+	return b.MustBuild()
+}
+
+// buildJPEG mirrors 132.ijpeg: nested fixed-trip loops (predictable backward
+// branches dominate the branch count) around one large data-dependent
+// saturation region — a single embeddable region of ~28 instructions whose
+// branches cause most mispredictions.
+func buildJPEG(scale int64) *isa.Program {
+	b := asm.New("jpeg")
+	prologue(b, 424242424242, scale)
+	b.Label("outer")
+
+	// 7-8 sample "row" loop (trip count occasionally data-dependent).
+	lcg(b)
+	randField(b, rCnt, 11, 31)
+	b.Slti(rCnt, rCnt, 1)
+	b.Addi(rCnt, rCnt, 7)
+	b.Label("row")
+	lcg(b)
+	b.Shri(rVal, rLCG, 4)
+	b.Andi(rVal, rVal, 1023)
+
+	// The clamp region: an embeddable if-then-else tree (~28 instructions,
+	// no calls/loops) with a 50/50 head condition and nested 50/50 tests —
+	// the paper's large-FGCI-region profile (dyn size ~32).
+	randField(b, rBit, 16, 15)
+	b.Bne(rBit, 0, "clamp_lo")
+	// High half: saturate with nested test.
+	b.Addi(rTmp, rVal, 128)
+	b.Slti(rBit2, rTmp, 1200)
+	b.Beq(rBit2, 0, "hi_sat")
+	b.Add(rAcc, rAcc, rTmp)
+	b.Shli(rBit3, rTmp, 1)
+	b.Xor(rAcc2, rAcc2, rBit3)
+	b.Addi(rAcc2, rAcc2, 5)
+	b.Shri(rBit3, rAcc2, 3)
+	b.Add(rAcc2, rAcc2, rBit3)
+	b.Andi(rAcc2, rAcc2, 16383)
+	b.Xor(rBit3, rBit3, rTmp)
+	b.Add(rAcc, rAcc, rBit3)
+	b.Shli(rBit3, rBit3, 2)
+	b.Sub(rAcc2, rAcc2, rBit3)
+	b.Addi(rAcc2, rAcc2, 3)
+	b.Jump("clamp_join")
+	b.Label("hi_sat")
+	b.Li(rTmp, 899)
+	b.Add(rAcc, rAcc, rTmp)
+	b.Addi(rAcc2, rAcc2, 1)
+	b.Addi(rAcc2, rAcc2, 2)
+	b.Jump("clamp_join")
+	b.Label("clamp_lo")
+	// Low half: bias and scale with nested test.
+	b.Sub(rTmp, rVal, rBit)
+	b.Slti(rBit2, rTmp, 50)
+	b.Bne(rBit2, 0, "lo_floor")
+	b.Shri(rBit3, rTmp, 2)
+	b.Add(rAcc, rAcc, rBit3)
+	b.Sub(rAcc2, rAcc2, rBit3)
+	b.Shli(rBit3, rBit3, 1)
+	b.Xor(rAcc2, rAcc2, rBit3)
+	b.Addi(rAcc2, rAcc2, 9)
+	b.Add(rAcc, rAcc, rBit3)
+	b.Andi(rAcc, rAcc, 65535)
+	b.Shri(rBit3, rAcc, 4)
+	b.Sub(rAcc2, rAcc2, rBit3)
+	b.Addi(rAcc2, rAcc2, 1)
+	b.Jump("clamp_join")
+	b.Label("lo_floor")
+	b.Addi(rAcc, rAcc, 100)
+	b.Xor(rAcc2, rAcc2, rTmp)
+	b.Label("clamp_join")
+
+	// DCT-ish accumulation (straight-line).
+	b.Mul(rTmp, rVal, rCnt)
+	b.Add(rAcc3, rAcc3, rTmp)
+	b.Shri(rAcc3, rAcc3, 1)
+
+	b.Addi(rCnt, rCnt, -1)
+	b.Bne(rCnt, 0, "row")
+
+	// Column pass: fixed 4-trip loop with memory traffic.
+	b.Addi(rCnt, 0, 4)
+	b.Label("col")
+	b.Add(rPtr, rBase, rCnt)
+	b.Load(rTmp, rPtr, 512)
+	b.Add(rTmp, rTmp, rAcc)
+	b.Store(rTmp, rPtr, 512)
+	b.Addi(rCnt, rCnt, -1)
+	b.Bne(rCnt, 0, "col")
+
+	b.Addi(rIdx, rIdx, 1)
+	b.Blt(rIdx, rLim, "outer")
+	b.Store(rAcc, rBase, 0)
+	b.Store(rAcc2, rBase, 1)
+	b.Halt()
+	return b.MustBuild()
+}

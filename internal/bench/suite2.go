@@ -1,0 +1,256 @@
+package bench
+
+import (
+	"tracep/internal/asm"
+	"tracep/internal/isa"
+)
+
+// buildLi mirrors 130.li (xlisp running queens): a recursive evaluator with
+// deep call/return chains and short, data-dependent loops whose exits
+// dominate the mispredictions (61% of misps from backward branches).
+func buildLi(scale int64) *isa.Program {
+	b := asm.New("li")
+	prologue(b, 271828182845, scale)
+	b.Jump("outer")
+
+	// eval(depth in r20): walks a cons list of data-dependent length, then
+	// recurses until depth exhausts.
+	b.Label("eval")
+	// Cons-walk: 1-2 cells, unpredictable (the hot backward branch).
+	lcg(b)
+	randField(b, rCnt, 9, 15)
+	b.Slti(rCnt, rCnt, 1)
+	b.Addi(rCnt, rCnt, 1)
+	b.Label("cons")
+	b.Add(rPtr, rBase, rCnt)
+	b.Load(rTmp, rPtr, 300)
+	b.Add(rAcc, rAcc, rTmp)
+	b.Addi(rCnt, rCnt, -1)
+	b.Bne(rCnt, 0, "cons")
+	// Type dispatch: biased forward branch (mostly fixnum).
+	randField(b, rBit, 18, 31)
+	b.Bne(rBit, 0, "fixnum")
+	b.Xor(rAcc2, rAcc2, rAcc)
+	b.Addi(rAcc2, rAcc2, 13)
+	b.Label("fixnum")
+	// Recurse while depth > 0.
+	b.Addi(20, 20, -1)
+	b.Beq(20, 0, "eval_done")
+	b.Store(31, rSP, 0)
+	b.Addi(rSP, rSP, 1)
+	b.Call("eval")
+	b.Addi(rSP, rSP, -1)
+	b.Load(31, rSP, 0)
+	b.Label("eval_done")
+	b.Ret()
+
+	b.Label("outer")
+	lcg(b)
+	// Recursion depth 3, occasionally 4 (mostly regular call chains).
+	randField(b, 20, 22, 15)
+	b.Slti(20, 20, 1)
+	b.Addi(20, 20, 3)
+	b.Call("eval")
+	// Garbage-collect check: rare forward branch.
+	randField(b, rBit2, 13, 63)
+	b.Bne(rBit2, 0, "no_gc")
+	b.Addi(rAcc3, rAcc3, 1)
+	b.Label("no_gc")
+	b.Addi(rIdx, rIdx, 1)
+	b.Blt(rIdx, rLim, "outer")
+	b.Store(rAcc, rBase, 0)
+	b.Store(rAcc2, rBase, 1)
+	b.Halt()
+	return b.MustBuild()
+}
+
+// buildM88ksim mirrors 124.m88ksim: an instruction-set simulator's dispatch
+// loop — extremely predictable control flow; the rare mispredictions come
+// from small FGCI hammocks (exception/special-case tests).
+func buildM88ksim(scale int64) *isa.Program {
+	b := asm.New("m88ksim")
+	prologue(b, 31415926535897, scale)
+	b.Label("outer")
+	lcg(b)
+	b.Shri(rVal, rLCG, 6)
+	b.Andi(rVal, rVal, 255)
+
+	// Decode: straight-line field extraction.
+	b.Shri(rTmp, rVal, 2)
+	b.Andi(rTmp, rTmp, 31)
+	b.Add(rAcc, rAcc, rTmp)
+
+	// Special-case hammock 1: ~3% taken (FGCI; most of the rare misps).
+	randField(b, rBit, 10, 63)
+	b.Bne(rBit, 0, "no_trap")
+	b.Addi(rAcc2, rAcc2, 100)
+	b.Xor(rAcc2, rAcc2, rVal)
+	b.Label("no_trap")
+
+	// Special-case hammock 2: ~3% taken if-then-else (FGCI).
+	randField(b, rBit2, 20, 63)
+	b.Bne(rBit2, 0, "fast_alu")
+	b.Addi(rAcc3, rAcc3, 7)
+	b.Shli(rAcc3, rAcc3, 1)
+	b.Jump("alu_join")
+	b.Label("fast_alu")
+	b.Add(rAcc3, rAcc3, rTmp)
+	b.Label("alu_join")
+
+	// Register-file update: fixed 3-trip loop (predictable).
+	b.Addi(rCnt, 0, 3)
+	b.Label("wb")
+	b.Add(rPtr, rBase, rCnt)
+	b.Load(rBit3, rPtr, 700)
+	b.Add(rBit3, rBit3, rAcc)
+	b.Store(rBit3, rPtr, 700)
+	b.Addi(rCnt, rCnt, -1)
+	b.Bne(rCnt, 0, "wb")
+
+	// Statistics update (straight-line).
+	b.Add(rAcc, rAcc, rVal)
+	b.Shri(rAcc, rAcc, 1)
+	b.Addi(rAcc, rAcc, 1)
+
+	b.Addi(rIdx, rIdx, 1)
+	b.Blt(rIdx, rLim, "outer")
+	b.Store(rAcc, rBase, 0)
+	b.Halt()
+	return b.MustBuild()
+}
+
+// buildPerl mirrors 134.perl: interpreter scan loops with biased forward
+// branches guarding helper calls; forward branches dominate both the branch
+// count and the (few) mispredictions.
+func buildPerl(scale int64) *isa.Program {
+	b := asm.New("perl")
+	prologue(b, 16180339887498, scale)
+	b.Jump("outer")
+
+	b.Label("hashstep")
+	b.Shli(rTmp, rVal, 5)
+	b.Add(rTmp, rTmp, rVal)
+	b.Xor(rVal, rTmp, rBit)
+	b.Ret()
+	b.Label("pushtok")
+	b.Add(rPtr, rBase, rAcc2)
+	b.Andi(rPtr, rPtr, 8191)
+	b.Store(rVal, rPtr, 1024)
+	b.Addi(rAcc2, rAcc2, 1)
+	b.Andi(rAcc2, rAcc2, 63)
+	b.Ret()
+
+	b.Label("outer")
+	lcg(b)
+	b.Shri(rVal, rLCG, 9)
+	b.Andi(rVal, rVal, 127)
+
+	// Character-class tests: biased forward branches over calls
+	// (non-embeddable), ~6-12% taken.
+	randField(b, rBit, 5, 63)
+	b.Bne(rBit, 0, "not_alpha")
+	b.Call("hashstep")
+	b.Label("not_alpha")
+	randField(b, rBit, 15, 63)
+	b.Bne(rBit, 0, "not_digit")
+	b.Call("pushtok")
+	b.Label("not_digit")
+	randField(b, rBit, 24, 63)
+	b.Bne(rBit, 0, "not_meta")
+	b.Call("hashstep")
+	b.Call("pushtok")
+	b.Label("not_meta")
+
+	// One small FGCI hammock: quote test, ~12% taken.
+	randField(b, rBit2, 12, 63)
+	b.Bne(rBit2, 0, "no_quote")
+	b.Xor(rAcc, rAcc, rVal)
+	b.Addi(rAcc, rAcc, 2)
+	b.Label("no_quote")
+
+	// Scan loop: mostly 3 iterations, occasionally longer (string end
+	// mostly predictable).
+	randField(b, rCnt, 27, 31)
+	b.Slti(rCnt, rCnt, 1)
+	b.Addi(rCnt, rCnt, 3) // 3 or 4 iterations (4 w.p. 1/32)
+	b.Label("scanloop")
+	b.Add(rAcc3, rAcc3, rCnt)
+	b.Addi(rCnt, rCnt, -1)
+	b.Bne(rCnt, 0, "scanloop")
+
+	b.Addi(rIdx, rIdx, 1)
+	b.Blt(rIdx, rLim, "outer")
+	b.Store(rAcc, rBase, 0)
+	b.Store(rAcc3, rBase, 1)
+	b.Halt()
+	return b.MustBuild()
+}
+
+// buildVortex mirrors 147.vortex: an object-oriented database with deep,
+// highly predictable call chains and very rare mispredictions.
+func buildVortex(scale int64) *isa.Program {
+	b := asm.New("vortex")
+	prologue(b, 9876543210987, scale)
+	b.Jump("outer")
+
+	// Object layer 3: field update.
+	b.Label("obj3")
+	b.Add(rPtr, rBase, rTmp)
+	b.Andi(rPtr, rPtr, 4095)
+	b.Load(rBit3, rPtr, 2048)
+	b.Add(rBit3, rBit3, rVal)
+	b.Store(rBit3, rPtr, 2048)
+	b.Ret()
+	// Object layer 2: validation + call into layer 3.
+	b.Label("obj2")
+	b.Slti(rBit2, rVal, 1000000)
+	b.Beq(rBit2, 0, "obj2_clip") // almost never taken
+	b.Store(31, rSP, 0)
+	b.Addi(rSP, rSP, 1)
+	b.Call("obj3")
+	b.Addi(rSP, rSP, -1)
+	b.Load(31, rSP, 0)
+	b.Ret()
+	b.Label("obj2_clip")
+	b.Andi(rVal, rVal, 65535)
+	b.Ret()
+	// Object layer 1: dispatch into layer 2.
+	b.Label("obj1")
+	b.Add(rVal, rVal, rTmp)
+	b.Store(31, rSP, 0)
+	b.Addi(rSP, rSP, 1)
+	b.Call("obj2")
+	b.Addi(rSP, rSP, -1)
+	b.Load(31, rSP, 0)
+	b.Addi(rVal, rVal, 1)
+	b.Ret()
+
+	b.Label("outer")
+	lcg(b)
+	b.Shri(rVal, rLCG, 8)
+	b.Andi(rVal, rVal, 2047)
+	b.Shri(rTmp, rLCG, 19)
+	b.Andi(rTmp, rTmp, 255)
+
+	// Three object operations per transaction; occasional (rare) delete
+	// path — ~1.5% taken forward branch.
+	b.Call("obj1")
+	randField(b, rBit, 13, 63)
+	b.Bne(rBit, 0, "no_delete")
+	b.Addi(rAcc2, rAcc2, 1)
+	b.Label("no_delete")
+	b.Call("obj1")
+	// Predictable bounds hammock (taken ~1.5%).
+	randField(b, rBit2, 25, 63)
+	b.Bne(rBit2, 0, "no_grow")
+	b.Addi(rAcc3, rAcc3, 64)
+	b.Label("no_grow")
+	b.Call("obj1")
+	b.Add(rAcc, rAcc, rVal)
+
+	b.Addi(rIdx, rIdx, 1)
+	b.Blt(rIdx, rLim, "outer")
+	b.Store(rAcc, rBase, 0)
+	b.Halt()
+	return b.MustBuild()
+}

@@ -1,0 +1,134 @@
+// Package bpred implements the branch predictor used by the trace
+// processor's instruction-level sequencing (trace construction and trace
+// repair): a 16K-entry tagless BTB with 2-bit saturating counters (Table 1)
+// for conditional-branch directions plus per-entry targets for indirect
+// branches, and a small return-address stack used as a next-PC fallback when
+// the trace-level sequencer has no prediction after a return-terminated
+// trace.
+package bpred
+
+import "tracep/internal/isa"
+
+// Config sizes the predictor.
+type Config struct {
+	// Entries is the number of BTB entries (power of two). Table 1: 16K.
+	Entries int
+	// RASDepth is the return-address-stack depth.
+	RASDepth int
+}
+
+// DefaultConfig matches Table 1.
+func DefaultConfig() Config { return Config{Entries: 16384, RASDepth: 16} }
+
+// Predictor is a tagless BTB: a direction table of 2-bit counters indexed by
+// PC, with a target field per entry for indirect-branch target prediction.
+type Predictor struct {
+	cfg    Config
+	mask   uint32
+	ctr    []uint8 // 2-bit saturating counters, initialised weakly not-taken
+	target []uint32
+
+	ras []uint32
+
+	// Lookups counts direction predictions made.
+	Lookups uint64
+}
+
+// New builds a predictor. Entries must be a power of two.
+func New(cfg Config) *Predictor {
+	if cfg.Entries <= 0 {
+		cfg = DefaultConfig()
+	}
+	if cfg.Entries&(cfg.Entries-1) != 0 {
+		panic("bpred: Entries must be a power of two")
+	}
+	p := &Predictor{
+		cfg:    cfg,
+		mask:   uint32(cfg.Entries - 1),
+		ctr:    make([]uint8, cfg.Entries),
+		target: make([]uint32, cfg.Entries),
+	}
+	for i := range p.ctr {
+		p.ctr[i] = 1 // weakly not-taken
+	}
+	return p
+}
+
+func (p *Predictor) idx(pc uint32) uint32 { return pc & p.mask }
+
+// PredictDirection predicts a conditional branch at pc: taken when the 2-bit
+// counter's high bit is set.
+func (p *Predictor) PredictDirection(pc uint32) bool {
+	p.Lookups++
+	return p.ctr[p.idx(pc)] >= 2
+}
+
+// UpdateDirection trains the 2-bit counter for the branch at pc.
+func (p *Predictor) UpdateDirection(pc uint32, taken bool) {
+	i := p.idx(pc)
+	if taken {
+		if p.ctr[i] < 3 {
+			p.ctr[i]++
+		}
+	} else if p.ctr[i] > 0 {
+		p.ctr[i]--
+	}
+}
+
+// PredictIndirect predicts the target of an indirect jump at pc from the
+// tagless BTB target field (0 means no prediction yet).
+func (p *Predictor) PredictIndirect(pc uint32) uint32 { return p.target[p.idx(pc)] }
+
+// UpdateIndirect records the observed target of the indirect jump at pc.
+func (p *Predictor) UpdateIndirect(pc, target uint32) { p.target[p.idx(pc)] = target }
+
+// PushRAS records a call's return address.
+func (p *Predictor) PushRAS(ret uint32) {
+	if len(p.ras) >= p.cfg.RASDepth {
+		copy(p.ras, p.ras[1:])
+		p.ras[len(p.ras)-1] = ret
+		return
+	}
+	p.ras = append(p.ras, ret)
+}
+
+// PopRAS predicts a return target; ok is false when the stack is empty.
+func (p *Predictor) PopRAS() (uint32, bool) {
+	if len(p.ras) == 0 {
+		return 0, false
+	}
+	ret := p.ras[len(p.ras)-1]
+	p.ras = p.ras[:len(p.ras)-1]
+	return ret, true
+}
+
+// PredictInst predicts both direction and next PC for the instruction at pc,
+// maintaining the RAS for calls and returns. It is the primitive the trace
+// constructor uses when walking the instruction stream.
+func (p *Predictor) PredictInst(pc uint32, in isa.Inst) (taken bool, next uint32) {
+	switch {
+	case in.IsCondBranch():
+		taken = p.PredictDirection(pc)
+		if taken {
+			return true, in.Target
+		}
+		return false, pc + 1
+	case in.Op == isa.OpJump:
+		return true, in.Target
+	case in.Op == isa.OpCall:
+		p.PushRAS(pc + 1)
+		return true, in.Target
+	case in.Op == isa.OpRet:
+		if t, ok := p.PopRAS(); ok {
+			return true, t
+		}
+		return true, p.PredictIndirect(pc)
+	case in.Op == isa.OpCallR:
+		p.PushRAS(pc + 1)
+		return true, p.PredictIndirect(pc)
+	case in.Op == isa.OpJr:
+		return true, p.PredictIndirect(pc)
+	default:
+		return false, pc + 1
+	}
+}

@@ -1,0 +1,284 @@
+// Package cache provides a generic set-associative LRU cache model plus the
+// concrete instruction-cache, data-cache and trace-cache timing models sized
+// per Table 1 of the paper. Caches here model hit/miss behaviour and latency
+// only; data contents live elsewhere (memory, ARB, trace store).
+package cache
+
+// SetAssoc is a set-associative cache with true-LRU replacement, keyed by an
+// opaque uint64 line key (callers shift addresses to line granularity or hash
+// trace descriptors).
+type SetAssoc struct {
+	sets  int
+	assoc int
+	tags  [][]uint64
+	valid [][]bool
+	// lru[i][w] is the recency rank of way w in set i; 0 = MRU.
+	lru [][]uint8
+
+	Accesses uint64
+	Misses   uint64
+}
+
+// NewSetAssoc builds a cache with the given number of sets (power of two)
+// and associativity.
+func NewSetAssoc(sets, assoc int) *SetAssoc {
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic("cache: sets must be a positive power of two")
+	}
+	if assoc <= 0 {
+		panic("cache: assoc must be positive")
+	}
+	c := &SetAssoc{sets: sets, assoc: assoc}
+	c.tags = make([][]uint64, sets)
+	c.valid = make([][]bool, sets)
+	c.lru = make([][]uint8, sets)
+	for i := 0; i < sets; i++ {
+		c.tags[i] = make([]uint64, assoc)
+		c.valid[i] = make([]bool, assoc)
+		c.lru[i] = make([]uint8, assoc)
+		for w := 0; w < assoc; w++ {
+			c.lru[i][w] = uint8(w)
+		}
+	}
+	return c
+}
+
+// Sets returns the number of sets.
+func (c *SetAssoc) Sets() int { return c.sets }
+
+// Assoc returns the associativity.
+func (c *SetAssoc) Assoc() int { return c.assoc }
+
+func (c *SetAssoc) set(key uint64) int { return int(key) & (c.sets - 1) }
+
+func (c *SetAssoc) touch(si, way int) {
+	old := c.lru[si][way]
+	for w := 0; w < c.assoc; w++ {
+		if c.lru[si][w] < old {
+			c.lru[si][w]++
+		}
+	}
+	c.lru[si][way] = 0
+}
+
+// Access looks key up, fills on miss (evicting the LRU way) and returns
+// whether it hit. The returned evicted key is meaningful only when evict is
+// true.
+func (c *SetAssoc) Access(key uint64) (hit bool) {
+	hit, _, _ = c.AccessEvict(key)
+	return hit
+}
+
+// AccessEvict is Access, also reporting any evicted valid line's key.
+func (c *SetAssoc) AccessEvict(key uint64) (hit bool, evicted uint64, evict bool) {
+	c.Accesses++
+	si := c.set(key)
+	for w := 0; w < c.assoc; w++ {
+		if c.valid[si][w] && c.tags[si][w] == key {
+			c.touch(si, w)
+			return true, 0, false
+		}
+	}
+	c.Misses++
+	// Fill: pick LRU way.
+	victim := 0
+	for w := 0; w < c.assoc; w++ {
+		if !c.valid[si][w] {
+			victim = w
+			evict = false
+			goto fill
+		}
+		if c.lru[si][w] == uint8(c.assoc-1) {
+			victim = w
+		}
+	}
+	if c.valid[si][victim] {
+		evicted, evict = c.tags[si][victim], true
+	}
+fill:
+	c.tags[si][victim] = key
+	c.valid[si][victim] = true
+	c.touch(si, victim)
+	return false, evicted, evict
+}
+
+// Touch looks key up without filling on a miss: it updates LRU and counts
+// the access. It is the lookup primitive for caches whose contents arrive
+// later (the trace cache fills at construction completion, not at lookup).
+func (c *SetAssoc) Touch(key uint64) bool {
+	c.Accesses++
+	si := c.set(key)
+	for w := 0; w < c.assoc; w++ {
+		if c.valid[si][w] && c.tags[si][w] == key {
+			c.touch(si, w)
+			return true
+		}
+	}
+	c.Misses++
+	return false
+}
+
+// Fill installs key (if absent), evicting the LRU way when the set is full.
+// It does not count as an access.
+func (c *SetAssoc) Fill(key uint64) (evicted uint64, evict bool) {
+	si := c.set(key)
+	for w := 0; w < c.assoc; w++ {
+		if c.valid[si][w] && c.tags[si][w] == key {
+			c.touch(si, w)
+			return 0, false
+		}
+	}
+	victim := 0
+	for w := 0; w < c.assoc; w++ {
+		if !c.valid[si][w] {
+			victim = w
+			goto fill
+		}
+		if c.lru[si][w] == uint8(c.assoc-1) {
+			victim = w
+		}
+	}
+	evicted, evict = c.tags[si][victim], true
+fill:
+	c.tags[si][victim] = key
+	c.valid[si][victim] = true
+	c.touch(si, victim)
+	return evicted, evict
+}
+
+// Probe reports whether key is resident without updating LRU or filling.
+func (c *SetAssoc) Probe(key uint64) bool {
+	si := c.set(key)
+	for w := 0; w < c.assoc; w++ {
+		if c.valid[si][w] && c.tags[si][w] == key {
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate removes key if resident; it reports whether it was present.
+func (c *SetAssoc) Invalidate(key uint64) bool {
+	si := c.set(key)
+	for w := 0; w < c.assoc; w++ {
+		if c.valid[si][w] && c.tags[si][w] == key {
+			c.valid[si][w] = false
+			return true
+		}
+	}
+	return false
+}
+
+// MissRate returns misses/accesses (0 when never accessed).
+func (c *SetAssoc) MissRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses)
+}
+
+// ICache models the instruction cache: 64 kB, 4-way, 16-instruction lines,
+// 12-cycle miss penalty (Table 1). Addresses are instruction indices.
+type ICache struct {
+	c           *SetAssoc
+	lineShift   uint
+	MissPenalty int
+}
+
+// ICacheConfig sizes an ICache.
+type ICacheConfig struct {
+	SizeInsts   int // total capacity in instructions
+	Assoc       int
+	LineInsts   int // instructions per line (power of two)
+	MissPenalty int
+}
+
+// DefaultICacheConfig matches Table 1 (64kB at 4 bytes/inst = 16K insts).
+func DefaultICacheConfig() ICacheConfig {
+	return ICacheConfig{SizeInsts: 16384, Assoc: 4, LineInsts: 16, MissPenalty: 12}
+}
+
+// NewICache builds the instruction cache.
+func NewICache(cfg ICacheConfig) *ICache {
+	if cfg.SizeInsts == 0 {
+		cfg = DefaultICacheConfig()
+	}
+	lines := cfg.SizeInsts / cfg.LineInsts
+	sets := lines / cfg.Assoc
+	shift := uint(0)
+	for 1<<shift < cfg.LineInsts {
+		shift++
+	}
+	return &ICache{c: NewSetAssoc(sets, cfg.Assoc), lineShift: shift, MissPenalty: cfg.MissPenalty}
+}
+
+// Fetch accesses the line containing pc and returns the access latency in
+// cycles beyond the base 1-cycle fetch (0 on hit, MissPenalty on miss).
+func (ic *ICache) Fetch(pc uint32) int {
+	if ic.c.Access(uint64(pc) >> ic.lineShift) {
+		return 0
+	}
+	return ic.MissPenalty
+}
+
+// SameLine reports whether two PCs fall in the same cache line (a basic-block
+// fetch spanning a line boundary costs an extra access).
+func (ic *ICache) SameLine(a, b uint32) bool {
+	return a>>ic.lineShift == b>>ic.lineShift
+}
+
+// Stats returns accesses and misses.
+func (ic *ICache) Stats() (accesses, misses uint64) { return ic.c.Accesses, ic.c.Misses }
+
+// DCache models the data cache: 64 kB, 4-way, 64-byte (8-word) lines,
+// 14-cycle miss penalty (Table 1). Addresses are data-word addresses.
+type DCache struct {
+	c           *SetAssoc
+	lineShift   uint
+	MissPenalty int
+	HitLatency  int
+}
+
+// DCacheConfig sizes a DCache.
+type DCacheConfig struct {
+	SizeWords   int
+	Assoc       int
+	LineWords   int
+	MissPenalty int
+	HitLatency  int
+}
+
+// DefaultDCacheConfig matches Table 1 (64kB at 8 bytes/word = 8K words,
+// 64-byte lines = 8 words, 2-cycle hit, 14-cycle miss penalty).
+func DefaultDCacheConfig() DCacheConfig {
+	return DCacheConfig{SizeWords: 8192, Assoc: 4, LineWords: 8, MissPenalty: 14, HitLatency: 2}
+}
+
+// NewDCache builds the data cache.
+func NewDCache(cfg DCacheConfig) *DCache {
+	if cfg.SizeWords == 0 {
+		cfg = DefaultDCacheConfig()
+	}
+	lines := cfg.SizeWords / cfg.LineWords
+	sets := lines / cfg.Assoc
+	shift := uint(0)
+	for 1<<shift < cfg.LineWords {
+		shift++
+	}
+	return &DCache{
+		c: NewSetAssoc(sets, cfg.Assoc), lineShift: shift,
+		MissPenalty: cfg.MissPenalty, HitLatency: cfg.HitLatency,
+	}
+}
+
+// Access touches the line containing addr and returns total access latency
+// (hit latency, plus miss penalty on a miss).
+func (dc *DCache) Access(addr uint32) int {
+	if dc.c.Access(uint64(addr) >> dc.lineShift) {
+		return dc.HitLatency
+	}
+	return dc.HitLatency + dc.MissPenalty
+}
+
+// Stats returns accesses and misses.
+func (dc *DCache) Stats() (accesses, misses uint64) { return dc.c.Accesses, dc.c.Misses }

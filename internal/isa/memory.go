@@ -1,0 +1,59 @@
+package isa
+
+// Memory is a sparse, word-addressed data memory. Pages are allocated on
+// first touch; reads of untouched words return zero, so speculative
+// wrong-path loads are always safe.
+type Memory struct {
+	pages map[uint32]*page
+}
+
+const (
+	pageShift = 12
+	pageWords = 1 << pageShift
+	pageMask  = pageWords - 1
+)
+
+type page [pageWords]int64
+
+// NewMemory builds an empty memory, optionally pre-loading the initial data
+// image from prog.
+func NewMemory(prog *Program) *Memory {
+	m := &Memory{pages: make(map[uint32]*page)}
+	if prog != nil {
+		for addr, v := range prog.Data {
+			m.Write(addr, v)
+		}
+	}
+	return m
+}
+
+// Read returns the word at addr (zero if never written).
+func (m *Memory) Read(addr uint32) int64 {
+	p, ok := m.pages[addr>>pageShift]
+	if !ok {
+		return 0
+	}
+	return p[addr&pageMask]
+}
+
+// Write stores v at addr.
+func (m *Memory) Write(addr uint32, v int64) {
+	idx := addr >> pageShift
+	p, ok := m.pages[idx]
+	if !ok {
+		p = new(page)
+		m.pages[idx] = p
+	}
+	p[addr&pageMask] = v
+}
+
+// Clone returns a deep copy, used to give the architectural oracle and the
+// timing model independent memories initialised from the same image.
+func (m *Memory) Clone() *Memory {
+	c := &Memory{pages: make(map[uint32]*page, len(m.pages))}
+	for idx, p := range m.pages {
+		np := *p
+		c.pages[idx] = &np
+	}
+	return c
+}

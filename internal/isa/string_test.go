@@ -1,0 +1,60 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestInstString(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: OpNop}, "nop"},
+		{Inst{Op: OpHalt}, "halt"},
+		{Inst{Op: OpRet}, "ret"},
+		{Inst{Op: OpJump, Target: 9}, "jump 9"},
+		{Inst{Op: OpCall, Target: 7}, "call 7"},
+		{Inst{Op: OpJr, Rs1: 3}, "jr r3"},
+		{Inst{Op: OpCallR, Rs1: 4}, "callr r4"},
+		{Inst{Op: OpBeq, Rs1: 1, Rs2: 2, Target: 5}, "beq r1, r2, 5"},
+		{Inst{Op: OpLoad, Rd: 1, Rs1: 2, Imm: 8}, "load r1, 8(r2)"},
+		{Inst{Op: OpStore, Rs1: 2, Rs2: 3, Imm: 4}, "store r3, 4(r2)"},
+		{Inst{Op: OpAddi, Rd: 1, Rs1: 2, Imm: -3}, "addi r1, r2, -3"},
+		{Inst{Op: OpLui, Rd: 5, Imm: 10}, "lui r5, 10"},
+		{Inst{Op: OpAdd, Rd: 1, Rs1: 2, Rs2: 3}, "add r1, r2, r3"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String(%#v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpMul.String() != "mul" {
+		t.Errorf("OpMul = %q", OpMul.String())
+	}
+	if !strings.HasPrefix(Op(200).String(), "op(") {
+		t.Errorf("unknown opcode should format as op(n), got %q", Op(200).String())
+	}
+}
+
+func TestLatency(t *testing.T) {
+	if Latency(OpAdd) != 1 || Latency(OpLoad) != 1 {
+		t.Error("simple ops are 1 cycle")
+	}
+	if Latency(OpMul) != 5 {
+		t.Errorf("mul latency = %d, want 5 (R10000)", Latency(OpMul))
+	}
+	if Latency(OpDiv) != 34 {
+		t.Errorf("div latency = %d, want 34 (R10000)", Latency(OpDiv))
+	}
+}
+
+func TestProgramLen(t *testing.T) {
+	p := &Program{Insts: make([]Inst, 7)}
+	if p.Len() != 7 {
+		t.Errorf("Len = %d, want 7", p.Len())
+	}
+}

@@ -1,0 +1,340 @@
+package proc
+
+import (
+	"tracep/internal/arb"
+	"tracep/internal/rename"
+	"tracep/internal/trace"
+)
+
+// deliverEvents processes all events scheduled for the current cycle:
+// completions update local values and wake consumers; global arrivals update
+// subscribed operands in other PEs.
+func (p *Processor) deliverEvents() {
+	evs := p.events[p.cycle]
+	if evs == nil {
+		return
+	}
+	delete(p.events, p.cycle)
+	for _, ev := range evs {
+		switch ev.kind {
+		case evComplete, evLoadComplete:
+			ev.st.pe.inFlight--
+			if ev.st.cancelled || ev.st.pe.gen != ev.gen {
+				continue
+			}
+			p.complete(ev)
+		case evGlobalArrive:
+			p.deliverGlobal(ev.tag)
+		}
+	}
+}
+
+// complete finishes one execution of an instruction: it publishes the
+// result locally (intra-PE bypass), queues a global broadcast for live-outs,
+// resolves branches, and triggers any pending reissue.
+func (p *Processor) complete(ev event) {
+	st := ev.st
+	st.status = stDone
+
+	if st.destArch != 0 {
+		changed := !st.localReady || st.localVal != ev.val
+		st.localVal = ev.val
+		st.localReady = true
+		if changed {
+			p.wakeLocalConsumers(st)
+		}
+		if st.liveOut && changed {
+			p.requestBroadcast(st, ev.val)
+		} else if st.destTag != 0 && !st.liveOut {
+			// Non-live-out values still park in the register file so a later
+			// repair that promotes this instruction to last-writer finds the
+			// value; no bus traffic is modelled for them.
+			p.regs.Write(st.destTag, ev.val)
+		}
+	}
+
+	if st.isBr {
+		taken := ev.val != 0
+		st.resolved = true
+		st.resolvedTaken = taken
+		if taken != st.assumedTaken {
+			p.enqueueMisp(st)
+		}
+	}
+
+	if st.isIndirect {
+		target := uint32(ev.val)
+		if !st.targetKnown || st.actualTarget != target {
+			st.checkedTarget = false
+		}
+		st.actualTarget = target
+		st.targetKnown = true
+		p.checkIndirectTarget(st)
+	}
+
+	if st.pendingReissue {
+		st.pendingReissue = false
+		st.status = stWaiting
+	}
+}
+
+// wakeLocalConsumers propagates st's new local value to intra-trace
+// consumers (same-PE bypass, no bus).
+func (p *Processor) wakeLocalConsumers(st *instState) {
+	pe := st.pe
+	for _, ci := range pe.tr.LocalConsumers[st.slot] {
+		if int(ci) >= len(pe.insts) {
+			continue
+		}
+		c := pe.insts[ci]
+		if c.cancelled {
+			continue
+		}
+		for k := 0; k < 2; k++ {
+			op := &c.src[k]
+			if op.kind != trace.SrcLocal || op.local != int16(st.slot) {
+				continue
+			}
+			if op.ready && op.val == st.localVal {
+				continue
+			}
+			op.val = st.localVal
+			op.ready = true
+			p.reissue(c)
+		}
+	}
+}
+
+// reissue forces c to (re-)execute if it already ran with stale operands;
+// instructions that have not issued yet simply become ready.
+func (p *Processor) reissue(c *instState) {
+	switch c.status {
+	case stWaiting:
+		// Not yet issued: nothing to do, it will pick up the new value.
+	case stExecuting:
+		c.pendingReissue = true
+	case stDone:
+		c.status = stWaiting
+	}
+}
+
+// unreadyOperand marks operand k of c as not ready; if c already executed it
+// must re-execute once the value arrives.
+func (p *Processor) unreadyOperand(c *instState, k int) {
+	c.src[k].ready = false
+	switch c.status {
+	case stExecuting:
+		c.pendingReissue = true
+	case stDone:
+		c.status = stWaiting
+	}
+}
+
+// ---- global result buses ----
+
+// requestBroadcast queues a live-out completion for a global result bus. A
+// pending request for the same instruction is coalesced to the newest value.
+func (p *Processor) requestBroadcast(st *instState, val int64) {
+	st.bcastVal = val
+	if st.bcastPending {
+		return
+	}
+	st.bcastPending = true
+	p.bcastQueue = append(p.bcastQueue, st)
+}
+
+// grantResultBuses arbitrates the global result buses: up to GlobalBuses
+// grants per cycle, at most MaxBusPerPE from any single PE, oldest request
+// first. A granted value is written to the register file now and arrives at
+// consuming PEs after BusLatency.
+func (p *Processor) grantResultBuses() {
+	if len(p.bcastQueue) == 0 {
+		return
+	}
+	granted := 0
+	perPE := make(map[int]int)
+	rest := p.bcastQueue[:0]
+	for i, st := range p.bcastQueue {
+		if granted >= p.cfg.GlobalBuses {
+			rest = append(rest, p.bcastQueue[i:]...)
+			break
+		}
+		if st.cancelled {
+			st.bcastPending = false
+			continue
+		}
+		if perPE[st.pe.id] >= p.cfg.MaxBusPerPE {
+			rest = append(rest, st)
+			continue
+		}
+		granted++
+		perPE[st.pe.id]++
+		st.bcastPending = false
+		p.Stats.Broadcasts++
+		if p.regs.Write(st.destTag, st.bcastVal) {
+			p.schedule(p.cycle+int64(p.cfg.BusLatency), event{kind: evGlobalArrive, tag: st.destTag})
+		}
+	}
+	p.bcastQueue = rest
+}
+
+// deliverGlobal wakes every valid subscriber of tag with its current value.
+// Stale subscriptions (squashed instructions, rebound operands) are pruned
+// lazily here.
+func (p *Processor) deliverGlobal(tag rename.Tag) {
+	subs := p.subs[tag]
+	if len(subs) == 0 {
+		return
+	}
+	e := p.regs.Get(tag)
+	if e == nil {
+		delete(p.subs, tag)
+		return
+	}
+	kept := subs[:0]
+	for _, s := range subs {
+		st := s.st
+		if st.cancelled || st.pe.gen != s.gen || st.src[s.src].tag != tag {
+			continue // stale subscription
+		}
+		kept = append(kept, s)
+		op := &st.src[s.src]
+		if !e.Ready {
+			continue
+		}
+		if p.vp != nil && op.kind == trace.SrcLiveIn {
+			p.vp.Train(vpKey(st, op.arch), e.Val)
+		}
+		if op.predicted {
+			op.predicted = false
+			if op.val != e.Val {
+				p.Stats.ValueMispredictions++
+			}
+		}
+		if op.ready && op.val == e.Val {
+			continue
+		}
+		op.val = e.Val
+		op.ready = true
+		p.reissue(st)
+	}
+	if len(kept) == 0 {
+		delete(p.subs, tag)
+	} else {
+		p.subs[tag] = kept
+	}
+}
+
+// ---- load/store snooping ----
+
+// recordLoad indexes a performed load by address for snooping; a reissued
+// load migrating to a new address is moved between buckets.
+func (p *Processor) recordLoad(st *instState, addr uint32) {
+	if st.inLoadRecs && st.lastAddr != addr {
+		p.removeLoadRec(st)
+	}
+	st.lastAddr = addr
+	if !st.inLoadRecs {
+		st.inLoadRecs = true
+		p.loadRecs[addr] = append(p.loadRecs[addr], st)
+	}
+}
+
+func (p *Processor) removeLoadRec(st *instState) {
+	recs := p.loadRecs[st.lastAddr]
+	for i, r := range recs {
+		if r == st {
+			recs[i] = recs[len(recs)-1]
+			recs = recs[:len(recs)-1]
+			break
+		}
+	}
+	if len(recs) == 0 {
+		delete(p.loadRecs, st.lastAddr)
+	} else {
+		p.loadRecs[st.lastAddr] = recs
+	}
+	st.inLoadRecs = false
+}
+
+// snoopStore applies the §2.2.2 reissue rule to loads at addr when a store
+// performs.
+func (p *Processor) snoopStore(addr uint32, storeSeq arb.Seq) {
+	for _, ld := range p.snapshotLoads(addr) {
+		if arb.NeedsReissue(ld.seq(), ld.dataSeq, storeSeq, p.seqLess) {
+			p.Stats.LoadSnoopReissues++
+			p.reissue(ld)
+		}
+	}
+}
+
+// snoopUndo reissues loads whose data came from the undone store.
+func (p *Processor) snoopUndo(addr uint32, undoSeq arb.Seq) {
+	for _, ld := range p.snapshotLoads(addr) {
+		if arb.UndoHitsLoad(ld.dataSeq, undoSeq) {
+			p.Stats.LoadSnoopReissues++
+			p.reissue(ld)
+		}
+	}
+}
+
+// snapshotLoads returns the valid load records at addr, pruning dead ones.
+func (p *Processor) snapshotLoads(addr uint32) []*instState {
+	recs := p.loadRecs[addr]
+	if len(recs) == 0 {
+		return nil
+	}
+	kept := recs[:0]
+	for _, st := range recs {
+		if st.cancelled || !st.pe.active || !st.inLoadRecs {
+			st.inLoadRecs = false
+			continue
+		}
+		kept = append(kept, st)
+	}
+	if len(kept) == 0 {
+		delete(p.loadRecs, addr)
+		return nil
+	}
+	p.loadRecs[addr] = kept
+	out := make([]*instState, len(kept))
+	copy(out, kept)
+	return out
+}
+
+// ---- garbage collection ----
+
+// collectGarbage sweeps unreferenced tags and compacts lazy index
+// structures. Roots: the dispatch-frontier map and every live PE's
+// checkpoints, operand bindings and destination tags.
+func (p *Processor) collectGarbage() {
+	live := make(map[rename.Tag]bool, p.regs.Size())
+	mark := func(t rename.Tag) {
+		if t != 0 {
+			live[t] = true
+		}
+	}
+	for _, t := range p.specMap {
+		mark(t)
+	}
+	for id := p.head; id >= 0; id = p.pes[id].next {
+		pe := p.pes[id]
+		for _, t := range pe.mapBefore {
+			mark(t)
+		}
+		for _, t := range pe.mapAfter {
+			mark(t)
+		}
+		for _, st := range pe.insts {
+			mark(st.destTag)
+			mark(st.src[0].tag)
+			mark(st.src[1].tag)
+		}
+	}
+	p.regs.Sweep(func(t rename.Tag) bool { return live[t] })
+	for t := range p.subs {
+		if !live[t] {
+			delete(p.subs, t)
+		}
+	}
+}

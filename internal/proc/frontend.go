@@ -1,0 +1,352 @@
+package proc
+
+import (
+	"tracep/internal/trace"
+)
+
+// fetchEntry is an outstanding trace buffer: a fetched (predicted or
+// constructed) trace awaiting dispatch.
+type fetchEntry struct {
+	desc      trace.Descriptor
+	tr        *trace.Trace
+	histPos   int
+	readyAt   int64 // cycle from which the entry may dispatch
+	predicted bool  // true when supplied by the next-trace predictor
+	// constructing entries wait on the single instruction-cache port.
+	constructing    bool
+	constructCycles int
+}
+
+// frontend models the trace processor frontend of Figure 6: trace-level
+// sequencing (next-trace predictor + trace cache) with instruction-level
+// sequencing (outstanding trace buffers) on trace cache misses.
+type frontend struct {
+	queue []*fetchEntry
+	// expectedPC is the start PC of the next trace to fetch; invalid while
+	// waitIndirect.
+	expectedPC   uint32
+	waitIndirect bool
+	stopped      bool // a halt-terminated trace has been fetched
+	// jobs holds construction work in order; one job progresses at a time
+	// (Table 1: one port to the instruction cache).
+	jobs      []*fetchEntry
+	jobDoneAt int64
+}
+
+// outcomesOf expands a descriptor's embedded outcome bits.
+func outcomesOf(d trace.Descriptor) []bool {
+	out := make([]bool, d.NumBr)
+	for i := range out {
+		out[i] = d.Outcomes&(1<<uint(i)) != 0
+	}
+	return out
+}
+
+// frontendStep advances recovery, construction, fetch and dispatch by one
+// cycle, in that order (recovery owns the dispatch bus while active).
+func (p *Processor) frontendStep() {
+	p.recoveryStep()
+	p.constructionStep()
+	p.fetchStep()
+	p.dispatchStep()
+}
+
+// constructionStep progresses the single active construction job.
+func (p *Processor) constructionStep() {
+	if len(p.fe.jobs) == 0 {
+		return
+	}
+	job := p.fe.jobs[0]
+	if !job.constructing {
+		// Entry was cancelled (queue dropped): discard.
+		p.fe.jobs = p.fe.jobs[1:]
+		p.fe.jobDoneAt = 0
+		return
+	}
+	if p.fe.jobDoneAt == 0 {
+		p.fe.jobDoneAt = p.cycle + int64(job.constructCycles)
+	}
+	if p.cycle >= p.fe.jobDoneAt {
+		job.constructing = false
+		job.readyAt = p.cycle + 1
+		p.tcache.Insert(job.tr)
+		p.fe.jobs = p.fe.jobs[1:]
+		p.fe.jobDoneAt = 0
+	}
+}
+
+// fetchBlocked reports whether trace-level fetch must stall for recovery:
+// base and CGCI recoveries redirect the fetch stream at repair-install time,
+// so fetching is pointless until then. FGCI repairs preserve all trace
+// boundaries, so fetch continues unimpeded.
+func (p *Processor) fetchBlocked() bool {
+	return p.rec.active && p.rec.phase == recRepairing && p.rec.mode != recFGCI
+}
+
+// fetchStep predicts and fetches the next trace into an outstanding trace
+// buffer (frontend latency: the fetched entry is dispatchable next cycle,
+// giving the 2-cycle fetch+dispatch pipe of Table 1).
+func (p *Processor) fetchStep() {
+	fe := &p.fe
+	if fe.stopped || p.fetchBlocked() || len(fe.queue) >= p.cfg.NumPEs {
+		return
+	}
+
+	pred, havePred := p.tp.Predict()
+	start := fe.expectedPC
+	if fe.waitIndirect {
+		if !havePred {
+			return // wait for the indirect target to resolve
+		}
+		start = pred.StartPC
+	} else if havePred && pred.StartPC != start {
+		// The predictor disagrees with the known next PC: its entry is
+		// stale/aliased; fall back to branch-predictor construction.
+		havePred = false
+	}
+
+	entry := &fetchEntry{predicted: havePred}
+	if havePred {
+		entry.desc = pred
+		entry.histPos = p.tp.SpecUpdate(pred)
+		if tr, hit := p.tcache.Lookup(pred); hit {
+			entry.tr = tr
+			entry.readyAt = p.cycle + 1
+		} else {
+			tr, cycles := p.ctor.Build(pred.StartPC, outcomesOf(pred))
+			entry.tr = tr
+			entry.constructing = true
+			entry.constructCycles = cycles
+			if tr.Desc != pred {
+				// The predicted descriptor does not correspond to a real
+				// trace (aliasing); the constructed trace supersedes it.
+				entry.desc = tr.Desc
+				p.tp.ReplaceAt(entry.histPos, tr.Desc)
+			}
+			p.fe.jobs = append(p.fe.jobs, entry)
+		}
+	} else {
+		// Instruction-level sequencing from the branch predictor.
+		tr, cycles := p.ctor.Build(start, nil)
+		entry.desc = tr.Desc
+		entry.histPos = p.tp.SpecUpdate(tr.Desc)
+		if cached, hit := p.tcache.Lookup(tr.Desc); hit {
+			entry.tr = cached
+			entry.readyAt = p.cycle + 1
+		} else {
+			entry.tr = tr
+			entry.constructing = true
+			entry.constructCycles = cycles
+			p.fe.jobs = append(p.fe.jobs, entry)
+		}
+	}
+
+	fe.queue = append(fe.queue, entry)
+	p.debugf("fetch: desc=%v nextPC=%d pred=%v constructing=%v qlen=%d", entry.desc, entry.tr.NextPC, entry.predicted, entry.constructing, len(fe.queue))
+	fe.expectedPC = entry.tr.NextPC
+	fe.waitIndirect = entry.tr.EndsIndirect
+	fe.stopped = entry.tr.EndsHalt
+}
+
+// dispatchBlocked reports whether the dispatch bus is unavailable (occupied
+// by trace repair or by the trace re-dispatch sequence).
+func (p *Processor) dispatchBlocked() bool {
+	return p.rec.active && p.rec.phase != recInserting
+}
+
+// dispatchStep dispatches at most one ready trace: normally at the window
+// tail, or at the CGCI insertion frontier while recovery is filling in
+// correct control-dependent traces.
+func (p *Processor) dispatchStep() {
+	if p.dispatchBlocked() || len(p.fe.queue) == 0 {
+		return
+	}
+	entry := p.fe.queue[0]
+	if entry.tr == nil || entry.constructing || entry.readyAt > p.cycle {
+		return
+	}
+
+	insertAfter := p.tail
+	if p.rec.active && p.rec.phase == recInserting {
+		if !p.insertingDispatchTarget(&insertAfter, entry) {
+			return
+		}
+	} else if len(p.free) == 0 {
+		return // window full; wait for retirement
+	}
+	if len(p.free) == 0 {
+		return
+	}
+
+	p.fe.queue = p.fe.queue[1:]
+	pe := p.dispatchTrace(entry.tr, insertAfter, entry.histPos, entry.predicted)
+	if p.rec.active && p.rec.phase == recInserting {
+		p.rec.insertAfter = pe.id
+		p.rec.inserted++
+	}
+
+	// Validate a preceding indirect-ended trace's resolved target against
+	// this successor. The check is unconditional: an earlier fetch-side
+	// validation may have been invalidated by a squash of the previously
+	// fetched successor.
+	if pe.prev >= 0 {
+		prev := p.pes[pe.prev]
+		if prev.tr != nil && prev.tr.EndsIndirect && len(prev.insts) > 0 {
+			last := prev.insts[len(prev.insts)-1]
+			if last.targetKnown {
+				if last.actualTarget == pe.tr.Desc.StartPC {
+					last.checkedTarget = true
+				} else {
+					last.checkedTarget = false
+					p.enqueueMisp(last)
+				}
+			}
+		}
+	}
+}
+
+// insertingDispatchTarget resolves the dispatch position during CGCI
+// insertion and detects trace-level re-convergence. It returns false when
+// dispatch must not proceed this cycle.
+func (p *Processor) insertingDispatchTarget(insertAfter *int, entry *fetchEntry) bool {
+	rec := &p.rec
+	ci := rec.ciPE
+	if !ci.active || ci.gen != rec.ciGen {
+		// The assumed CI trace was reclaimed: recovery degenerates to a
+		// full-squash continuation; dispatch proceeds normally at the tail.
+		p.Stats.CGCIDegenerate++
+		p.endRecovery()
+		*insertAfter = p.tail
+		return true
+	}
+	if entry.desc.StartPC == ci.tr.Desc.StartPC {
+		p.debugf("reconvergence: ci=%d(%v) inserted=%d", ci.id, ci.tr.Desc, rec.inserted)
+		// Re-convergence: the next trace prediction matches the first
+		// control-independent trace (§2.1). The resident CI traces are
+		// preserved; refetch continues after the current window tail.
+		p.Stats.Reconvergences++
+		p.dropFetchQueue(entry.histPos)
+		for q := ci; ; {
+			q.histPos = p.tp.SpecUpdate(q.tr.Desc)
+			if q.next < 0 {
+				p.resumeFetchAfter(q)
+				break
+			}
+			q = p.pes[q.next]
+		}
+		p.startRedispatch(ci)
+		return false
+	}
+	if len(p.free) == 0 {
+		// Reclaim the most speculative PE to make room (§2.1: "PEs must be
+		// reclaimed from the tail").
+		tail := p.pes[p.tail]
+		p.Stats.TailReclaims++
+		p.squashTrace(tail)
+		if tail == ci {
+			// The CI point itself was reclaimed: no control-independent
+			// traces remain, so recovery degenerates to a full squash whose
+			// refetch stream is the insertion stream already in flight.
+			p.Stats.CGCIDegenerate++
+			p.endRecovery()
+			*insertAfter = p.tail
+			return true
+		}
+	}
+	*insertAfter = rec.insertAfter
+	return true
+}
+
+// resumeFetchAfter points the fetch stream at the successor of trace q.
+func (p *Processor) resumeFetchAfter(q *peState) {
+	p.fe.stopped = q.tr.EndsHalt
+	p.fe.waitIndirect = q.tr.EndsIndirect
+	p.fe.expectedPC = q.tr.NextPC
+	if q.tr.EndsIndirect && len(q.insts) > 0 {
+		last := q.insts[len(q.insts)-1]
+		if last.targetKnown {
+			p.fe.expectedPC = last.actualTarget
+			p.fe.waitIndirect = false
+			last.checkedTarget = true
+		}
+	}
+}
+
+// dropFetchQueue discards all outstanding fetch entries and rewinds the
+// speculative predictor history to pos.
+func (p *Processor) dropFetchQueue(pos int) {
+	for _, e := range p.fe.queue {
+		e.constructing = false
+	}
+	p.fe.queue = p.fe.queue[:0]
+	p.fe.jobs = p.fe.jobs[:0]
+	p.fe.jobDoneAt = 0
+	p.tp.Rewind(pos)
+}
+
+// fetchFrontierPE returns the id of the PE whose trace the fetch stream
+// continues: the CGCI insertion point while correct control-dependent traces
+// are being filled in, otherwise the window tail.
+func (p *Processor) fetchFrontierPE() int {
+	if p.rec.active && p.rec.phase == recInserting {
+		return p.rec.insertAfter
+	}
+	return p.tail
+}
+
+// checkIndirectTarget validates the resolved target of a trace-ending
+// indirect branch against the fetched/dispatched successor, triggering
+// misprediction recovery or steering the fetch stream.
+func (p *Processor) checkIndirectTarget(st *instState) {
+	if st.cancelled || !st.targetKnown || st.checkedTarget {
+		return
+	}
+	pe := st.pe
+	if !pe.active || st.slot != len(pe.insts)-1 {
+		return
+	}
+	// The indirect currently under recovery may re-execute with a different
+	// target (its link value was itself speculative): retarget the in-flight
+	// recovery instead of comparing against the window, whose shape the
+	// recovery owns.
+	rec := &p.rec
+	if rec.active && rec.isIndirect && rec.pe == pe && rec.gen == pe.gen && rec.slot == st.slot {
+		p.retargetIndirectRecovery(st)
+		return
+	}
+	if pe.id != p.fetchFrontierPE() {
+		if pe.next >= 0 {
+			succ := p.pes[pe.next]
+			if succ.tr.Desc.StartPC == st.actualTarget {
+				st.checkedTarget = true
+			} else {
+				p.enqueueMisp(st)
+			}
+		}
+		// A tail that is not the fetch frontier (the control independent
+		// tail during CGCI insertion) is validated when recovery resolves
+		// the window shape.
+		return
+	}
+	// This PE is the fetch frontier: its successor comes from the fetch
+	// stream, which is repairable in place. During trace repair the install
+	// step redirects fetch itself.
+	if p.rec.active && p.rec.phase == recRepairing {
+		return
+	}
+	if len(p.fe.queue) > 0 {
+		if p.fe.queue[0].desc.StartPC == st.actualTarget {
+			st.checkedTarget = true
+			return
+		}
+		p.dropFetchQueue(p.fe.queue[0].histPos)
+		p.Stats.FetchRedirects++
+	} else if !p.fe.waitIndirect && !p.fe.stopped && p.fe.expectedPC == st.actualTarget {
+		st.checkedTarget = true
+		return
+	}
+	p.fe.expectedPC = st.actualTarget
+	p.fe.waitIndirect = false
+	p.fe.stopped = false
+	st.checkedTarget = true
+}

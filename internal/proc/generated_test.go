@@ -1,0 +1,103 @@
+package proc
+
+import (
+	"testing"
+
+	"tracep/internal/bench"
+	"tracep/internal/emu"
+)
+
+// TestGeneratedWorkloadsAllModels runs the parameterised workload generator
+// across its knob space under every model, oracle-verified — covering
+// control-flow shapes the hand-written suites don't hit.
+func TestGeneratedWorkloadsAllModels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	configs := []bench.GenConfig{}
+	// Corners of the knob space.
+	for _, hb := range []int64{1, 31} {
+		for _, ilv := range []int64{0, 7} {
+			cfg := bench.DefaultGenConfig(int64(hb*100 + ilv))
+			cfg.OuterIters = 120
+			cfg.HammockBias = hb
+			cfg.InnerLoopVariance = ilv
+			configs = append(configs, cfg)
+		}
+	}
+	// A big-region config (FGCI >32 class) and a call-heavy config.
+	big := bench.DefaultGenConfig(4242)
+	big.OuterIters, big.HammockArm, big.Hammocks = 100, 40, 1
+	configs = append(configs, big)
+	calls := bench.DefaultGenConfig(777)
+	calls.OuterIters, calls.GuardedCalls, calls.CallBias = 120, 3, 3
+	configs = append(configs, calls)
+
+	for _, gc := range configs {
+		prog := bench.Generate(gc)
+		ref := emu.New(prog)
+		ref.Run(5_000_000)
+		if !ref.Halted {
+			t.Fatalf("seed %d: reference did not halt", gc.Seed)
+		}
+		for _, m := range allModels {
+			p := New(prog, m, testConfig())
+			if _, err := p.Run(0); err != nil {
+				t.Fatalf("seed %d model %s: %v", gc.Seed, m.Name, err)
+			}
+			for addr := uint32(900); addr < 903; addr++ {
+				if p.mem.Read(addr) != ref.Mem.Read(addr) {
+					t.Fatalf("seed %d model %s: mem[%d]=%d want %d",
+						gc.Seed, m.Name, addr, p.mem.Read(addr), ref.Mem.Read(addr))
+				}
+			}
+		}
+	}
+}
+
+// TestGeneratorCIGradient: as hammock conditions get more biased
+// (predictable), the benefit of control independence should shrink — the
+// compress→vortex axis of Figure 10.
+func TestGeneratorCIGradient(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	// Compare FG against base(fg) — same trace selection, recovery off —
+	// to isolate the fine-grain recovery benefit from selection effects.
+	// One hammock per iteration with plenty of control independent work
+	// after it; misprediction-*dense* configurations (several hard hammocks
+	// back to back) can invert the result, as the paper observes for go
+	// ("neighboring mispredictions not covered by FGCI nullify this
+	// potential").
+	improvement := func(bias int64) float64 {
+		cfg := bench.DefaultGenConfig(12345)
+		cfg.OuterIters = 1500
+		cfg.HammockBias = bias
+		cfg.Hammocks = 1
+		cfg.InnerLoopVariance = 0
+		cfg.InnerLoopBase = 4
+		cfg.InnerLoops = 2
+		cfg.MemOps = 2
+		prog := bench.Generate(cfg)
+		base := New(prog, ModelBaseFG, testConfig())
+		bs, err := base.Run(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ci := New(prog, ModelFG, testConfig())
+		cs, err := ci.Run(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return (cs.IPC() - bs.IPC()) / bs.IPC()
+	}
+	hard := improvement(3)  // 25% taken: frequent mispredictions
+	easy := improvement(63) // rare taken: few mispredictions
+	if hard <= easy-0.005 {
+		t.Errorf("FGCI recovery gain should shrink with predictability: hard=%.1f%% easy=%.1f%%",
+			100*hard, 100*easy)
+	}
+	if hard < 0.03 {
+		t.Errorf("FGCI recovery gain on hard hammocks = %.1f%%, want >= 3%%", 100*hard)
+	}
+}

@@ -1,0 +1,498 @@
+package proc
+
+import (
+	"fmt"
+
+	"tracep/internal/arb"
+	"tracep/internal/isa"
+	"tracep/internal/rename"
+	"tracep/internal/trace"
+)
+
+// instStatus tracks an instruction's execution state within its PE.
+type instStatus uint8
+
+const (
+	stWaiting   instStatus = iota // not issued (or reset for reissue)
+	stExecuting                   // issued, completion event in flight
+	stDone                        // completed; may still reissue later
+)
+
+// operand is a bound source operand: a copy of the value plus enough
+// identity to rebind and re-read when dependences are repaired.
+type operand struct {
+	kind  trace.SrcKind
+	local int16      // producer slot (SrcLocal)
+	arch  isa.Reg    // architectural register (SrcLiveIn)
+	tag   rename.Tag // bound tag (SrcLiveIn)
+	val   int64
+	ready bool
+	// predicted marks a speculatively supplied live-in value awaiting its
+	// real arrival.
+	predicted bool
+}
+
+// instState is a dynamic instruction resident in a PE.
+type instState struct {
+	pe   *peState
+	slot int
+	inst isa.Inst
+	pc   uint32
+
+	src      [2]operand
+	destArch isa.Reg
+	destTag  rename.Tag
+	// liveOut marks the instruction as the last writer of destArch in the
+	// current trace version: its completions broadcast on the result buses.
+	liveOut bool
+
+	status         instStatus
+	pendingReissue bool
+	execCount      uint64
+	cancelled      bool
+
+	localVal   int64
+	localReady bool
+
+	// Branch bookkeeping.
+	isBr bool
+	// fetchPredTaken is the prediction made when this instance was fetched
+	// (for misprediction accounting at retirement).
+	fetchPredTaken bool
+	// assumedTaken is the outcome the current window contents were built
+	// with; updated when recovery repairs the branch.
+	assumedTaken  bool
+	resolved      bool
+	resolvedTaken bool
+	inMispQueue   bool
+
+	// Indirect (trace-ending jr/callr/ret) bookkeeping.
+	isIndirect   bool
+	actualTarget uint32
+	targetKnown  bool
+	// assumedTargetValid marks that the successor's start PC has been
+	// checked against (or set from) actualTarget.
+	checkedTarget bool
+
+	// Memory bookkeeping.
+	isLoad, isStore bool
+	performed       bool // store version installed in ARB / load queried
+	lastAddr        uint32
+	lastStoreVal    int64
+	dataSeq         arb.Seq // producer of the load's current data
+	inLoadRecs      bool
+
+	bcastPending bool
+	bcastVal     int64
+}
+
+func (st *instState) seq() arb.Seq {
+	return arb.Seq{PE: int16(st.pe.id), Slot: int16(st.slot)}
+}
+
+// final reports whether the instruction's execution is complete with no
+// pending re-execution or broadcast.
+func (st *instState) final() bool {
+	return st.status == stDone && !st.pendingReissue && !st.bcastPending
+}
+
+// peState is one processing element: a trace-sized window with dedicated
+// issue bandwidth, linked into the logical PE list.
+type peState struct {
+	id     int
+	active bool
+	gen    uint64
+
+	tr    *trace.Trace
+	insts []*instState
+
+	// Linked-list control structure (§2.1): logical order plus prev/next
+	// physical PE numbers.
+	logical int
+	next    int
+	prev    int
+
+	// mapBefore/mapAfter checkpoint the global rename maps around this
+	// trace.
+	mapBefore rename.Map
+	mapAfter  rename.Map
+
+	// histPos is the next-trace predictor history checkpoint for this trace.
+	histPos int
+	// predictedHit marks that this trace came from a trace prediction (vs a
+	// branch-predictor-driven construction).
+	predictedHit bool
+
+	// inFlight counts scheduled completion events targeting this PE.
+	inFlight int
+
+	dispatchedAt int64
+}
+
+// subRef is a subscription of an operand to a global tag.
+type subRef struct {
+	st  *instState
+	gen uint64
+	src int
+}
+
+type evKind uint8
+
+const (
+	evComplete evKind = iota
+	evLoadComplete
+	evGlobalArrive
+)
+
+type event struct {
+	kind evKind
+	st   *instState
+	gen  uint64
+	val  int64
+	data arb.Seq
+	tag  rename.Tag
+}
+
+func (p *Processor) schedule(at int64, ev event) {
+	if at <= p.cycle {
+		at = p.cycle + 1
+	}
+	if ev.st != nil && (ev.kind == evComplete || ev.kind == evLoadComplete) {
+		ev.st.pe.inFlight++
+	}
+	p.events[at] = append(p.events[at], ev)
+}
+
+// ---- linked-list PE management ----
+
+// allocPE takes a free PE and links it after prevID (or at the head when
+// prevID is -1 and the list is empty, or strictly as the new tail when
+// prevID is the tail).
+func (p *Processor) allocPE(prevID int) *peState {
+	id := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	pe := p.pes[id]
+	if pe.active {
+		p.fail(fmt.Errorf("allocPE: PE %d is already active (free-list corruption)", id))
+	}
+	pe.active = true
+	pe.gen++
+	pe.insts = pe.insts[:0]
+	pe.tr = nil
+	pe.inFlight = 0
+
+	if prevID < 0 {
+		// Insert at head.
+		pe.prev = -1
+		pe.next = p.head
+		if p.head >= 0 {
+			p.pes[p.head].prev = id
+		}
+		p.head = id
+		if p.tail < 0 {
+			p.tail = id
+		}
+	} else {
+		prev := p.pes[prevID]
+		pe.prev = prevID
+		pe.next = prev.next
+		if prev.next >= 0 {
+			p.pes[prev.next].prev = id
+		}
+		prev.next = id
+		if p.tail == prevID {
+			p.tail = id
+		}
+	}
+	p.renumber()
+	return pe
+}
+
+// unlinkPE removes a PE from the list and returns it to the free pool.
+func (p *Processor) unlinkPE(pe *peState) {
+	if !pe.active {
+		p.fail(fmt.Errorf("unlinkPE: PE %d is not active (double unlink)", pe.id))
+		return
+	}
+	if pe.prev >= 0 {
+		p.pes[pe.prev].next = pe.next
+	} else {
+		p.head = pe.next
+	}
+	if pe.next >= 0 {
+		p.pes[pe.next].prev = pe.prev
+	} else {
+		p.tail = pe.prev
+	}
+	pe.next, pe.prev = -1, -1
+	pe.active = false
+	pe.gen++
+	p.free = append(p.free, pe.id)
+	p.renumber()
+}
+
+// renumber recomputes logical positions from the list (the physical→logical
+// translation of §2.2.2).
+func (p *Processor) renumber() {
+	n := 0
+	for id := p.head; id >= 0; id = p.pes[id].next {
+		p.pes[id].logical = n
+		n++
+	}
+}
+
+// seqLess orders sequence numbers in program order via the linked-list
+// logical positions.
+func (p *Processor) seqLess(a, b arb.Seq) bool {
+	if a.PE < 0 || b.PE < 0 {
+		return a.PE < b.PE // MemSeq before everything
+	}
+	la, lb := p.pes[a.PE].logical, p.pes[b.PE].logical
+	if la != lb {
+		return la < lb
+	}
+	return a.Slot < b.Slot
+}
+
+// olderThan orders two window locations (PE, slot) in program order.
+func (p *Processor) olderThan(aPE *peState, aSlot int, bPE *peState, bSlot int) bool {
+	if aPE.logical != bPE.logical {
+		return aPE.logical < bPE.logical
+	}
+	return aSlot < bSlot
+}
+
+// ---- dispatch ----
+
+// dispatchTrace allocates a PE after prevID, renames the trace through the
+// global maps and installs its instructions. specMap must be the map at this
+// trace's position (the caller guarantees it — normal dispatch appends at
+// the tail, CGCI refill dispatches at the insertion frontier).
+func (p *Processor) dispatchTrace(tr *trace.Trace, prevID int, histPos int, predicted bool) *peState {
+	pe := p.allocPE(prevID)
+	pe.tr = tr
+	pe.histPos = histPos
+	pe.predictedHit = predicted
+	pe.mapBefore = p.specMap
+	pe.dispatchedAt = p.cycle
+
+	pe.insts = make([]*instState, len(tr.Insts))
+	for i := range tr.Insts {
+		st := p.newInstState(pe, i, tr)
+		pe.insts[i] = st
+	}
+	// Live-outs: allocate destination tags for every writing instruction;
+	// only last-writers are marked liveOut (broadcast on completion) and
+	// installed in the map.
+	for i, st := range pe.insts {
+		if st.destArch != 0 {
+			st.destTag = p.regs.Alloc()
+			if tr.LastWriter[st.destArch] == int16(i) {
+				st.liveOut = true
+			}
+		}
+	}
+	for _, r := range tr.LiveOuts {
+		p.specMap[r] = pe.insts[tr.LastWriter[r]].destTag
+	}
+	pe.mapAfter = p.specMap
+	p.Stats.DispatchedTraces++
+	p.debugf("dispatch: pe=%d after=%d desc=%v nextPC=%d", pe.id, prevID, tr.Desc, tr.NextPC)
+	if p.debugLog != nil && prevID >= 0 {
+		prev := p.pes[prevID]
+		if prev.tr != nil && !prev.tr.EndsIndirect && !prev.tr.EndsHalt && prev.tr.NextPC != tr.Desc.StartPC {
+			p.debugf("ORDER VIOLATION: prev pe=%d nextPC=%d but dispatched start=%d", prevID, prev.tr.NextPC, tr.Desc.StartPC)
+		}
+	}
+	return pe
+}
+
+// newInstState builds the dynamic instruction for slot i of tr, binding its
+// live-in operands through the map before the trace.
+func (p *Processor) newInstState(pe *peState, i int, tr *trace.Trace) *instState {
+	in := tr.Insts[i]
+	st := &instState{
+		pe:   pe,
+		slot: i,
+		inst: in,
+		pc:   tr.PCs[i],
+	}
+	if rd, ok := in.WritesReg(); ok {
+		st.destArch = rd
+	}
+	st.isBr = in.IsCondBranch()
+	st.isIndirect = in.IsIndirect()
+	st.isLoad = in.IsLoad()
+	st.isStore = in.IsStore()
+	if st.isBr {
+		if bi, ok := tr.BranchAt(i); ok {
+			st.fetchPredTaken = bi.Taken
+			st.assumedTaken = bi.Taken
+		}
+	}
+	p.bindOperands(st, tr, pe.mapBefore)
+	return st
+}
+
+// bindOperands binds st's sources per the trace's pre-renaming: local
+// operands wait on their intra-trace producer, live-ins read the supplied
+// map (subscribing to not-yet-ready tags).
+func (p *Processor) bindOperands(st *instState, tr *trace.Trace, mapBefore rename.Map) {
+	for k := 0; k < 2; k++ {
+		sr := tr.Srcs[st.slot][k]
+		op := &st.src[k]
+		op.kind = sr.Kind
+		switch sr.Kind {
+		case trace.SrcNone:
+			op.ready = true
+			op.val = 0
+		case trace.SrcLocal:
+			op.local = sr.Local
+			op.ready = false
+		case trace.SrcLiveIn:
+			op.arch = sr.Arch
+			p.bindLiveIn(st, k, mapBefore[sr.Arch])
+		}
+	}
+}
+
+// vpKey builds the value-predictor context for a live-in: the consuming
+// trace's start PC and the architectural register.
+func vpKey(st *instState, arch isa.Reg) uint64 {
+	return uint64(st.pe.tr.Desc.StartPC)<<6 | uint64(arch)
+}
+
+// bindLiveIn points operand k of st at tag, reading it if ready and
+// subscribing for (re)broadcasts. When the value predictor is enabled, a
+// not-yet-ready live-in may be supplied speculatively; the arrival of the
+// real value repairs it through the normal reissue path.
+func (p *Processor) bindLiveIn(st *instState, k int, tag rename.Tag) {
+	op := &st.src[k]
+	op.tag = tag
+	e := p.regs.Get(tag)
+	switch {
+	case e != nil && e.Ready:
+		op.val = e.Val
+		op.ready = true
+		if p.vp != nil {
+			p.vp.Train(vpKey(st, op.arch), e.Val)
+		}
+	case p.vp != nil:
+		if v, ok := p.vp.Predict(vpKey(st, op.arch)); ok {
+			op.val = v
+			op.ready = true
+			op.predicted = true
+			p.Stats.ValuePredictions++
+		} else {
+			op.ready = false
+		}
+	default:
+		op.ready = false
+	}
+	p.subs[tag] = append(p.subs[tag], subRef{st: st, gen: st.pe.gen, src: k})
+}
+
+// ---- issue and execution ----
+
+func (p *Processor) issueAll() {
+	cacheBusesUsed := 0
+	for id := p.head; id >= 0; id = p.pes[id].next {
+		pe := p.pes[id]
+		if pe.dispatchedAt >= p.cycle {
+			continue
+		}
+		issued, peCacheBuses := 0, 0
+		for _, st := range pe.insts {
+			if issued >= p.cfg.PEIssueWidth {
+				break
+			}
+			if st.cancelled || st.status != stWaiting {
+				continue
+			}
+			if !st.src[0].ready || !st.src[1].ready {
+				continue
+			}
+			if st.isLoad || st.isStore {
+				if cacheBusesUsed >= p.cfg.CacheBuses || peCacheBuses >= p.cfg.MaxCachePerPE {
+					continue
+				}
+				cacheBusesUsed++
+				peCacheBuses++
+			}
+			p.execute(st)
+			issued++
+		}
+	}
+}
+
+// execute performs st's operation with its current operand values and
+// schedules completion.
+func (p *Processor) execute(st *instState) {
+	st.status = stExecuting
+	st.pendingReissue = false
+	st.execCount++
+	if st.execCount > 1 {
+		p.Stats.Reissues++
+	}
+	if st.execCount > 100000 {
+		p.fail(fmt.Errorf("livelock: instruction at pc %d reissued %d times", st.pc, st.execCount))
+		return
+	}
+	a, b := st.src[0].val, st.src[1].val
+	in := st.inst
+
+	switch {
+	case in.Op == isa.OpNop || in.Op == isa.OpHalt || in.Op == isa.OpJump:
+		p.schedule(p.cycle+1, event{kind: evComplete, st: st, gen: st.pe.gen})
+
+	case in.IsCondBranch():
+		taken := isa.BranchTaken(in.Op, a, b)
+		v := int64(0)
+		if taken {
+			v = 1
+		}
+		p.schedule(p.cycle+1, event{kind: evComplete, st: st, gen: st.pe.gen, val: v})
+
+	case in.Op == isa.OpCall:
+		p.schedule(p.cycle+1, event{kind: evComplete, st: st, gen: st.pe.gen, val: int64(st.pc + 1)})
+
+	case in.Op == isa.OpCallR:
+		// Indirect call: dest is the link value; the target operand resolves
+		// the trace successor.
+		p.schedule(p.cycle+1, event{kind: evComplete, st: st, gen: st.pe.gen, val: int64(st.pc + 1)})
+
+	case in.Op == isa.OpJr || in.Op == isa.OpRet:
+		p.schedule(p.cycle+1, event{kind: evComplete, st: st, gen: st.pe.gen, val: a})
+
+	case in.Op == isa.OpLoad:
+		addr := uint32(a + in.Imm)
+		p.recordLoad(st, addr)
+		val, src := p.arbuf.Load(addr, st.seq(), p.seqLess, p.mem)
+		st.dataSeq = src
+		st.performed = true
+		lat := int64(1 + p.dcache.Access(addr))
+		p.schedule(p.cycle+lat, event{kind: evLoadComplete, st: st, gen: st.pe.gen, val: val, data: src})
+		p.Stats.Loads++
+
+	case in.Op == isa.OpStore:
+		addr := uint32(a + in.Imm)
+		val := b
+		if st.performed && st.lastAddr != addr {
+			// Store re-issues to a different address: undo the old version
+			// in the same transaction (§2.2.2).
+			p.arbuf.Undo(st.lastAddr, st.seq())
+			p.snoopUndo(st.lastAddr, st.seq())
+		}
+		st.lastAddr = addr
+		st.lastStoreVal = val
+		st.performed = true
+		p.arbuf.Store(addr, val, st.seq())
+		p.snoopStore(addr, st.seq())
+		p.schedule(p.cycle+1, event{kind: evComplete, st: st, gen: st.pe.gen})
+		p.Stats.Stores++
+
+	default: // ALU ops
+		val := isa.EvalALU(in.Op, a, b, in.Imm)
+		p.schedule(p.cycle+int64(isa.Latency(in.Op)), event{kind: evComplete, st: st, gen: st.pe.gen, val: val})
+	}
+}

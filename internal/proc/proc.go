@@ -1,0 +1,337 @@
+// Package proc implements the trace processor: a cycle-level,
+// execution-driven timing model of the microarchitecture in Figure 2 of the
+// paper, with the hierarchical instruction window (one trace per processing
+// element), trace-level sequencing (next-trace predictor + trace cache +
+// outstanding trace buffers), linked-list PE management, selective
+// misspeculation recovery, and the paper's three recovery modes: full squash
+// (base), fine-grain control independence (FGCI) and coarse-grain control
+// independence (CGCI) with the RET / MLB-RET heuristics.
+//
+// The model is execution-driven: instruction values are really computed,
+// including on wrong paths, and an architectural oracle (internal/emu)
+// verifies every retired instruction when Config.Verify is set.
+package proc
+
+import (
+	"fmt"
+
+	"tracep/internal/arb"
+	"tracep/internal/bpred"
+	"tracep/internal/cache"
+	"tracep/internal/core"
+	"tracep/internal/emu"
+	"tracep/internal/isa"
+	"tracep/internal/rename"
+	"tracep/internal/tpred"
+	"tracep/internal/trace"
+	"tracep/internal/vpred"
+)
+
+// CGCIMode selects the coarse-grain control-independence heuristic (§4.2).
+type CGCIMode int
+
+const (
+	// CGCINone disables coarse-grain CI: any non-FGCI misprediction squashes
+	// all younger traces.
+	CGCINone CGCIMode = iota
+	// CGCIRET uses the RET heuristic: the trace after the nearest
+	// return-ending trace is assumed control independent.
+	CGCIRET
+	// CGCIMLBRET uses MLB for mispredicted backward (loop) branches and RET
+	// otherwise; requires ntb trace selection to expose loop exits.
+	CGCIMLBRET
+)
+
+// Model selects the control-independence configuration of a run, combining
+// a trace-selection policy with recovery mechanisms (§6).
+type Model struct {
+	Name string
+	// NTB and FG are the trace selection constraints (§3.2, §4.1).
+	NTB bool
+	FG  bool
+	// FGCI enables fine-grain recovery for FGCI-covered branches.
+	FGCI bool
+	// CGCI selects the coarse-grain heuristic.
+	CGCI CGCIMode
+}
+
+// The paper's eight experimental models (Tables 3-4, Figures 9-10).
+var (
+	ModelBase      = Model{Name: "base"}
+	ModelBaseNTB   = Model{Name: "base(ntb)", NTB: true}
+	ModelBaseFG    = Model{Name: "base(fg)", FG: true}
+	ModelBaseFGNTB = Model{Name: "base(fg,ntb)", FG: true, NTB: true}
+	ModelRET       = Model{Name: "RET", CGCI: CGCIRET}
+	ModelMLBRET    = Model{Name: "MLB-RET", NTB: true, CGCI: CGCIMLBRET}
+	ModelFG        = Model{Name: "FG", FG: true, FGCI: true}
+	ModelFGMLBRET  = Model{Name: "FG+MLB-RET", FG: true, NTB: true, FGCI: true, CGCI: CGCIMLBRET}
+)
+
+// Config holds the processor configuration (Table 1).
+type Config struct {
+	NumPEs        int // 16 PEs
+	PEIssueWidth  int // 4-way issue per PE
+	MaxTraceLen   int // 32 instructions
+	GlobalBuses   int // 8 result buses
+	MaxBusPerPE   int // up to 4 per PE
+	CacheBuses    int // 8 cache buses
+	MaxCachePerPE int // up to 4 per PE
+	// BusLatency is the extra result bypass latency between PEs (1 cycle).
+	BusLatency int
+
+	ICache cache.ICacheConfig
+	DCache cache.DCacheConfig
+	TCache trace.CacheConfig
+	BPred  bpred.Config
+	TPred  tpred.Config
+	BIT    core.BITConfig
+
+	// ValuePredict enables the live-in value predictor of Figure 2
+	// (off by default — the paper's evaluation does not parameterise it);
+	// mispredicted values are repaired by the normal selective-reissue path.
+	ValuePredict bool
+	VPred        vpred.Config
+
+	// Verify runs the architectural oracle against every retired
+	// instruction.
+	Verify bool
+	// WatchdogCycles aborts the run if nothing retires for this many cycles
+	// (a livelock/deadlock detector for the simulator itself).
+	WatchdogCycles int64
+	// GCInterval is the tag garbage-collection period in cycles.
+	GCInterval int64
+}
+
+// DefaultConfig returns Table 1's configuration.
+func DefaultConfig() Config {
+	return Config{
+		NumPEs:         16,
+		PEIssueWidth:   4,
+		MaxTraceLen:    32,
+		GlobalBuses:    8,
+		MaxBusPerPE:    4,
+		CacheBuses:     8,
+		MaxCachePerPE:  4,
+		BusLatency:     1,
+		ICache:         cache.DefaultICacheConfig(),
+		DCache:         cache.DefaultDCacheConfig(),
+		TCache:         trace.DefaultCacheConfig(),
+		BPred:          bpred.DefaultConfig(),
+		TPred:          tpred.DefaultConfig(),
+		BIT:            core.DefaultBITConfig(),
+		VPred:          vpred.DefaultConfig(),
+		Verify:         true,
+		WatchdogCycles: 200000,
+		GCInterval:     8192,
+	}
+}
+
+// Processor is one simulation instance over a program.
+type Processor struct {
+	cfg   Config
+	model Model
+	prog  *isa.Program
+
+	mem    *isa.Memory // committed architectural memory
+	oracle *emu.Emulator
+
+	regs    *rename.File
+	specMap rename.Map // rename map at the dispatch frontier
+
+	arbuf  *arb.ARB
+	dcache *cache.DCache
+	icache *cache.ICache
+	tcache *trace.Cache
+	bp     *bpred.Predictor
+	tp     *tpred.Predictor
+	bit    *core.BIT
+	vp     *vpred.Predictor
+	ctor   *trace.Constructor
+
+	pes  []*peState
+	free []int
+	head int // oldest PE in the linked list (-1 when empty)
+	tail int
+
+	cycle  int64
+	events map[int64][]event
+	// subs holds global-value subscriptions: operands bound to a tag that
+	// must be notified when the tag's value arrives or changes.
+	subs map[rename.Tag][]subRef
+	// loadRecs indexes performed loads by address for store/undo snooping.
+	loadRecs map[uint32][]*instState
+	// bcastQueue holds pending global result-bus requests in request order.
+	bcastQueue []*instState
+
+	fe  frontend
+	rec recovery
+	// mispQueue holds resolved branches whose outcome disagrees with the
+	// assumed outcome, awaiting recovery (oldest processed first).
+	mispQueue []*instState
+
+	branchClasses map[uint32]branchClass
+
+	Stats Stats
+
+	lastRetire int64
+	halted     bool
+	done       bool
+	err        error
+
+	// debugLog, when non-nil, records recovery decisions for test
+	// diagnostics.
+	debugLog []string
+}
+
+func (p *Processor) debugf(format string, args ...interface{}) {
+	if p.debugLog != nil {
+		p.debugLog = append(p.debugLog, fmt.Sprintf("[%d] ", p.cycle)+fmt.Sprintf(format, args...))
+	}
+}
+
+// New builds a processor for prog under the given model and configuration.
+func New(prog *isa.Program, model Model, cfg Config) *Processor {
+	p := &Processor{
+		cfg:   cfg,
+		model: model,
+		prog:  prog,
+		mem:   isa.NewMemory(prog),
+
+		regs:   rename.NewFile(),
+		arbuf:  arb.New(),
+		dcache: cache.NewDCache(cfg.DCache),
+		icache: cache.NewICache(cfg.ICache),
+		tcache: trace.NewCache(cfg.TCache),
+		bp:     bpred.New(cfg.BPred),
+		tp:     tpred.New(cfg.TPred),
+
+		events:   make(map[int64][]event),
+		subs:     make(map[rename.Tag][]subRef),
+		loadRecs: make(map[uint32][]*instState),
+		head:     -1,
+		tail:     -1,
+	}
+	if cfg.Verify {
+		p.oracle = emu.New(prog)
+	}
+	if cfg.ValuePredict {
+		p.vp = vpred.New(cfg.VPred)
+	}
+	bitCfg := cfg.BIT
+	bitCfg.Analyze.MaxSize = cfg.MaxTraceLen
+	p.bit = core.NewBIT(prog, bitCfg)
+	p.ctor = &trace.Constructor{
+		Prog: prog,
+		Sel:  trace.SelConfig{MaxLen: cfg.MaxTraceLen, NTB: model.NTB, FG: model.FG},
+		BIT:  p.bit,
+		BP:   p.bp,
+		IC:   p.icache,
+	}
+	p.specMap = rename.InitialMap(p.regs)
+	p.pes = make([]*peState, cfg.NumPEs)
+	for i := range p.pes {
+		p.pes[i] = &peState{id: i, next: -1, prev: -1}
+		p.free = append(p.free, i)
+	}
+	p.fe.expectedPC = prog.Entry
+	p.classifyBranches()
+	return p
+}
+
+// Err returns the first simulator-internal error (oracle mismatch, watchdog,
+// invariant violation), or nil.
+func (p *Processor) Err() error { return p.err }
+
+// Halted reports whether the program's halt instruction has retired.
+func (p *Processor) Halted() bool { return p.halted }
+
+// Cycle returns the current cycle number.
+func (p *Processor) Cycle() int64 { return p.cycle }
+
+// Run simulates until the program halts, maxInsts instructions have retired,
+// or an error occurs. It returns the collected statistics.
+func (p *Processor) Run(maxInsts uint64) (*Stats, error) {
+	for !p.done && p.err == nil {
+		p.Step()
+		if maxInsts > 0 && p.Stats.RetiredInsts >= maxInsts {
+			break
+		}
+	}
+	p.Stats.Cycles = uint64(p.cycle)
+	p.finalizeStats()
+	return &p.Stats, p.err
+}
+
+// Step advances the processor one cycle.
+func (p *Processor) Step() {
+	p.cycle++
+	p.deliverEvents()
+	p.processMispredictions()
+	p.issueAll()
+	p.grantResultBuses()
+	p.frontendStep()
+	p.retireStep()
+	if p.cfg.GCInterval > 0 && p.cycle%p.cfg.GCInterval == 0 {
+		p.collectGarbage()
+	}
+	if p.cfg.WatchdogCycles > 0 && p.cycle-p.lastRetire > p.cfg.WatchdogCycles {
+		p.fail(fmt.Errorf("watchdog: no retirement for %d cycles at cycle %d (head=%d recovery=%v)",
+			p.cfg.WatchdogCycles, p.cycle, p.head, p.rec.active))
+	}
+}
+
+func (p *Processor) fail(err error) {
+	if p.err == nil {
+		p.err = err
+	}
+	p.done = true
+}
+
+// branchClass statically classifies a conditional branch per Table 5.
+type branchClass struct {
+	kind       branchKind
+	dynSize    int
+	staticSize int
+	numCondBr  int
+}
+
+type branchKind uint8
+
+const (
+	classFGCISmall branchKind = iota // embeddable region fits in a trace
+	classFGCIBig                     // region found but larger than a trace
+	classOtherForward
+	classBackward
+)
+
+// classifyBranches statically analyses every conditional branch in the
+// program with a large-bound FGCI analysis, for Table 5 accounting.
+func (p *Processor) classifyBranches() {
+	p.branchClasses = make(map[uint32]branchClass)
+	acfg := core.AnalyzeConfig{MaxSize: 4 * p.cfg.MaxTraceLen, MaxEdges: 8, MaxScan: 2048}
+	for pc := uint32(0); int(pc) < p.prog.Len(); pc++ {
+		in := p.prog.At(pc)
+		if !in.IsCondBranch() {
+			continue
+		}
+		if in.IsBackwardBranch(pc) {
+			p.branchClasses[pc] = branchClass{kind: classBackward}
+			continue
+		}
+		reg := core.AnalyzeRegion(p.prog, pc, acfg)
+		switch {
+		case reg.Found && reg.Size <= p.cfg.MaxTraceLen:
+			p.branchClasses[pc] = branchClass{
+				kind: classFGCISmall, dynSize: reg.Size,
+				staticSize: reg.StaticSize, numCondBr: reg.NumCondBr,
+			}
+		case reg.Found:
+			p.branchClasses[pc] = branchClass{
+				kind: classFGCIBig, dynSize: reg.Size,
+				staticSize: reg.StaticSize, numCondBr: reg.NumCondBr,
+			}
+		default:
+			p.branchClasses[pc] = branchClass{kind: classOtherForward}
+		}
+	}
+}

@@ -1,0 +1,593 @@
+package proc
+
+import (
+	"fmt"
+
+	"tracep/internal/core"
+	"tracep/internal/rename"
+	"tracep/internal/trace"
+)
+
+type recMode uint8
+
+const (
+	recBase recMode = iota // full squash of all younger traces
+	recFGCI                // fine-grain: repair within the PE, preserve all younger traces
+	recCGCI                // coarse-grain: squash to the CI point, insert correct traces
+)
+
+type recPhase uint8
+
+const (
+	recIdle recPhase = iota
+	// recRepairing: the outstanding trace buffer is re-fetching the
+	// mispredicted trace from the branch point.
+	recRepairing
+	// recInserting (CGCI): correct control-dependent traces are fetched and
+	// dispatched between the repaired trace and the CI point.
+	recInserting
+	// recRedispatch: the trace re-dispatch sequence walks the control
+	// independent traces, repairing their register dependences (§2.2.1).
+	recRedispatch
+)
+
+// recovery is the misprediction recovery state machine; one recovery runs at
+// a time, oldest mispredictions first.
+type recovery struct {
+	active bool
+	mode   recMode
+	phase  recPhase
+
+	pe   *peState
+	gen  uint64
+	slot int
+
+	isIndirect      bool
+	correctedTarget uint32
+
+	newTrace  *trace.Trace
+	installAt int64
+	oldNextPC uint32
+	oldIndir  bool
+	oldHalt   bool
+
+	ciPE        *peState
+	ciGen       uint64
+	insertAfter int
+	inserted    int
+
+	redispatch     []*peState
+	redispatchGens []uint64
+	redispatchIdx  int
+}
+
+// enqueueMisp records a resolved-vs-assumed disagreement for recovery.
+func (p *Processor) enqueueMisp(st *instState) {
+	if st.inMispQueue || st.cancelled {
+		return
+	}
+	st.inMispQueue = true
+	p.mispQueue = append(p.mispQueue, st)
+}
+
+// mispValid re-derives whether a queued misprediction still needs recovery.
+func (p *Processor) mispValid(st *instState) bool {
+	if st.cancelled || !st.pe.active {
+		return false
+	}
+	if st.isBr {
+		return st.resolved && st.resolvedTaken != st.assumedTaken
+	}
+	if st.isIndirect {
+		if !st.targetKnown || st.checkedTarget {
+			return false
+		}
+		pe := st.pe
+		if st.slot != len(pe.insts)-1 || pe.next < 0 {
+			return false
+		}
+		return p.pes[pe.next].tr.Desc.StartPC != st.actualTarget
+	}
+	return false
+}
+
+// processMispredictions starts recovery for the oldest outstanding
+// misprediction, when no recovery is in flight.
+func (p *Processor) processMispredictions() {
+	if p.rec.active || len(p.mispQueue) == 0 {
+		return
+	}
+	kept := p.mispQueue[:0]
+	var oldest *instState
+	for _, st := range p.mispQueue {
+		if !p.mispValid(st) {
+			st.inMispQueue = false
+			continue
+		}
+		kept = append(kept, st)
+		if oldest == nil || p.olderThan(st.pe, st.slot, oldest.pe, oldest.slot) {
+			oldest = st
+		}
+	}
+	p.mispQueue = kept
+	if oldest == nil {
+		return
+	}
+	for i, st := range p.mispQueue {
+		if st == oldest {
+			p.mispQueue = append(p.mispQueue[:i], p.mispQueue[i+1:]...)
+			break
+		}
+	}
+	oldest.inMispQueue = false
+	p.startRecovery(oldest)
+}
+
+// startRecovery classifies the misprediction (FGCI / CGCI / base), applies
+// the mode's squash actions, and launches the trace repair.
+func (p *Processor) startRecovery(st *instState) {
+	pe := st.pe
+	slot := st.slot
+	rec := &p.rec
+	*rec = recovery{
+		active: true,
+		phase:  recRepairing,
+		pe:     pe,
+		gen:    pe.gen,
+		slot:   slot,
+	}
+	p.Stats.Recoveries++
+
+	// Classify.
+	mode := recBase
+	if st.isBr {
+		if bi, ok := pe.tr.BranchAt(slot); ok && p.model.FGCI && bi.FGCICovered && bi.ReconvIdx >= 0 {
+			mode = recFGCI
+		}
+	}
+	if mode == recBase && p.model.CGCI != CGCINone {
+		if ci := p.findCIPoint(st); ci != nil {
+			mode = recCGCI
+			rec.ciPE = ci
+			rec.ciGen = ci.gen
+			p.debugf("CI point: pe=%d(log %d) desc=%v", ci.id, ci.logical, ci.tr.Desc)
+		}
+	}
+	rec.mode = mode
+	p.debugf("recovery start: mode=%d pe=%d(log %d) slot=%d pc=%d isBr=%v resolved=%v indirect=%v oldDesc=%v oldNextPC=%d tail=%d fetchQ=%d",
+		mode, pe.id, pe.logical, slot, st.pc, st.isBr, st.resolvedTaken, st.isIndirect, pe.tr.Desc, pe.tr.NextPC, p.tail, len(p.fe.queue))
+	switch mode {
+	case recFGCI:
+		p.Stats.FGCIRecoveries++
+	case recCGCI:
+		p.Stats.CGCIRecoveries++
+	default:
+		p.Stats.BaseRecoveries++
+	}
+
+	rec.oldNextPC = pe.tr.NextPC
+	rec.oldIndir = pe.tr.EndsIndirect
+	rec.oldHalt = pe.tr.EndsHalt
+
+	// Correct the assumed outcome; the repaired trace embeds it.
+	if st.isBr {
+		st.assumedTaken = st.resolvedTaken
+	} else {
+		rec.isIndirect = true
+		rec.correctedTarget = st.actualTarget
+		st.checkedTarget = true
+		p.debugf("indirect misp: correctedTarget=%d", rec.correctedTarget)
+	}
+
+	// Squash the incorrect control-dependent instructions in this PE (the
+	// trace suffix past the branch). For a trace-ending indirect the suffix
+	// is empty.
+	p.squashSuffix(pe, slot+1)
+
+	// Mode-specific squash of younger traces and fetch-stream handling.
+	switch mode {
+	case recBase:
+		for pe.next >= 0 {
+			p.squashTrace(p.pes[pe.next])
+		}
+		p.dropFetchQueue(pe.histPos + 1)
+	case recCGCI:
+		for p.pes[pe.next] != rec.ciPE {
+			p.squashTrace(p.pes[pe.next])
+		}
+		p.dropFetchQueue(pe.histPos + 1)
+	case recFGCI:
+		// All younger traces and the fetch stream are preserved: the
+		// repaired trace has identical boundaries.
+	}
+
+	// Launch the repair. Indirect mispredictions leave the trace content
+	// intact (only the successor changes).
+	if rec.isIndirect {
+		rec.newTrace = pe.tr
+		rec.installAt = p.cycle + 1
+		return
+	}
+	forced := make([]bool, 0, len(pe.tr.Branches))
+	for _, bi := range pe.tr.Branches {
+		if bi.Idx < slot {
+			forced = append(forced, pe.insts[bi.Idx].assumedTaken)
+			continue
+		}
+		if bi.Idx == slot {
+			forced = append(forced, st.assumedTaken)
+		}
+		break
+	}
+	newTr, _ := p.ctor.Build(pe.tr.Desc.StartPC, forced)
+	rec.newTrace = newTr
+	repair := int64(p.ctor.SuffixCycles(newTr, slot))
+	rec.installAt = p.cycle + repair
+}
+
+// findCIPoint applies the configured CGCI heuristic over the traces younger
+// than the mispredicted one.
+func (p *Processor) findCIPoint(st *instState) *peState {
+	pe := st.pe
+	var younger []*peState
+	for id := pe.next; id >= 0; id = p.pes[id].next {
+		younger = append(younger, p.pes[id])
+	}
+	if len(younger) == 0 {
+		return nil
+	}
+	views := make([]core.TraceView, len(younger))
+	for i, q := range younger {
+		views[i] = core.TraceView{StartPC: q.tr.Desc.StartPC, EndsInRet: q.tr.EndsInRet}
+	}
+	var ci int
+	var ok bool
+	switch p.model.CGCI {
+	case CGCIRET:
+		ci, ok = core.FindRET(views, 0)
+	case CGCIMLBRET:
+		isBackward := st.isBr && st.inst.IsBackwardBranch(st.pc)
+		ci, ok = core.FindMLBRET(views, 0, isBackward, st.pc+1)
+	}
+	if !ok {
+		return nil
+	}
+	return younger[ci]
+}
+
+// squashSuffix cancels the instructions of pe from slot from onward,
+// undoing their speculative stores.
+func (p *Processor) squashSuffix(pe *peState, from int) {
+	for i := from; i < len(pe.insts); i++ {
+		st := pe.insts[i]
+		if st.cancelled {
+			continue
+		}
+		st.cancelled = true
+		p.Stats.SquashedInsts++
+		if st.inLoadRecs {
+			p.removeLoadRec(st)
+		}
+		if st.isStore && st.performed {
+			p.arbuf.Undo(st.lastAddr, st.seq())
+			p.snoopUndo(st.lastAddr, st.seq())
+		}
+	}
+}
+
+// squashTrace removes a whole trace from the window.
+func (p *Processor) squashTrace(pe *peState) {
+	p.debugf("squash: pe=%d(log %d) desc=%v", pe.id, pe.logical, pe.tr.Desc)
+	p.squashSuffix(pe, 0)
+	p.Stats.SquashedTraces++
+	p.unlinkPE(pe)
+}
+
+// recoveryStep advances the active recovery: install the repaired trace when
+// the trace buffer finishes, then run the re-dispatch sequence one trace per
+// cycle.
+func (p *Processor) recoveryStep() {
+	rec := &p.rec
+	if !rec.active {
+		return
+	}
+	switch rec.phase {
+	case recRepairing:
+		if p.cycle >= rec.installAt {
+			p.installRepair()
+		}
+	case recRedispatch:
+		p.redispatchStep()
+	case recInserting:
+		// Insertion is driven by fetch/dispatch. If the correct path halts
+		// before re-convergence, the assumed CI traces are unreachable:
+		// squash them and finish.
+		if p.fe.stopped && len(p.fe.queue) == 0 && len(p.fe.jobs) == 0 {
+			ci := rec.ciPE
+			if ci.active && ci.gen == rec.ciGen {
+				for {
+					tail := p.pes[p.tail]
+					p.squashTrace(tail)
+					if tail == ci {
+						break
+					}
+				}
+			}
+			p.Stats.CGCIDegenerate++
+			p.endRecovery()
+		}
+	}
+}
+
+// installRepair swaps the repaired trace into the PE (keeping the prefix up
+// to and including the branch), rebuilds the rename-map frontier, and
+// transitions to the mode's next phase.
+func (p *Processor) installRepair() {
+	rec := &p.rec
+	pe := rec.pe
+	if !pe.active || pe.gen != rec.gen {
+		// The mispredicted trace itself was squashed by... nothing can do
+		// that while this recovery holds the machine; defensive abort.
+		p.endRecovery()
+		return
+	}
+	newTr := rec.newTrace
+	slot := rec.slot
+
+	if rec.mode == recFGCI &&
+		(newTr.NextPC != rec.oldNextPC || newTr.EndsIndirect != rec.oldIndir || newTr.EndsHalt != rec.oldHalt) {
+		// The FGCI guarantee (identical trace boundary) was violated —
+		// cannot happen for well-formed embeddable regions; degrade to a
+		// full squash to stay correct.
+		p.Stats.FGCIBoundaryViolations++
+		p.debugf("FGCI boundary violation: pe=%d old nextPC=%d new nextPC=%d", pe.id, rec.oldNextPC, newTr.NextPC)
+		for pe.next >= 0 {
+			p.squashTrace(p.pes[pe.next])
+		}
+		p.dropFetchQueue(pe.histPos + 1)
+		rec.mode = recBase
+	}
+
+	if !rec.isIndirect {
+		// Sanity: the repaired trace must share the prefix up to the branch.
+		if len(newTr.Insts) <= slot || newTr.PCs[slot] != pe.tr.PCs[slot] {
+			p.fail(fmt.Errorf("repair prefix mismatch at pc %d slot %d", pe.tr.PCs[slot], slot))
+			return
+		}
+
+		states := make([]*instState, len(newTr.Insts))
+		copy(states, pe.insts[:slot+1])
+		pe.tr = newTr
+		for i := slot + 1; i < len(newTr.Insts); i++ {
+			states[i] = p.newInstState(pe, i, newTr)
+			if states[i].destArch != 0 {
+				states[i].destTag = p.regs.Alloc()
+			}
+			// Local operands whose producers (in the kept prefix or the new
+			// suffix) already executed pick their values up immediately —
+			// the intra-PE bypass network holds them.
+			for k := 0; k < 2; k++ {
+				op := &states[i].src[k]
+				if op.kind != trace.SrcLocal {
+					continue
+				}
+				if prod := states[op.local]; prod.localReady {
+					op.val = prod.localVal
+					op.ready = true
+				}
+			}
+		}
+		pe.insts = states
+
+		// Recompute live-out status; promoted prefix values publish their
+		// completed results to the register file.
+		for i, st := range pe.insts {
+			if st.destArch == 0 {
+				continue
+			}
+			wasLiveOut := st.liveOut
+			st.liveOut = newTr.LastWriter[st.destArch] == int16(i)
+			if st.liveOut && !wasLiveOut && st.status == stDone && st.localReady && !st.pendingReissue {
+				if p.regs.Write(st.destTag, st.localVal) {
+					p.schedule(p.cycle+int64(p.cfg.BusLatency), event{kind: evGlobalArrive, tag: st.destTag})
+				}
+			}
+		}
+		p.tcache.Insert(newTr)
+	}
+
+	p.debugf("install: pe=%d newDesc=%v nextPC=%d mode=%d", pe.id, pe.tr.Desc, pe.tr.NextPC, rec.mode)
+
+	// Rebuild the rename-map frontier: map before the trace plus the
+	// repaired trace's live-outs.
+	p.specMap = pe.mapBefore
+	for _, r := range pe.tr.LiveOuts {
+		p.specMap[r] = pe.insts[pe.tr.LastWriter[r]].destTag
+	}
+	pe.mapAfter = p.specMap
+
+	// Back up the predictor history to this trace and substitute the
+	// repaired trace's ID.
+	p.tp.ReplaceAt(pe.histPos, pe.tr.Desc)
+
+	// Fetch-stream redirection.
+	switch rec.mode {
+	case recBase:
+		if rec.isIndirect {
+			p.fe.expectedPC = rec.correctedTarget
+			p.fe.waitIndirect = false
+			p.fe.stopped = false
+		} else {
+			p.resumeFetchAfter(pe)
+		}
+		p.endRecovery()
+	case recCGCI:
+		if rec.isIndirect {
+			p.fe.expectedPC = rec.correctedTarget
+			p.fe.waitIndirect = false
+			p.fe.stopped = false
+		} else {
+			p.resumeFetchAfter(pe)
+		}
+		rec.phase = recInserting
+		rec.insertAfter = pe.id
+		rec.inserted = 0
+	case recFGCI:
+		// Younger traces were preserved; repair their data dependences.
+		p.startRedispatch(p.peAfter(pe))
+	}
+}
+
+// peAfter returns the PE following pe in the list, or nil.
+func (p *Processor) peAfter(pe *peState) *peState {
+	if pe.next < 0 {
+		return nil
+	}
+	return p.pes[pe.next]
+}
+
+// startRedispatch arms the trace re-dispatch sequence from trace q to the
+// window tail.
+func (p *Processor) startRedispatch(q *peState) {
+	rec := &p.rec
+	rec.redispatch = rec.redispatch[:0]
+	rec.redispatchGens = rec.redispatchGens[:0]
+	for ; q != nil; q = p.peAfter(q) {
+		rec.redispatch = append(rec.redispatch, q)
+		rec.redispatchGens = append(rec.redispatchGens, q.gen)
+	}
+	rec.redispatchIdx = 0
+	if len(rec.redispatch) == 0 {
+		p.endRecovery()
+		return
+	}
+	rec.phase = recRedispatch
+}
+
+// redispatchStep re-dispatches one control independent trace per cycle:
+// live-in registers are renamed through the updated maps; live-out mappings
+// are unchanged; only instructions whose source register names changed are
+// reissued (§2.2.1).
+func (p *Processor) redispatchStep() {
+	rec := &p.rec
+	for {
+		if rec.redispatchIdx >= len(rec.redispatch) {
+			p.endRecovery()
+			return
+		}
+		q := rec.redispatch[rec.redispatchIdx]
+		if q.active && q.gen == rec.redispatchGens[rec.redispatchIdx] {
+			p.redispatchTrace(q)
+			rec.redispatchIdx++
+			return
+		}
+		// Trace disappeared (reclaimed); skip without consuming a cycle.
+		rec.redispatchIdx++
+	}
+}
+
+// redispatchTrace updates one resident trace's live-in bindings against the
+// current map frontier and advances the frontier over its live-outs.
+func (p *Processor) redispatchTrace(q *peState) {
+	q.mapBefore = p.specMap
+	for _, st := range q.insts {
+		if st.cancelled {
+			continue
+		}
+		for k := 0; k < 2; k++ {
+			op := &st.src[k]
+			if op.kind != trace.SrcLiveIn {
+				continue
+			}
+			newTag := q.mapBefore[op.arch]
+			if newTag == op.tag {
+				continue
+			}
+			p.Stats.RedispatchRebinds++
+			p.rebindOperand(st, k, newTag)
+		}
+	}
+	for _, r := range q.tr.LiveOuts {
+		p.specMap[r] = q.insts[q.tr.LastWriter[r]].destTag
+	}
+	q.mapAfter = p.specMap
+	p.Stats.RedispatchedTraces++
+}
+
+// rebindOperand points operand k of st at newTag, reissuing st if the value
+// differs from what it previously consumed.
+func (p *Processor) rebindOperand(st *instState, k int, newTag rename.Tag) {
+	op := &st.src[k]
+	op.tag = newTag
+	op.predicted = false
+	p.subs[newTag] = append(p.subs[newTag], subRef{st: st, gen: st.pe.gen, src: k})
+	e := p.regs.Get(newTag)
+	if e != nil && e.Ready {
+		if op.ready && op.val == e.Val {
+			return // same value: no reissue needed
+		}
+		op.val = e.Val
+		op.ready = true
+		p.Stats.RedispatchReissues++
+		p.reissue(st)
+		return
+	}
+	p.unreadyOperand(st, k)
+}
+
+// retargetIndirectRecovery handles a re-execution of the indirect branch an
+// active recovery is repairing, when the new target differs from the one the
+// recovery captured: the correct control-dependent path changes under the
+// recovery's feet. During repair the target is simply replaced; during CGCI
+// insertion the inserted traces (built for the stale target) are squashed
+// and the insertion stream redirected; after re-convergence the normal
+// misprediction path picks it up once recovery completes.
+func (p *Processor) retargetIndirectRecovery(st *instState) {
+	rec := &p.rec
+	if st.actualTarget == rec.correctedTarget {
+		st.checkedTarget = true
+		return
+	}
+	p.debugf("retarget indirect recovery: %d -> %d (phase %d)", rec.correctedTarget, st.actualTarget, rec.phase)
+	switch rec.phase {
+	case recRepairing:
+		rec.correctedTarget = st.actualTarget
+		st.checkedTarget = true
+	case recInserting:
+		rec.correctedTarget = st.actualTarget
+		st.checkedTarget = true
+		pe := rec.pe
+		ci := rec.ciPE
+		ciAlive := ci != nil && ci.active && ci.gen == rec.ciGen
+		for pe.next >= 0 {
+			q := p.pes[pe.next]
+			if ciAlive && q == ci {
+				break
+			}
+			p.squashTrace(q)
+		}
+		rec.insertAfter = pe.id
+		rec.inserted = 0
+		// Rewind the rename-map frontier past the squashed insertions so
+		// re-inserted traces bind live-ins to live producers.
+		p.specMap = pe.mapAfter
+		p.dropFetchQueue(pe.histPos + 1)
+		p.fe.expectedPC = st.actualTarget
+		p.fe.waitIndirect = false
+		p.fe.stopped = false
+		if !ciAlive {
+			// Nothing control independent left: finish as a plain squash.
+			p.Stats.CGCIDegenerate++
+			p.endRecovery()
+		}
+	case recRedispatch:
+		// The window was already re-linked around the stale target; leave
+		// the mismatch unchecked so the normal misprediction path restarts
+		// recovery once this one completes.
+	}
+}
+
+// endRecovery returns the machine to normal operation.
+func (p *Processor) endRecovery() {
+	p.rec = recovery{}
+}

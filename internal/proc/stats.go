@@ -1,0 +1,185 @@
+package proc
+
+// ClassStats aggregates per-class conditional branch statistics (Table 5).
+type ClassStats struct {
+	Dynamic       uint64
+	Mispredicted  uint64
+	DynSizeSum    uint64
+	StaticSizeSum uint64
+	CondBrSum     uint64
+}
+
+// MispRate returns the class misprediction rate.
+func (c ClassStats) MispRate() float64 {
+	if c.Dynamic == 0 {
+		return 0
+	}
+	return float64(c.Mispredicted) / float64(c.Dynamic)
+}
+
+// Stats collects everything the paper's tables and figures report.
+type Stats struct {
+	Cycles       uint64
+	RetiredInsts uint64
+
+	RetiredTraces      uint64
+	RetiredTraceLenSum uint64
+	DispatchedTraces   uint64
+	SquashedTraces     uint64
+	SquashedInsts      uint64
+
+	// Recoveries counts trace-level mispredictions (each triggers one
+	// recovery), split by mode.
+	Recoveries     uint64
+	FGCIRecoveries uint64
+	CGCIRecoveries uint64
+	BaseRecoveries uint64
+
+	Reconvergences         uint64
+	CGCIDegenerate         uint64
+	TailReclaims           uint64
+	FGCIBoundaryViolations uint64
+	FetchRedirects         uint64
+
+	RedispatchedTraces uint64
+	RedispatchRebinds  uint64
+	RedispatchReissues uint64
+
+	Reissues          uint64
+	LoadSnoopReissues uint64
+	Broadcasts        uint64
+	Loads             uint64
+	Stores            uint64
+
+	ValuePredictions    uint64
+	ValueMispredictions uint64
+
+	// Frontend structures (filled by finalizeStats).
+	TCLookups   uint64
+	TCMisses    uint64
+	ICAccesses  uint64
+	ICMisses    uint64
+	DCAccesses  uint64
+	DCMisses    uint64
+	BITLookups  uint64
+	BITMisses   uint64
+	TPredictons uint64
+	TPredTrains uint64
+
+	// BranchClasses indexes by branchKind: FGCI<=32, FGCI>32, other
+	// forward, backward.
+	BranchClasses [4]ClassStats
+}
+
+func (p *Processor) finalizeStats() {
+	s := &p.Stats
+	s.TCLookups, s.TCMisses = p.tcache.Stats()
+	s.ICAccesses, s.ICMisses = p.icache.Stats()
+	s.DCAccesses, s.DCMisses = p.dcache.Stats()
+	s.BITLookups, s.BITMisses = p.bit.Lookups, p.bit.Misses()
+	s.TPredictons = p.tp.Predictions
+	s.TPredTrains = p.tp.Trains
+}
+
+// IPC returns retired instructions per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.RetiredInsts) / float64(s.Cycles)
+}
+
+// AvgTraceLen returns the average retired trace length (Table 4).
+func (s *Stats) AvgTraceLen() float64 {
+	if s.RetiredTraces == 0 {
+		return 0
+	}
+	return float64(s.RetiredTraceLenSum) / float64(s.RetiredTraces)
+}
+
+// TraceMispPer1000 returns trace mispredictions per 1000 retired
+// instructions (Table 4).
+func (s *Stats) TraceMispPer1000() float64 {
+	if s.RetiredInsts == 0 {
+		return 0
+	}
+	return 1000 * float64(s.Recoveries) / float64(s.RetiredInsts)
+}
+
+// TraceMispRate returns trace mispredictions per retired trace (Table 4's
+// percentage).
+func (s *Stats) TraceMispRate() float64 {
+	if s.RetiredTraces == 0 {
+		return 0
+	}
+	return float64(s.Recoveries) / float64(s.RetiredTraces)
+}
+
+// TCMissPer1000 returns trace cache misses per 1000 retired instructions
+// (Table 4).
+func (s *Stats) TCMissPer1000() float64 {
+	if s.RetiredInsts == 0 {
+		return 0
+	}
+	return 1000 * float64(s.TCMisses) / float64(s.RetiredInsts)
+}
+
+// TCMissRate returns the trace cache miss ratio (Table 4's percentage).
+func (s *Stats) TCMissRate() float64 {
+	if s.TCLookups == 0 {
+		return 0
+	}
+	return float64(s.TCMisses) / float64(s.TCLookups)
+}
+
+// CondBranches returns the total dynamic conditional branch count.
+func (s *Stats) CondBranches() uint64 {
+	var n uint64
+	for _, c := range s.BranchClasses {
+		n += c.Dynamic
+	}
+	return n
+}
+
+// CondMispredictions returns the total dynamic conditional branch
+// mispredictions.
+func (s *Stats) CondMispredictions() uint64 {
+	var n uint64
+	for _, c := range s.BranchClasses {
+		n += c.Mispredicted
+	}
+	return n
+}
+
+// BranchMispRate returns the overall conditional branch misprediction rate
+// (Table 5).
+func (s *Stats) BranchMispRate() float64 {
+	b := s.CondBranches()
+	if b == 0 {
+		return 0
+	}
+	return float64(s.CondMispredictions()) / float64(b)
+}
+
+// BranchMispPer1000 returns branch mispredictions per 1000 retired
+// instructions (Table 5).
+func (s *Stats) BranchMispPer1000() float64 {
+	if s.RetiredInsts == 0 {
+		return 0
+	}
+	return 1000 * float64(s.CondMispredictions()) / float64(s.RetiredInsts)
+}
+
+// Class accessors by paper name.
+
+// FGCISmall returns stats for FGCI branches whose region fits in a trace.
+func (s *Stats) FGCISmall() ClassStats { return s.BranchClasses[classFGCISmall] }
+
+// FGCIBig returns stats for FGCI branches with regions larger than a trace.
+func (s *Stats) FGCIBig() ClassStats { return s.BranchClasses[classFGCIBig] }
+
+// OtherForward returns stats for non-FGCI forward branches.
+func (s *Stats) OtherForward() ClassStats { return s.BranchClasses[classOtherForward] }
+
+// Backward returns stats for backward branches.
+func (s *Stats) Backward() ClassStats { return s.BranchClasses[classBackward] }

@@ -1,0 +1,107 @@
+// Package rename implements the trace processor's register dataflow
+// management: global rename maps translating architectural registers to
+// value tags, per-trace map checkpoints, and the global register file
+// holding tag values.
+//
+// Tags are allocated monotonically and garbage-collected by mark/sweep
+// (Table 1 does not bound the physical register file, and unbounded tags
+// make the selective-reissue semantics exact: a re-dispatched control
+// independent trace compares its source tags against the updated maps and
+// reissues only instructions whose names changed, §2.2.1).
+package rename
+
+import "tracep/internal/isa"
+
+// Tag names a value produced by some instruction (or the initial
+// architectural state). Tag 0 is invalid.
+type Tag uint64
+
+// Entry is a global register file cell.
+type Entry struct {
+	Val   int64
+	Ready bool
+}
+
+// Map translates architectural registers to tags.
+type Map [isa.NumRegs]Tag
+
+// File is the global register file: tag -> value storage.
+type File struct {
+	m    map[Tag]*Entry
+	next Tag
+
+	Allocated uint64
+	Swept     uint64
+}
+
+// NewFile builds an empty register file.
+func NewFile() *File {
+	return &File{m: make(map[Tag]*Entry), next: 1}
+}
+
+// Alloc creates a new, not-ready tag.
+func (f *File) Alloc() Tag {
+	t := f.next
+	f.next++
+	f.m[t] = &Entry{}
+	f.Allocated++
+	return t
+}
+
+// AllocReady creates a new tag holding v, already ready. Used to seed the
+// initial architectural state.
+func (f *File) AllocReady(v int64) Tag {
+	t := f.Alloc()
+	e := f.m[t]
+	e.Val, e.Ready = v, true
+	return t
+}
+
+// Get returns the entry for t (nil for invalid/swept tags).
+func (f *File) Get(t Tag) *Entry {
+	return f.m[t]
+}
+
+// Write sets t's value and marks it ready, returning whether the value
+// changed from a previously ready value (the condition under which
+// dependent instructions must reissue).
+func (f *File) Write(t Tag, v int64) (changed bool) {
+	e := f.m[t]
+	if e == nil {
+		return false
+	}
+	changed = !e.Ready || e.Val != v
+	e.Val, e.Ready = v, true
+	return changed
+}
+
+// Unready marks t not-ready again (its producer is being re-executed).
+func (f *File) Unready(t Tag) {
+	if e := f.m[t]; e != nil {
+		e.Ready = false
+	}
+}
+
+// Size returns the number of live tags.
+func (f *File) Size() int { return len(f.m) }
+
+// Sweep removes every tag for which live returns false. The caller marks
+// roots (current maps, per-trace checkpoints, operand references).
+func (f *File) Sweep(live func(Tag) bool) {
+	for t := range f.m {
+		if !live(t) {
+			delete(f.m, t)
+			f.Swept++
+		}
+	}
+}
+
+// InitialMap seeds a map with fresh ready tags holding zero for every
+// architectural register, matching a zeroed machine at reset.
+func InitialMap(f *File) Map {
+	var m Map
+	for r := 1; r < isa.NumRegs; r++ {
+		m[r] = f.AllocReady(0)
+	}
+	return m
+}

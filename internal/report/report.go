@@ -1,0 +1,325 @@
+// Package report renders the paper's evaluation tables and figures
+// (Tables 1-5, Figures 9-10) from simulation results, in the same
+// rows/series layout the paper uses.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"tracep/internal/proc"
+)
+
+// Key identifies one (benchmark, model) cell.
+type Key struct {
+	Bench string
+	Model string
+}
+
+// ResultSet accumulates simulation statistics per (benchmark, model).
+type ResultSet struct {
+	byKey   map[Key]*proc.Stats
+	benches []string
+	models  []string
+}
+
+// NewResultSet builds an empty result set.
+func NewResultSet() *ResultSet {
+	return &ResultSet{byKey: make(map[Key]*proc.Stats)}
+}
+
+// Add records a result.
+func (r *ResultSet) Add(bench, model string, s *proc.Stats) {
+	k := Key{bench, model}
+	if _, dup := r.byKey[k]; !dup {
+		if !contains(r.benches, bench) {
+			r.benches = append(r.benches, bench)
+		}
+		if !contains(r.models, model) {
+			r.models = append(r.models, model)
+		}
+	}
+	r.byKey[k] = s
+}
+
+// Get returns the stats for (bench, model).
+func (r *ResultSet) Get(bench, model string) (*proc.Stats, bool) {
+	s, ok := r.byKey[Key{bench, model}]
+	return s, ok
+}
+
+// Benches returns the benchmarks in insertion order.
+func (r *ResultSet) Benches() []string { return r.benches }
+
+// Models returns the models in insertion order.
+func (r *ResultSet) Models() []string { return r.models }
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// HarmonicMeanIPC returns the harmonic mean IPC over benches for model.
+func (r *ResultSet) HarmonicMeanIPC(model string) float64 {
+	sum, n := 0.0, 0
+	for _, b := range r.benches {
+		if s, ok := r.Get(b, model); ok && s.IPC() > 0 {
+			sum += 1 / s.IPC()
+			n++
+		}
+	}
+	if n == 0 || sum == 0 {
+		return 0
+	}
+	return float64(n) / sum
+}
+
+// Improvement returns the % IPC improvement of model over base for bench.
+func (r *ResultSet) Improvement(bench, model, base string) (float64, bool) {
+	s, ok1 := r.Get(bench, model)
+	b, ok2 := r.Get(bench, base)
+	if !ok1 || !ok2 || b.IPC() == 0 {
+		return 0, false
+	}
+	return 100 * (s.IPC() - b.IPC()) / b.IPC(), true
+}
+
+// Table3 renders "IPC without control independence" over the selection-only
+// models.
+func Table3(w io.Writer, r *ResultSet, models []string) {
+	fmt.Fprintln(w, "TABLE 3: IPC without control independence.")
+	fmt.Fprintf(w, "%-10s", "")
+	for _, m := range models {
+		fmt.Fprintf(w, "%14s", m)
+	}
+	fmt.Fprintln(w)
+	for _, b := range r.benches {
+		fmt.Fprintf(w, "%-10s", b)
+		for _, m := range models {
+			if s, ok := r.Get(b, m); ok {
+				fmt.Fprintf(w, "%14.2f", s.IPC())
+			} else {
+				fmt.Fprintf(w, "%14s", "-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "%-10s", "Harm.Mean")
+	for _, m := range models {
+		fmt.Fprintf(w, "%14.2f", r.HarmonicMeanIPC(m))
+	}
+	fmt.Fprintln(w)
+}
+
+// Table4 renders the impact of trace selection on trace length, trace
+// mispredictions and trace cache misses.
+func Table4(w io.Writer, r *ResultSet, models []string) {
+	fmt.Fprintln(w, "TABLE 4: Impact of trace selection on trace length, trace mispredictions, and trace cache misses.")
+	fmt.Fprintf(w, "%-14s %-22s", "model", "metric")
+	for _, b := range r.benches {
+		fmt.Fprintf(w, "%10s", trunc(b, 9))
+	}
+	fmt.Fprintln(w)
+	for _, m := range models {
+		rows := []struct {
+			name string
+			get  func(*proc.Stats) string
+		}{
+			{"avg. trace length", func(s *proc.Stats) string { return fmt.Sprintf("%.1f", s.AvgTraceLen()) }},
+			{"trace misp. rate", func(s *proc.Stats) string {
+				return fmt.Sprintf("%.1f(%.1f%%)", s.TraceMispPer1000(), 100*s.TraceMispRate())
+			}},
+			{"trace $ miss rate", func(s *proc.Stats) string {
+				return fmt.Sprintf("%.1f(%.1f%%)", s.TCMissPer1000(), 100*s.TCMissRate())
+			}},
+		}
+		for i, row := range rows {
+			label := ""
+			if i == 0 {
+				label = m
+			}
+			fmt.Fprintf(w, "%-14s %-22s", label, row.name)
+			for _, b := range r.benches {
+				if s, ok := r.Get(b, m); ok {
+					fmt.Fprintf(w, "%10s", row.get(s))
+				} else {
+					fmt.Fprintf(w, "%10s", "-")
+				}
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+// Table5 renders the conditional branch statistics of the base model.
+func Table5(w io.Writer, r *ResultSet, model string) {
+	fmt.Fprintln(w, "TABLE 5: Conditional branch statistics.")
+	fmt.Fprintf(w, "%-34s", "")
+	for _, b := range r.benches {
+		fmt.Fprintf(w, "%9s", trunc(b, 8))
+	}
+	fmt.Fprintln(w)
+
+	row := func(label string, get func(*proc.Stats) string) {
+		fmt.Fprintf(w, "%-34s", label)
+		for _, b := range r.benches {
+			if s, ok := r.Get(b, model); ok {
+				fmt.Fprintf(w, "%9s", get(s))
+			} else {
+				fmt.Fprintf(w, "%9s", "-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	pct := func(num, den uint64) string {
+		if den == 0 {
+			return "0.0%"
+		}
+		return fmt.Sprintf("%.1f%%", 100*float64(num)/float64(den))
+	}
+	avg := func(sum, n uint64) string {
+		if n == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.1f", float64(sum)/float64(n))
+	}
+
+	row("FGCI<=32  frac. br.", func(s *proc.Stats) string { return pct(s.FGCISmall().Dynamic, s.CondBranches()) })
+	row("          frac. misp.", func(s *proc.Stats) string { return pct(s.FGCISmall().Mispredicted, s.CondMispredictions()) })
+	row("FGCI>32   frac. br.", func(s *proc.Stats) string { return pct(s.FGCIBig().Dynamic, s.CondBranches()) })
+	row("          frac. misp.", func(s *proc.Stats) string { return pct(s.FGCIBig().Mispredicted, s.CondMispredictions()) })
+	row("FGCI      misp. rate", func(s *proc.Stats) string {
+		d := s.FGCISmall().Dynamic + s.FGCIBig().Dynamic
+		m := s.FGCISmall().Mispredicted + s.FGCIBig().Mispredicted
+		return pct(m, d)
+	})
+	row("          dyn. region size", func(s *proc.Stats) string {
+		c := s.FGCISmall()
+		big := s.FGCIBig()
+		return avg(c.DynSizeSum+big.DynSizeSum, c.Dynamic+big.Dynamic)
+	})
+	row("          stat. region size", func(s *proc.Stats) string {
+		c := s.FGCISmall()
+		big := s.FGCIBig()
+		return avg(c.StaticSizeSum+big.StaticSizeSum, c.Dynamic+big.Dynamic)
+	})
+	row("          # cond. br. in reg.", func(s *proc.Stats) string {
+		c := s.FGCISmall()
+		big := s.FGCIBig()
+		return avg(c.CondBrSum+big.CondBrSum, c.Dynamic+big.Dynamic)
+	})
+	row("other fwd frac. br.", func(s *proc.Stats) string { return pct(s.OtherForward().Dynamic, s.CondBranches()) })
+	row("          frac. misp.", func(s *proc.Stats) string { return pct(s.OtherForward().Mispredicted, s.CondMispredictions()) })
+	row("          misp. rate", func(s *proc.Stats) string { return pct(s.OtherForward().Mispredicted, s.OtherForward().Dynamic) })
+	row("backward  frac. br.", func(s *proc.Stats) string { return pct(s.Backward().Dynamic, s.CondBranches()) })
+	row("          frac. misp.", func(s *proc.Stats) string { return pct(s.Backward().Mispredicted, s.CondMispredictions()) })
+	row("          misp. rate", func(s *proc.Stats) string { return pct(s.Backward().Mispredicted, s.Backward().Dynamic) })
+	row("overall branch misp. rate", func(s *proc.Stats) string { return fmt.Sprintf("%.1f%%", 100*s.BranchMispRate()) })
+	row("branch misp./1000 instr.", func(s *proc.Stats) string { return fmt.Sprintf("%.1f", s.BranchMispPer1000()) })
+}
+
+// Figure renders a %-improvement-over-base bar chart (Figures 9 and 10) as
+// aligned text with ASCII bars.
+func Figure(w io.Writer, title string, r *ResultSet, models []string, base string) {
+	fmt.Fprintln(w, title)
+	fmt.Fprintf(w, "%-10s", "")
+	for _, m := range models {
+		fmt.Fprintf(w, "%14s", m)
+	}
+	fmt.Fprintln(w)
+	sums := make(map[string]float64)
+	for _, b := range r.benches {
+		fmt.Fprintf(w, "%-10s", b)
+		for _, m := range models {
+			if imp, ok := r.Improvement(b, m, base); ok {
+				fmt.Fprintf(w, "%13.1f%%", imp)
+				sums[m] += imp
+			} else {
+				fmt.Fprintf(w, "%14s", "-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "%-10s", "average")
+	for _, m := range models {
+		fmt.Fprintf(w, "%13.1f%%", sums[m]/float64(len(r.benches)))
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w)
+	// ASCII bars per benchmark for the first model ordering.
+	maxImp := 1.0
+	for _, b := range r.benches {
+		for _, m := range models {
+			if imp, ok := r.Improvement(b, m, base); ok {
+				maxImp = math.Max(maxImp, math.Abs(imp))
+			}
+		}
+	}
+	for _, b := range r.benches {
+		for _, m := range models {
+			imp, ok := r.Improvement(b, m, base)
+			if !ok {
+				continue
+			}
+			bar := int(math.Round(math.Abs(imp) / maxImp * 40))
+			sign := ""
+			if imp < 0 {
+				sign = "-"
+			}
+			fmt.Fprintf(w, "  %-9s %-13s %6.1f%% |%s%s\n", b, m, imp, sign, strings.Repeat("#", bar))
+		}
+	}
+}
+
+// BestPerBenchmark reports, per benchmark, the best CI model's improvement
+// over base — the paper's "using the best-performing technique" summary
+// (13% average; 17% over benchmarks with significant misprediction rates).
+func BestPerBenchmark(w io.Writer, r *ResultSet, ciModels []string, base string) (avg float64) {
+	fmt.Fprintln(w, "Best-performing CI technique per benchmark:")
+	var sum float64
+	for _, b := range r.benches {
+		best, bestModel := math.Inf(-1), ""
+		for _, m := range ciModels {
+			if imp, ok := r.Improvement(b, m, base); ok && imp > best {
+				best, bestModel = imp, m
+			}
+		}
+		if bestModel == "" {
+			continue
+		}
+		fmt.Fprintf(w, "  %-10s %-13s %+.1f%%\n", b, bestModel, best)
+		sum += best
+	}
+	avg = sum / float64(len(r.benches))
+	fmt.Fprintf(w, "  average best-technique improvement: %+.1f%%\n", avg)
+	return avg
+}
+
+func trunc(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n]
+}
+
+// SortedKeys is exported for deterministic test output.
+func (r *ResultSet) SortedKeys() []Key {
+	keys := make([]Key, 0, len(r.byKey))
+	for k := range r.byKey {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Bench != keys[j].Bench {
+			return keys[i].Bench < keys[j].Bench
+		}
+		return keys[i].Model < keys[j].Model
+	})
+	return keys
+}

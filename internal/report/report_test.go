@@ -1,0 +1,125 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"tracep/internal/proc"
+)
+
+func fakeStats(ipc float64) *proc.Stats {
+	// IPC = retired/cycles; build stats with the desired ratio.
+	s := &proc.Stats{RetiredInsts: uint64(ipc * 1000), Cycles: 1000, RetiredTraces: 100, RetiredTraceLenSum: 2000}
+	s.BranchClasses[0] = proc.ClassStats{Dynamic: 100, Mispredicted: 10, DynSizeSum: 500, StaticSizeSum: 700, CondBrSum: 200}
+	s.BranchClasses[2] = proc.ClassStats{Dynamic: 50, Mispredicted: 5}
+	s.BranchClasses[3] = proc.ClassStats{Dynamic: 30, Mispredicted: 3}
+	return s
+}
+
+func TestResultSetBasics(t *testing.T) {
+	rs := NewResultSet()
+	rs.Add("compress", "base", fakeStats(2))
+	rs.Add("gcc", "base", fakeStats(4))
+	rs.Add("compress", "FG", fakeStats(3))
+
+	if got := rs.Benches(); len(got) != 2 || got[0] != "compress" || got[1] != "gcc" {
+		t.Errorf("benches = %v", got)
+	}
+	if got := rs.Models(); len(got) != 2 {
+		t.Errorf("models = %v", got)
+	}
+	if _, ok := rs.Get("compress", "base"); !ok {
+		t.Error("missing cell")
+	}
+	if _, ok := rs.Get("nope", "base"); ok {
+		t.Error("phantom cell")
+	}
+}
+
+func TestHarmonicMean(t *testing.T) {
+	rs := NewResultSet()
+	rs.Add("a", "m", fakeStats(2))
+	rs.Add("b", "m", fakeStats(4))
+	// HM of 2 and 4 = 2/(1/2+1/4) = 8/3.
+	if hm := rs.HarmonicMeanIPC("m"); math.Abs(hm-8.0/3) > 1e-9 {
+		t.Errorf("harmonic mean = %v, want %v", hm, 8.0/3)
+	}
+	if hm := rs.HarmonicMeanIPC("missing"); hm != 0 {
+		t.Errorf("missing model HM = %v, want 0", hm)
+	}
+}
+
+func TestImprovement(t *testing.T) {
+	rs := NewResultSet()
+	rs.Add("a", "base", fakeStats(2))
+	rs.Add("a", "ci", fakeStats(3))
+	imp, ok := rs.Improvement("a", "ci", "base")
+	if !ok || math.Abs(imp-50) > 1e-9 {
+		t.Errorf("improvement = %v (%v), want 50", imp, ok)
+	}
+	if _, ok := rs.Improvement("a", "missing", "base"); ok {
+		t.Error("missing model must not report improvement")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	rs := NewResultSet()
+	for _, bench := range []string{"compress", "gcc"} {
+		for i, m := range []string{"base", "base(ntb)"} {
+			rs.Add(bench, m, fakeStats(float64(2+i)))
+		}
+	}
+	var sb strings.Builder
+	Table3(&sb, rs, []string{"base", "base(ntb)"})
+	out := sb.String()
+	for _, want := range []string{"TABLE 3", "compress", "gcc", "Harm.Mean", "2.00", "3.00"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table3 output missing %q:\n%s", want, out)
+		}
+	}
+
+	sb.Reset()
+	Table4(&sb, rs, []string{"base"})
+	out = sb.String()
+	for _, want := range []string{"TABLE 4", "avg. trace length", "trace misp. rate", "trace $ miss rate", "20.0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table4 output missing %q:\n%s", want, out)
+		}
+	}
+
+	sb.Reset()
+	Table5(&sb, rs, "base")
+	out = sb.String()
+	for _, want := range []string{"TABLE 5", "FGCI<=32", "frac. br.", "backward", "overall branch misp. rate", "55.6%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table5 output missing %q:\n%s", want, out)
+		}
+	}
+
+	sb.Reset()
+	Figure(&sb, "FIGURE X", rs, []string{"base(ntb)"}, "base")
+	out = sb.String()
+	for _, want := range []string{"FIGURE X", "average", "50.0%", "#"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure output missing %q:\n%s", want, out)
+		}
+	}
+
+	sb.Reset()
+	avg := BestPerBenchmark(&sb, rs, []string{"base(ntb)"}, "base")
+	if math.Abs(avg-50) > 1e-9 {
+		t.Errorf("best average = %v, want 50", avg)
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	rs := NewResultSet()
+	rs.Add("b", "m2", fakeStats(1))
+	rs.Add("a", "m1", fakeStats(1))
+	rs.Add("a", "m0", fakeStats(1))
+	keys := rs.SortedKeys()
+	if len(keys) != 3 || keys[0] != (Key{"a", "m0"}) || keys[2] != (Key{"b", "m2"}) {
+		t.Errorf("sorted keys = %v", keys)
+	}
+}

@@ -1,0 +1,186 @@
+// Package tpred implements the next-trace predictor (Jacobson, Rotenberg &
+// Smith 1997) used by the trace processor frontend: a hybrid of a path-based
+// predictor indexed by a hash of the last 8 trace IDs and a simple predictor
+// indexed by the last trace ID alone, each 2^16 entries (Table 1). A single
+// trace prediction implicitly predicts multiple branches per cycle.
+//
+// The predictor keeps a speculative history that the frontend checkpoints
+// per fetched trace and rebuilds on misprediction recovery ("the trace
+// predictor is backed up to that trace", §2.1).
+package tpred
+
+import "tracep/internal/trace"
+
+// Config sizes the predictor.
+type Config struct {
+	PathEntries   int // 2^16 per Table 1
+	SimpleEntries int // 2^16 per Table 1
+	HistLen       int // path history depth: 8 traces
+}
+
+// DefaultConfig matches Table 1.
+func DefaultConfig() Config {
+	return Config{PathEntries: 1 << 16, SimpleEntries: 1 << 16, HistLen: 8}
+}
+
+type entry struct {
+	valid bool
+	desc  trace.Descriptor
+	// ctr is a 2-bit saturating confidence counter with replace-on-zero
+	// hysteresis.
+	ctr uint8
+}
+
+// Predictor is the hybrid next-trace predictor.
+type Predictor struct {
+	cfg     Config
+	path    []entry
+	simple  []entry
+	histLen int
+
+	// hist is the speculative history of trace IDs: hist[len-1] is the most
+	// recent trace. The frontend snapshots positions into this (append-only
+	// within a run) sequence and rebuilds suffixes on recovery.
+	hist []uint64
+
+	// Stats.
+	Predictions     uint64
+	PathPredictions uint64
+	Trains          uint64
+}
+
+// New builds a predictor.
+func New(cfg Config) *Predictor {
+	if cfg.PathEntries == 0 {
+		cfg = DefaultConfig()
+	}
+	if cfg.PathEntries&(cfg.PathEntries-1) != 0 || cfg.SimpleEntries&(cfg.SimpleEntries-1) != 0 {
+		panic("tpred: table sizes must be powers of two")
+	}
+	return &Predictor{
+		cfg:     cfg,
+		path:    make([]entry, cfg.PathEntries),
+		simple:  make([]entry, cfg.SimpleEntries),
+		histLen: cfg.HistLen,
+	}
+}
+
+// hashPath folds the most recent histLen trace IDs into a path index,
+// weighting recent traces with more bits (a DOLC-style hash).
+func hashPath(hist []uint64, histLen, mask int) int {
+	h := uint64(0x9E3779B97F4A7C15)
+	start := len(hist) - histLen
+	if start < 0 {
+		start = 0
+	}
+	for i := start; i < len(hist); i++ {
+		h = (h<<5 | h>>59) ^ hist[i]
+		h *= 0xBF58476D1CE4E5B9
+	}
+	return int(h^(h>>21)) & mask
+}
+
+func hashSimple(hist []uint64, mask int) int {
+	if len(hist) == 0 {
+		return 0
+	}
+	h := hist[len(hist)-1]
+	h ^= h >> 17
+	h *= 0xBF58476D1CE4E5B9
+	return int(h^(h>>29)) & mask
+}
+
+// Predict returns the predicted next trace descriptor given the current
+// speculative history. The path-based component is used when its entry is
+// valid and confident; otherwise the simple component; ok is false when
+// neither has an opinion.
+func (p *Predictor) Predict() (trace.Descriptor, bool) {
+	p.Predictions++
+	pe := &p.path[hashPath(p.hist, p.histLen, len(p.path)-1)]
+	if pe.valid && pe.ctr >= 2 {
+		p.PathPredictions++
+		return pe.desc, true
+	}
+	se := &p.simple[hashSimple(p.hist, len(p.simple)-1)]
+	if se.valid {
+		return se.desc, true
+	}
+	if pe.valid {
+		p.PathPredictions++
+		return pe.desc, true
+	}
+	return trace.Descriptor{}, false
+}
+
+// SpecUpdate pushes a fetched trace's ID into the speculative history and
+// returns the history position before the push (the checkpoint for that
+// trace).
+func (p *Predictor) SpecUpdate(d trace.Descriptor) int {
+	pos := len(p.hist)
+	p.hist = append(p.hist, d.ID())
+	return pos
+}
+
+// HistoryPos returns the current speculative history length (the checkpoint
+// that a trace fetched next would receive).
+func (p *Predictor) HistoryPos() int { return len(p.hist) }
+
+// Rewind truncates the speculative history to pos, discarding younger trace
+// IDs. Used when recovery backs the predictor up to a mispredicted trace.
+func (p *Predictor) Rewind(pos int) {
+	if pos < 0 {
+		pos = 0
+	}
+	if pos < len(p.hist) {
+		p.hist = p.hist[:pos]
+	}
+}
+
+// ReplaceAt overwrites the history element at pos (the repaired trace's new
+// ID after an FGCI repair, where all younger history is preserved).
+func (p *Predictor) ReplaceAt(pos int, d trace.Descriptor) {
+	if pos >= 0 && pos < len(p.hist) {
+		p.hist[pos] = d.ID()
+	}
+}
+
+// histAt returns the history prefix of length pos.
+func (p *Predictor) histAt(pos int) []uint64 {
+	if pos > len(p.hist) {
+		pos = len(p.hist)
+	}
+	if pos < 0 {
+		pos = 0
+	}
+	return p.hist[:pos]
+}
+
+// Train updates both components with the actual descriptor of the trace
+// whose history checkpoint was pos (i.e. the tables are indexed with the
+// history that existed when that trace was predicted). Standard 2-bit
+// hysteresis: matching entries gain confidence, mismatching entries lose it
+// and are replaced at zero.
+func (p *Predictor) Train(pos int, actual trace.Descriptor) {
+	p.Trains++
+	h := p.histAt(pos)
+	train := func(e *entry) {
+		if e.valid && e.desc == actual {
+			if e.ctr < 3 {
+				e.ctr++
+			}
+			return
+		}
+		if e.valid && e.ctr > 0 {
+			e.ctr--
+			return
+		}
+		e.valid = true
+		e.desc = actual
+		e.ctr = 1
+	}
+	train(&p.path[hashPath(h, p.histLen, len(p.path)-1)])
+	train(&p.simple[hashSimple(h, len(p.simple)-1)])
+}
+
+// Reset clears the speculative history (not the tables); used at run start.
+func (p *Predictor) Reset() { p.hist = p.hist[:0] }

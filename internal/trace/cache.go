@@ -1,0 +1,70 @@
+package trace
+
+import "tracep/internal/cache"
+
+// CacheConfig sizes the trace cache. Table 1: 128 kB, 4-way, LRU, 32-inst
+// lines. 128 kB / (32 insts x 4 B) = 1024 lines; 4-way gives 256 sets.
+type CacheConfig struct {
+	Sets  int
+	Assoc int
+}
+
+// DefaultCacheConfig matches Table 1.
+func DefaultCacheConfig() CacheConfig { return CacheConfig{Sets: 256, Assoc: 4} }
+
+// Cache is the trace cache: low-latency, high-bandwidth storage for
+// pre-renamed traces, indexed by trace descriptor. Timing (sets/ways/LRU)
+// is modelled by a SetAssoc; contents live in a map kept in sync with the
+// timing array.
+type Cache struct {
+	timing *cache.SetAssoc
+	store  map[uint64]*Trace
+}
+
+// NewCache builds a trace cache.
+func NewCache(cfg CacheConfig) *Cache {
+	if cfg.Sets == 0 {
+		cfg = DefaultCacheConfig()
+	}
+	return &Cache{
+		timing: cache.NewSetAssoc(cfg.Sets, cfg.Assoc),
+		store:  make(map[uint64]*Trace),
+	}
+}
+
+// Lookup searches for the trace identified by d. A miss does not allocate;
+// the line is filled when the constructed trace is Inserted.
+func (c *Cache) Lookup(d Descriptor) (*Trace, bool) {
+	key := d.ID()
+	if c.timing.Touch(key) {
+		if tr, ok := c.store[key]; ok {
+			return tr, true
+		}
+		// Timing hit with missing content can only follow an external
+		// inconsistency; treat as miss.
+		c.timing.Misses++
+		c.timing.Accesses++
+		return nil, false
+	}
+	return nil, false
+}
+
+// Insert fills the cache with tr, evicting an LRU victim if needed.
+func (c *Cache) Insert(tr *Trace) {
+	key := tr.Desc.ID()
+	if evicted, evict := c.timing.Fill(key); evict {
+		delete(c.store, evicted)
+	}
+	c.store[key] = tr
+}
+
+// Stats returns lookup and miss counts.
+func (c *Cache) Stats() (lookups, misses uint64) {
+	return c.timing.Accesses, c.timing.Misses
+}
+
+// Resident reports whether the trace identified by d is currently cached
+// (no LRU update; for tests).
+func (c *Cache) Resident(d Descriptor) bool {
+	return c.timing.Probe(d.ID())
+}

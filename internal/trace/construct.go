@@ -1,0 +1,206 @@
+package trace
+
+import (
+	"tracep/internal/bpred"
+	"tracep/internal/cache"
+	"tracep/internal/core"
+	"tracep/internal/isa"
+)
+
+// SelConfig configures trace selection (§3.2, §4.1).
+type SelConfig struct {
+	// MaxLen is the maximum trace length (Table 1: 32).
+	MaxLen int
+	// NTB terminates traces at predicted not-taken backward branches,
+	// exposing loop exits as trace-level re-convergent points for CGCI.
+	NTB bool
+	// FG enables FGCI padding selection: an embeddable region accrues its
+	// full dynamic region size regardless of which path is actually taken,
+	// so every alternate path through the region ends the trace at the same
+	// point.
+	FG bool
+}
+
+// DefaultSelConfig returns the paper's default selection (max length 32,
+// termination at indirect branches only).
+func DefaultSelConfig() SelConfig { return SelConfig{MaxLen: 32} }
+
+// Constructor builds traces by walking the static program, following either
+// forced branch outcomes (from a trace prediction) or the branch predictor.
+// It implements the "outstanding trace buffer" construction path of the
+// frontend: construction consumes instruction-cache bandwidth at one basic
+// block per cycle and consults the BIT under FGCI selection.
+type Constructor struct {
+	Prog *isa.Program
+	Sel  SelConfig
+	// BIT supplies region information for FGCI selection; required when
+	// Sel.FG is set.
+	BIT *core.BIT
+	// BP predicts directions of branches with no forced outcome; may be nil
+	// (defaults to not-taken).
+	BP *bpred.Predictor
+	// IC models instruction-cache timing for construction; may be nil (no
+	// icache latency modelled).
+	IC *cache.ICache
+}
+
+// Build constructs the trace starting at startPC. The first len(forced)
+// conditional branches take the given outcomes (a trace prediction); any
+// further branches consult the branch predictor. It returns the trace and
+// the construction latency in cycles (basic-block fetches, instruction-cache
+// misses, and BIT miss handling).
+func (c *Constructor) Build(startPC uint32, forced []bool) (*Trace, int) {
+	t := &Trace{Desc: Descriptor{StartPC: startPC}}
+	cycles := 0
+	pc := startPC
+	effLen := 0 // cumulative trace length including FGCI padding
+	frozen := false
+	var freezeEnd uint32
+	var frozenBranches []int // indices into t.Branches inside the open region
+	brCount := 0
+	bbStart := true
+	var lastFetchPC uint32
+	terminated := false
+
+	for !terminated {
+		if frozen && pc >= freezeEnd {
+			// Re-convergent point reached: resume length accounting and
+			// record the first control-independent index for every branch
+			// covered by the region.
+			frozen = false
+			for _, bi := range frozenBranches {
+				t.Branches[bi].ReconvIdx = len(t.Insts)
+			}
+			frozenBranches = frozenBranches[:0]
+		}
+		if !frozen && effLen >= c.Sel.MaxLen {
+			break
+		}
+		in := c.Prog.At(pc)
+
+		// FGCI selection: consult the BIT before the branch is added.
+		if c.Sel.FG && !frozen && c.BIT != nil && in.IsForwardBranch(pc) {
+			reg, lat := c.BIT.Lookup(pc)
+			cycles += lat
+			if reg.Embeddable(c.Sel.MaxLen) {
+				if effLen+reg.Size <= c.Sel.MaxLen {
+					frozen = true
+					freezeEnd = reg.ReconvPC
+					effLen += reg.Size
+				} else if len(t.Insts) > 0 {
+					// Terminate the trace before the branch; deferring the
+					// branch to the next trace ensures all potential FGCI is
+					// exposed (§3.2).
+					break
+				}
+			}
+		}
+
+		// Instruction fetch accounting: one cycle per basic block, plus one
+		// per extra cache line the block spans, plus miss penalties.
+		if c.IC != nil {
+			if bbStart || !c.IC.SameLine(lastFetchPC, pc) {
+				cycles += 1 + c.IC.Fetch(pc)
+			}
+		} else if bbStart {
+			cycles++
+		}
+		bbStart = false
+		lastFetchPC = pc
+
+		idx := len(t.Insts)
+		t.PCs = append(t.PCs, pc)
+		t.Insts = append(t.Insts, in)
+		if !frozen {
+			effLen++
+		}
+
+		switch {
+		case in.IsCondBranch():
+			taken := false
+			switch {
+			case brCount < len(forced):
+				taken = forced[brCount]
+			case c.BP != nil:
+				taken = c.BP.PredictDirection(pc)
+			}
+			bi := BranchInfo{Idx: idx, PC: pc, Taken: taken, ReconvIdx: -1}
+			if frozen {
+				bi.FGCICovered = true
+				frozenBranches = append(frozenBranches, len(t.Branches))
+			}
+			t.Branches = append(t.Branches, bi)
+			if taken {
+				t.Desc.Outcomes |= 1 << uint(brCount)
+			}
+			brCount++
+			backward := in.IsBackwardBranch(pc)
+			if taken {
+				pc = in.Target
+			} else {
+				pc++
+			}
+			bbStart = true
+			if c.Sel.NTB && backward && !taken {
+				t.EndsNTB = true
+				terminated = true
+			}
+		case in.Op == isa.OpJump, in.Op == isa.OpCall:
+			pc = in.Target
+			bbStart = true
+		case in.IsIndirect():
+			t.EndsIndirect = true
+			t.EndsInRet = in.Op == isa.OpRet
+			terminated = true
+		case in.Op == isa.OpHalt:
+			t.EndsHalt = true
+			terminated = true
+		default:
+			pc++
+		}
+	}
+
+	// Safety: a region that did not close before the trace ended (cannot
+	// happen for well-formed embeddable regions) must not claim FGCI
+	// coverage.
+	for _, bi := range frozenBranches {
+		t.Branches[bi].FGCICovered = false
+		t.Branches[bi].ReconvIdx = -1
+	}
+
+	if !t.EndsIndirect && !t.EndsHalt {
+		t.NextPC = pc
+	}
+	t.Desc.Len = uint8(len(t.Insts))
+	t.Desc.NumBr = uint8(brCount)
+	t.prerename()
+	return t, cycles
+}
+
+// SuffixCycles estimates the trace-buffer repair latency for re-fetching tr
+// from intra-trace index from: one cycle per basic block in the suffix plus
+// instruction-cache misses (the prefix is already resident in the buffer).
+func (c *Constructor) SuffixCycles(tr *Trace, from int) int {
+	cycles := 0
+	bbStart := true
+	var last uint32
+	for i := from; i < len(tr.Insts); i++ {
+		pc := tr.PCs[i]
+		if c.IC != nil {
+			if bbStart || !c.IC.SameLine(last, pc) {
+				cycles += 1 + c.IC.Fetch(pc)
+			}
+		} else if bbStart {
+			cycles++
+		}
+		bbStart = false
+		last = pc
+		if tr.Insts[i].IsControl() {
+			bbStart = true
+		}
+	}
+	if cycles == 0 {
+		cycles = 1
+	}
+	return cycles
+}

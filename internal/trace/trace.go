@@ -1,0 +1,195 @@
+// Package trace implements traces — the trace processor's fundamental unit
+// of control flow — together with trace selection (default, the ntb
+// constraint, and FGCI padding selection), trace construction, pre-renaming
+// of intra-trace values, and the trace cache.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"tracep/internal/isa"
+)
+
+// Descriptor identifies a trace: its start PC, its physical length, and the
+// embedded outcomes of its conditional branches. Together with the static
+// program these determine the trace's contents exactly, so descriptors serve
+// as trace-cache keys and next-trace-predictor predictions.
+type Descriptor struct {
+	StartPC  uint32
+	Len      uint8
+	NumBr    uint8
+	Outcomes uint32 // bit i = taken outcome of the i-th conditional branch
+}
+
+// Valid reports whether the descriptor denotes a real trace (zero-length
+// descriptors are used as "no prediction").
+func (d Descriptor) Valid() bool { return d.Len > 0 }
+
+// ID returns a 64-bit hash identifying the trace, used for predictor history
+// hashing and trace-cache indexing.
+func (d Descriptor) ID() uint64 {
+	h := uint64(d.StartPC)
+	h = h*0x9E3779B97F4A7C15 + uint64(d.Len)
+	h ^= uint64(d.Outcomes) << 16
+	h = h*0x9E3779B97F4A7C15 + uint64(d.NumBr)
+	h ^= h >> 29
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 32
+	return h
+}
+
+// String renders the descriptor compactly for logs and tests.
+func (d Descriptor) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "T[pc=%d len=%d br=", d.StartPC, d.Len)
+	for i := 0; i < int(d.NumBr); i++ {
+		if d.Outcomes&(1<<uint(i)) != 0 {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}
+
+// SrcKind classifies an instruction source operand after pre-renaming.
+type SrcKind uint8
+
+const (
+	// SrcNone marks an unused operand slot (or a read of R0 = constant 0).
+	SrcNone SrcKind = iota
+	// SrcLocal marks an intra-trace value produced by an earlier instruction
+	// in the same trace; pre-renamed in the trace cache, it never consults
+	// the global rename maps.
+	SrcLocal
+	// SrcLiveIn marks an inter-trace value: an architectural register read
+	// before any write in this trace; renamed at dispatch through the global
+	// maps.
+	SrcLiveIn
+)
+
+// SrcRef is a pre-renamed source operand reference.
+type SrcRef struct {
+	Kind  SrcKind
+	Local int16   // producing instruction index within the trace (SrcLocal)
+	Arch  isa.Reg // architectural register (SrcLiveIn)
+}
+
+// BranchInfo describes one conditional branch embedded in a trace.
+type BranchInfo struct {
+	// Idx is the branch's instruction index within the trace.
+	Idx int
+	// PC is the branch's address.
+	PC uint32
+	// Taken is the embedded (predicted) outcome the trace was built with.
+	Taken bool
+	// FGCICovered reports that the branch lies inside an embeddable region
+	// wholly contained in this trace, so a misprediction of it is repairable
+	// within the PE without disturbing subsequent traces (fine-grain CI).
+	FGCICovered bool
+	// ReconvIdx is the intra-trace index of the first control-independent
+	// instruction (the region's re-convergent point) when FGCICovered.
+	ReconvIdx int
+}
+
+// Trace is a fully constructed, pre-renamed trace.
+type Trace struct {
+	Desc     Descriptor
+	PCs      []uint32
+	Insts    []isa.Inst
+	Branches []BranchInfo
+
+	// Srcs[i] are the pre-renamed source operands of instruction i.
+	Srcs [][2]SrcRef
+	// DestArch[i] is the architectural register written by instruction i (0
+	// if none).
+	DestArch []isa.Reg
+	// LocalConsumers[i] lists the instruction indices whose operands are
+	// produced locally by instruction i (the intra-PE bypass fan-out).
+	LocalConsumers [][]int16
+	// LastWriter[r] is the index of the last instruction writing
+	// architectural register r, or -1; these instructions produce the
+	// trace's live-outs.
+	LastWriter [isa.NumRegs]int16
+	// LiveIns lists the architectural registers this trace reads from
+	// previous traces, in first-use order.
+	LiveIns []isa.Reg
+	// LiveOuts lists the architectural registers this trace writes
+	// (ascending).
+	LiveOuts []isa.Reg
+
+	// NextPC is the fall-through successor PC after the trace; meaningless
+	// when EndsIndirect or EndsHalt.
+	NextPC       uint32
+	EndsIndirect bool
+	EndsInRet    bool
+	EndsHalt     bool
+	// EndsNTB reports that the trace was terminated by the ntb selection
+	// constraint (a predicted not-taken backward branch), exposing a
+	// loop-exit global re-convergent point at NextPC.
+	EndsNTB bool
+}
+
+// Len returns the trace's physical instruction count.
+func (t *Trace) Len() int { return len(t.Insts) }
+
+// BranchAt returns the BranchInfo for the instruction at intra-trace index
+// idx, if that instruction is a conditional branch.
+func (t *Trace) BranchAt(idx int) (*BranchInfo, bool) {
+	for i := range t.Branches {
+		if t.Branches[i].Idx == idx {
+			return &t.Branches[i], true
+		}
+	}
+	return nil, false
+}
+
+// prerename computes the intra-trace dataflow: source classification
+// (local vs live-in), last writers, live-ins/live-outs and the local
+// consumer lists. It is called once at construction; the results are stored
+// with the trace in the trace cache ("intra-trace values are pre-renamed in
+// the trace cache").
+func (t *Trace) prerename() {
+	n := len(t.Insts)
+	t.Srcs = make([][2]SrcRef, n)
+	t.DestArch = make([]isa.Reg, n)
+	t.LocalConsumers = make([][]int16, n)
+	for r := range t.LastWriter {
+		t.LastWriter[r] = -1
+	}
+	seenLiveIn := [isa.NumRegs]bool{}
+	for i, in := range t.Insts {
+		s1, u1, s2, u2 := in.SrcRegs()
+		srcs := [2]struct {
+			r isa.Reg
+			u bool
+		}{{s1, u1}, {s2, u2}}
+		for k, s := range srcs {
+			if !s.u {
+				t.Srcs[i][k] = SrcRef{Kind: SrcNone}
+				continue
+			}
+			if w := t.LastWriter[s.r]; w >= 0 {
+				t.Srcs[i][k] = SrcRef{Kind: SrcLocal, Local: w}
+				t.LocalConsumers[w] = append(t.LocalConsumers[w], int16(i))
+			} else {
+				t.Srcs[i][k] = SrcRef{Kind: SrcLiveIn, Arch: s.r}
+				if !seenLiveIn[s.r] {
+					seenLiveIn[s.r] = true
+					t.LiveIns = append(t.LiveIns, s.r)
+				}
+			}
+		}
+		if rd, ok := in.WritesReg(); ok {
+			t.DestArch[i] = rd
+			t.LastWriter[rd] = int16(i)
+		}
+	}
+	for r := 1; r < isa.NumRegs; r++ {
+		if t.LastWriter[r] >= 0 {
+			t.LiveOuts = append(t.LiveOuts, isa.Reg(r))
+		}
+	}
+}

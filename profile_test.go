@@ -1,0 +1,91 @@
+package tracep_test
+
+import (
+	"testing"
+
+	"tracep"
+)
+
+// TestSuiteProfileShape locks the Table 5 signatures of the workload suite:
+// each analogue must keep the control-flow property that drives its paper
+// counterpart's behaviour. Run lengths are small, so thresholds are loose;
+// EXPERIMENTS.md records the precise 300k-instruction values.
+func TestSuiteProfileShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	stats := func(name string) *tracep.Stats {
+		bm, err := tracep.BenchmarkByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := tracep.RunBenchmark(bm, tracep.ModelBase, 60_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Stats
+	}
+	fracFGCIMisp := func(s *tracep.Stats) float64 {
+		m := s.CondMispredictions()
+		if m == 0 {
+			return 0
+		}
+		return float64(s.FGCISmall().Mispredicted+s.FGCIBig().Mispredicted) / float64(m)
+	}
+
+	// compress: misprediction-heavy and FGCI-dominated (paper: 9.4% rate,
+	// 63% of misps in FGCI regions).
+	s := stats("compress")
+	if r := s.BranchMispRate(); r < 0.05 || r > 0.16 {
+		t.Errorf("compress misp rate = %.1f%%, want 5-16%%", 100*r)
+	}
+	if f := fracFGCIMisp(s); f < 0.45 {
+		t.Errorf("compress FGCI misp share = %.0f%%, want > 45%%", 100*f)
+	}
+
+	// go: high misprediction rate (paper: 8.7%).
+	if r := stats("go").BranchMispRate(); r < 0.05 {
+		t.Errorf("go misp rate = %.1f%%, want >= 5%%", 100*r)
+	}
+
+	// li: backward branches contribute the plurality of mispredictions
+	// (paper: 61%).
+	s = stats("li")
+	if s.CondMispredictions() > 0 {
+		back := float64(s.Backward().Mispredicted) / float64(s.CondMispredictions())
+		if back < 0.30 {
+			t.Errorf("li backward misp share = %.0f%%, want > 30%%", 100*back)
+		}
+	}
+
+	// m88ksim and vortex: highly predictable (paper: 0.9% / 0.7%).
+	if r := stats("m88ksim").BranchMispRate(); r > 0.02 {
+		t.Errorf("m88ksim misp rate = %.1f%%, want <= 2%%", 100*r)
+	}
+	if r := stats("vortex").BranchMispRate(); r > 0.02 {
+		t.Errorf("vortex misp rate = %.1f%%, want <= 2%%", 100*r)
+	}
+
+	// jpeg: backward branches dominate the branch count (paper: 51%).
+	s = stats("jpeg")
+	if s.CondBranches() > 0 {
+		back := float64(s.Backward().Dynamic) / float64(s.CondBranches())
+		if back < 0.35 {
+			t.Errorf("jpeg backward branch share = %.0f%%, want > 35%%", 100*back)
+		}
+	}
+
+	// gcc: carries an FGCI >32 region class (paper: 1.9% of branches).
+	if stats("gcc").FGCIBig().Dynamic == 0 {
+		t.Error("gcc should execute branches with regions larger than a trace")
+	}
+
+	// perl: forward branches dominate the branch count (paper: 73% + 17%).
+	s = stats("perl")
+	if s.CondBranches() > 0 {
+		fwd := float64(s.OtherForward().Dynamic+s.FGCISmall().Dynamic) / float64(s.CondBranches())
+		if fwd < 0.40 {
+			t.Errorf("perl forward branch share = %.0f%%, want > 40%%", 100*fwd)
+		}
+	}
+}

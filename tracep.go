@@ -1,0 +1,121 @@
+// Package tracep is a reproduction of "Control Independence in Trace
+// Processors" (Rotenberg & Smith, MICRO-32, 1999): a cycle-level,
+// execution-driven trace processor simulator with fine-grain and
+// coarse-grain control-independence mechanisms, plus the paper's full
+// substrate stack (trace cache, next-trace predictor, branch predictor, ARB
+// memory disambiguation, hierarchical PEs) and the SPEC95int-analogue
+// workload suite.
+//
+// Quick start:
+//
+//	bm, _ := tracep.BenchmarkByName("compress")
+//	res, err := tracep.RunBenchmark(bm, tracep.ModelFGMLBRET, 300_000)
+//	fmt.Printf("IPC = %.2f\n", res.Stats.IPC())
+//
+// The eight experimental models of the paper's §6 are exposed as ModelBase,
+// ModelBaseNTB, ModelBaseFG, ModelBaseFGNTB (trace selection only, full
+// squash) and ModelRET, ModelMLBRET, ModelFG, ModelFGMLBRET (control
+// independence enabled).
+package tracep
+
+import (
+	"fmt"
+
+	"tracep/internal/asm"
+	"tracep/internal/bench"
+	"tracep/internal/isa"
+	"tracep/internal/proc"
+)
+
+// Model selects a trace-selection + control-independence configuration.
+type Model = proc.Model
+
+// Config is the processor configuration (Table 1 defaults via
+// DefaultConfig).
+type Config = proc.Config
+
+// Stats carries everything the paper's tables and figures report.
+type Stats = proc.Stats
+
+// Program is an executable image for the simulator's ISA.
+type Program = isa.Program
+
+// Builder is the programmatic assembler used to write programs.
+type Builder = asm.Builder
+
+// Benchmark is one synthetic SPEC95int-analogue workload.
+type Benchmark = bench.Benchmark
+
+// The paper's eight experimental models (§6).
+var (
+	ModelBase      = proc.ModelBase
+	ModelBaseNTB   = proc.ModelBaseNTB
+	ModelBaseFG    = proc.ModelBaseFG
+	ModelBaseFGNTB = proc.ModelBaseFGNTB
+	ModelRET       = proc.ModelRET
+	ModelMLBRET    = proc.ModelMLBRET
+	ModelFG        = proc.ModelFG
+	ModelFGMLBRET  = proc.ModelFGMLBRET
+)
+
+// Models lists all eight experimental models in the paper's order.
+func Models() []Model {
+	return []Model{
+		ModelBase, ModelBaseNTB, ModelBaseFG, ModelBaseFGNTB,
+		ModelRET, ModelMLBRET, ModelFG, ModelFGMLBRET,
+	}
+}
+
+// CIModels lists the four control-independence models of Figure 10.
+func CIModels() []Model {
+	return []Model{ModelRET, ModelMLBRET, ModelFG, ModelFGMLBRET}
+}
+
+// SelectionModels lists the four selection-only models of Tables 3-4.
+func SelectionModels() []Model {
+	return []Model{ModelBase, ModelBaseNTB, ModelBaseFG, ModelBaseFGNTB}
+}
+
+// DefaultConfig returns Table 1's processor configuration with oracle
+// verification enabled.
+func DefaultConfig() Config { return proc.DefaultConfig() }
+
+// NewProgram returns a builder for writing a program against the public API.
+func NewProgram(name string) *Builder { return asm.New(name) }
+
+// Benchmarks returns the eight-workload suite in the paper's order.
+func Benchmarks() []Benchmark { return bench.Suite() }
+
+// BenchmarkByName returns the named workload (compress, gcc, go, jpeg, li,
+// m88ksim, perl, vortex).
+func BenchmarkByName(name string) (Benchmark, error) { return bench.ByName(name) }
+
+// Result is the outcome of one simulation.
+type Result struct {
+	Benchmark string
+	Model     string
+	Stats     *Stats
+}
+
+// Run simulates prog under model with cfg until the program halts or
+// maxInsts instructions retire (0 = until halt).
+func Run(prog *Program, model Model, cfg Config, maxInsts uint64) (*Result, error) {
+	p := proc.New(prog, model, cfg)
+	stats, err := p.Run(maxInsts)
+	if err != nil {
+		return nil, fmt.Errorf("tracep: %s under %s: %w", prog.Name, model.Name, err)
+	}
+	return &Result{Benchmark: prog.Name, Model: model.Name, Stats: stats}, nil
+}
+
+// RunBenchmark runs a suite workload sized to roughly targetInsts dynamic
+// instructions under the default configuration.
+func RunBenchmark(bm Benchmark, model Model, targetInsts uint64) (*Result, error) {
+	prog := bm.Build(bm.ScaleFor(targetInsts))
+	res, err := Run(prog, model, DefaultConfig(), 0)
+	if err != nil {
+		return nil, err
+	}
+	res.Benchmark = bm.Name
+	return res, nil
+}

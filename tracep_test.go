@@ -1,0 +1,119 @@
+package tracep_test
+
+import (
+	"testing"
+
+	"tracep"
+)
+
+func TestPublicAPIQuickRun(t *testing.T) {
+	b := tracep.NewProgram("api")
+	b.Addi(1, 0, 1)
+	for i := 0; i < 50; i++ {
+		b.Add(2, 2, 1)
+	}
+	b.Store(2, 0, 10)
+	b.Halt()
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tracep.Run(prog, tracep.ModelBase, tracep.DefaultConfig(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.RetiredInsts != 53 {
+		t.Errorf("retired %d, want 53", res.Stats.RetiredInsts)
+	}
+	if res.Benchmark != "api" || res.Model != "base" {
+		t.Errorf("result labels: %q %q", res.Benchmark, res.Model)
+	}
+}
+
+func TestModelLists(t *testing.T) {
+	if got := len(tracep.Models()); got != 8 {
+		t.Errorf("Models() = %d entries, want 8", got)
+	}
+	if got := len(tracep.CIModels()); got != 4 {
+		t.Errorf("CIModels() = %d, want 4", got)
+	}
+	if got := len(tracep.SelectionModels()); got != 4 {
+		t.Errorf("SelectionModels() = %d, want 4", got)
+	}
+	names := map[string]bool{}
+	for _, m := range tracep.Models() {
+		if names[m.Name] {
+			t.Errorf("duplicate model name %q", m.Name)
+		}
+		names[m.Name] = true
+	}
+}
+
+func TestBenchmarkSuiteAPI(t *testing.T) {
+	if got := len(tracep.Benchmarks()); got != 8 {
+		t.Fatalf("suite has %d benchmarks, want 8", got)
+	}
+	bm, err := tracep.BenchmarkByName("vortex")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tracep.RunBenchmark(bm, tracep.ModelBase, 5_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.RetiredInsts == 0 {
+		t.Error("nothing retired")
+	}
+	if _, err := tracep.BenchmarkByName("nope"); err == nil {
+		t.Error("unknown benchmark must error")
+	}
+}
+
+// TestCIHeadlineResult asserts the paper's headline finding on this
+// reproduction: on the misprediction-heavy workload (compress analogue),
+// full control independence (FG+MLB-RET) substantially improves IPC over the
+// base trace processor, with zero correctness deviation (the oracle verifies
+// every retired instruction).
+func TestCIHeadlineResult(t *testing.T) {
+	bm, err := tracep.BenchmarkByName("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := tracep.RunBenchmark(bm, tracep.ModelBase, 40_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci, err := tracep.RunBenchmark(bm, tracep.ModelFGMLBRET, 40_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := (ci.Stats.IPC() - base.Stats.IPC()) / base.Stats.IPC()
+	if imp < 0.05 {
+		t.Errorf("FG+MLB-RET improvement on compress = %.1f%%, want >= 5%%", 100*imp)
+	}
+	if ci.Stats.FGCIRecoveries == 0 || ci.Stats.CGCIRecoveries == 0 {
+		t.Error("expected both fine- and coarse-grain recoveries")
+	}
+}
+
+// TestCIDoesNotHurtPredictableCode asserts that on the highly predictable
+// workload (vortex analogue) control independence neither helps nor hurts
+// much — the paper's vortex/m88ksim observation.
+func TestCIDoesNotHurtPredictableCode(t *testing.T) {
+	bm, err := tracep.BenchmarkByName("vortex")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := tracep.RunBenchmark(bm, tracep.ModelBase, 40_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci, err := tracep.RunBenchmark(bm, tracep.ModelFGMLBRET, 40_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := (ci.Stats.IPC() - base.Stats.IPC()) / base.Stats.IPC()
+	if imp < -0.05 || imp > 0.10 {
+		t.Errorf("vortex CI delta = %.1f%%, want within [-5%%, +10%%]", 100*imp)
+	}
+}
