@@ -10,6 +10,7 @@
 package tracep_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -29,7 +30,7 @@ func runCell(b *testing.B, bmName string, model tracep.Model) *tracep.Stats {
 	}
 	var stats *tracep.Stats
 	for i := 0; i < b.N; i++ {
-		res, err := tracep.RunBenchmark(bm, model, benchBudget)
+		res, err := tracep.NewBenchmark(bm, benchBudget, tracep.WithModel(model)).Run(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -101,11 +102,11 @@ func BenchmarkFigure9(b *testing.B) {
 					if err != nil {
 						b.Fatal(err)
 					}
-					base, err := tracep.RunBenchmark(bmk, tracep.ModelBase, benchBudget)
+					base, err := tracep.NewBenchmark(bmk, benchBudget).Run(context.Background())
 					if err != nil {
 						b.Fatal(err)
 					}
-					res, err := tracep.RunBenchmark(bmk, model, benchBudget)
+					res, err := tracep.NewBenchmark(bmk, benchBudget, tracep.WithModel(model)).Run(context.Background())
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -129,11 +130,11 @@ func BenchmarkFigure10(b *testing.B) {
 					if err != nil {
 						b.Fatal(err)
 					}
-					base, err := tracep.RunBenchmark(bmk, tracep.ModelBase, benchBudget)
+					base, err := tracep.NewBenchmark(bmk, benchBudget).Run(context.Background())
 					if err != nil {
 						b.Fatal(err)
 					}
-					res, err := tracep.RunBenchmark(bmk, model, benchBudget)
+					res, err := tracep.NewBenchmark(bmk, benchBudget, tracep.WithModel(model)).Run(context.Background())
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -155,12 +156,11 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		b.Fatal(err)
 	}
 	prog := bm.Build(bm.ScaleFor(benchBudget))
-	cfg := tracep.DefaultConfig()
-	cfg.Verify = false
+	sim := tracep.New(prog, tracep.WithVerify(false))
 	b.ResetTimer()
 	var insts uint64
 	for i := 0; i < b.N; i++ {
-		res, err := tracep.Run(prog, tracep.ModelBase, cfg, 0)
+		res, err := sim.Run(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -182,9 +182,10 @@ func BenchmarkAblationValuePrediction(b *testing.B) {
 		b.Run(fmt.Sprintf("vpred=%v", vp), func(b *testing.B) {
 			cfg := tracep.DefaultConfig()
 			cfg.ValuePredict = vp
+			sim := tracep.New(prog, tracep.WithConfig(cfg), tracep.WithModel(tracep.ModelFGMLBRET))
 			var ipc float64
 			for i := 0; i < b.N; i++ {
-				res, err := tracep.Run(prog, tracep.ModelFGMLBRET, cfg, 0)
+				res, err := sim.Run(context.Background())
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -209,9 +210,10 @@ func BenchmarkAblationPEs(b *testing.B) {
 			b.Run(fmt.Sprintf("pes=%d/%s", pes, model.Name), func(b *testing.B) {
 				cfg := tracep.DefaultConfig()
 				cfg.NumPEs = pes
+				sim := tracep.New(prog, tracep.WithConfig(cfg), tracep.WithModel(model))
 				var ipc float64
 				for i := 0; i < b.N; i++ {
-					res, err := tracep.Run(prog, model, cfg, 0)
+					res, err := sim.Run(context.Background())
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -235,9 +237,10 @@ func BenchmarkAblationTraceLen(b *testing.B) {
 		b.Run(fmt.Sprintf("len=%d", maxLen), func(b *testing.B) {
 			cfg := tracep.DefaultConfig()
 			cfg.MaxTraceLen = maxLen
+			sim := tracep.New(prog, tracep.WithConfig(cfg), tracep.WithModel(tracep.ModelFGMLBRET))
 			var ipc float64
 			for i := 0; i < b.N; i++ {
-				res, err := tracep.Run(prog, tracep.ModelFGMLBRET, cfg, 0)
+				res, err := sim.Run(context.Background())
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -258,13 +261,42 @@ func BenchmarkAblationOracle(b *testing.B) {
 	prog := bm.Build(bm.ScaleFor(benchBudget))
 	for _, verify := range []bool{true, false} {
 		b.Run(fmt.Sprintf("verify=%v", verify), func(b *testing.B) {
-			cfg := tracep.DefaultConfig()
-			cfg.Verify = verify
+			sim := tracep.New(prog, tracep.WithModel(tracep.ModelFGMLBRET), tracep.WithVerify(verify))
 			for i := 0; i < b.N; i++ {
-				if _, err := tracep.Run(prog, tracep.ModelFGMLBRET, cfg, 0); err != nil {
+				if _, err := sim.Run(context.Background()); err != nil {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkSweepParallelism measures the experiment harness itself: the
+// full (8 workload × 4 model) selection sweep at increasing worker counts.
+// sim-insts/s should scale with the pool until the host runs out of cores.
+func BenchmarkSweepParallelism(b *testing.B) {
+	for _, j := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("j=%d", j), func(b *testing.B) {
+			var insts uint64
+			for i := 0; i < b.N; i++ {
+				sw := tracep.Sweep{
+					Benchmarks:  tracep.Benchmarks(),
+					Models:      tracep.SelectionModels(),
+					TargetInsts: benchBudget,
+					Parallelism: j,
+				}
+				rs, err := sw.Run(context.Background())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := rs.Err(); err != nil {
+					b.Fatal(err)
+				}
+				for _, res := range rs.Results() {
+					insts += res.Stats.RetiredInsts
+				}
+			}
+			b.ReportMetric(float64(insts)/b.Elapsed().Seconds(), "sim-insts/s")
 		})
 	}
 }

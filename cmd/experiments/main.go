@@ -4,18 +4,27 @@
 // Figure 9 (selection-only IPC deltas) and Figure 10 (control independence
 // performance), plus the configuration and benchmark tables (1-2).
 //
+// The (benchmark × model) cross-product runs through tracep.Sweep on a
+// bounded worker pool; -j controls the parallelism and Ctrl-C cancels the
+// sweep cleanly mid-run.
+//
 // Usage:
 //
 //	experiments                  # everything, default instruction budget
 //	experiments -table 5         # one table
 //	experiments -figure 10       # one figure
 //	experiments -n 1000000       # larger runs
+//	experiments -j 4             # four simulations in flight
+//	experiments -json            # machine-readable ResultSet instead of tables
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"tracep"
 	"tracep/internal/report"
@@ -25,44 +34,86 @@ func main() {
 	table := flag.Int("table", 0, "regenerate a single table (1-5); 0 = all")
 	figure := flag.Int("figure", 0, "regenerate a single figure (9 or 10); 0 = all")
 	n := flag.Uint64("n", 300_000, "target dynamic instruction count per run")
+	j := flag.Int("j", 0, "simulations to run in parallel (0 = GOMAXPROCS)")
+	jsonOut := flag.Bool("json", false, "emit the ResultSet as JSON instead of formatted tables")
+	progress := flag.Bool("progress", false, "log per-run completion to stderr")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	wantTable := func(t int) bool { return (*table == 0 && *figure == 0) || *table == t }
 	wantFigure := func(f int) bool { return (*table == 0 && *figure == 0) || *figure == f }
 
-	if wantTable(1) {
-		printTable1()
-	}
-	if wantTable(2) {
-		printTable2(*n)
+	if !*jsonOut {
+		if wantTable(1) {
+			printTable1()
+		}
+		if wantTable(2) {
+			printTable2(*n)
+		}
 	}
 
 	needSelection := wantTable(3) || wantTable(4) || wantTable(5) || wantFigure(9)
 	needCI := wantFigure(10)
 
-	rs := report.NewResultSet()
-	run := func(models []tracep.Model) {
-		for _, bm := range tracep.Benchmarks() {
-			for _, m := range models {
-				if _, ok := rs.Get(bm.Name, m.Name); ok {
-					continue
-				}
-				res, err := tracep.RunBenchmark(bm, m, *n)
-				if err != nil {
-					fmt.Fprintln(os.Stderr, err)
-					os.Exit(1)
-				}
-				rs.Add(bm.Name, m.Name, res.Stats)
+	var models []tracep.Model
+	if needSelection {
+		models = append(models, tracep.SelectionModels()...)
+	}
+	if needCI {
+		if !needSelection {
+			models = append(models, tracep.ModelBase)
+		}
+		models = append(models, tracep.CIModels()...)
+	}
+	if *jsonOut && len(models) == 0 {
+		// -json with only tables 1/2 requested still emits the sweep the
+		// tables/figures would need.
+		models = tracep.Models()
+	}
+
+	sw := tracep.Sweep{
+		Benchmarks:  tracep.Benchmarks(),
+		Models:      models,
+		TargetInsts: *n,
+		Parallelism: *j,
+	}
+	if *progress {
+		sw.Progress = func(ev tracep.ProgressEvent) {
+			if ev.Done {
+				fmt.Fprintf(os.Stderr, "done %-9s %-13s %d insts in %d cycles\n",
+					ev.Benchmark, ev.Model, ev.RetiredInsts, ev.Cycle)
 			}
 		}
 	}
 
-	if needSelection {
-		run(tracep.SelectionModels())
+	rs, ctxErr := sw.Run(ctx)
+	runErr := rs.Err()
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, runErr)
 	}
-	if needCI {
-		run([]tracep.Model{tracep.ModelBase})
-		run(tracep.CIModels())
+
+	if *jsonOut {
+		// Failed cells serialise alongside successes (Result.Error), so
+		// always emit the set before reporting the failure via exit code.
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rs); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		switch {
+		case ctxErr != nil:
+			fmt.Fprintf(os.Stderr, "sweep interrupted (%v); results are partial\n", ctxErr)
+			os.Exit(130)
+		case runErr != nil:
+			os.Exit(1)
+		}
+		return
+	}
+	if ctxErr != nil {
+		fmt.Fprintf(os.Stderr, "sweep interrupted (%v); tables below are partial\n", ctxErr)
 	}
 
 	selNames := modelNames(tracep.SelectionModels())
@@ -90,6 +141,12 @@ func main() {
 		fmt.Println()
 		report.BestPerBenchmark(os.Stdout, rs, ciNames, tracep.ModelBase.Name)
 		fmt.Println()
+	}
+	if ctxErr != nil {
+		os.Exit(130)
+	}
+	if runErr != nil {
+		os.Exit(1)
 	}
 }
 

@@ -6,6 +6,7 @@
 //
 //	fgcidump -bench compress
 //	fgcidump -bench jpeg -maxlen 16
+//	fgcidump -bench all
 package main
 
 import (
@@ -18,23 +19,38 @@ import (
 )
 
 func main() {
-	benchName := flag.String("bench", "compress", "benchmark name")
+	benchName := flag.String("bench", "compress", "benchmark name or 'all'")
 	maxLen := flag.Int("maxlen", 32, "maximum trace length (embeddability bound)")
 	flag.Parse()
 
-	bm, err := tracep.BenchmarkByName(*benchName)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	var benches []tracep.Benchmark
+	if *benchName == "all" {
+		benches = tracep.Benchmarks()
+	} else {
+		bm, err := tracep.BenchmarkByName(*benchName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		benches = []tracep.Benchmark{bm}
 	}
+	for i, bm := range benches {
+		if i > 0 {
+			fmt.Println()
+		}
+		dump(bm, *maxLen)
+	}
+}
+
+func dump(bm tracep.Benchmark, maxLen int) {
 	prog := bm.Build(1)
 
 	fmt.Printf("FGCI region analysis for %q (%d static instructions, max trace length %d)\n\n",
-		bm.Name, prog.Len(), *maxLen)
+		bm.Name, prog.Len(), maxLen)
 	fmt.Printf("%-6s %-28s %-6s %-9s %-8s %-8s %-7s %s\n",
 		"pc", "instruction", "found", "dyn size", "reconv", "static", "#cond", "class")
 
-	acfg := core.AnalyzeConfig{MaxSize: 4 * *maxLen, MaxEdges: 8, MaxScan: 2048}
+	acfg := core.AnalyzeConfig{MaxSize: 4 * maxLen, MaxEdges: 8, MaxScan: 2048}
 	var total, embeddable, big int
 	for pc := uint32(0); int(pc) < prog.Len(); pc++ {
 		in := prog.At(pc)
@@ -50,11 +66,11 @@ func main() {
 		reg := core.AnalyzeRegion(prog, pc, acfg)
 		class := "other forward"
 		switch {
-		case reg.Found && reg.Size <= *maxLen:
-			class = fmt.Sprintf("FGCI (<=%d)", *maxLen)
+		case reg.Found && reg.Size <= maxLen:
+			class = fmt.Sprintf("FGCI (<=%d)", maxLen)
 			embeddable++
 		case reg.Found:
-			class = fmt.Sprintf("FGCI (>%d)", *maxLen)
+			class = fmt.Sprintf("FGCI (>%d)", maxLen)
 			big++
 		}
 		if reg.Found {

@@ -1,16 +1,22 @@
 // Command tracesim runs one benchmark under one model and prints the
-// statistics the paper reports.
+// statistics the paper reports. Runs go through the Simulator session API:
+// Ctrl-C cancels a long simulation cleanly, and -progress streams live
+// retirement counts to stderr.
 //
 // Usage:
 //
 //	tracesim -bench compress -model FG+MLB-RET -n 300000
 //	tracesim -bench all -model base -n 100000
+//	tracesim -bench gcc -model all -progress
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"tracep"
 )
@@ -19,14 +25,19 @@ func main() {
 	benchName := flag.String("bench", "compress", "benchmark name or 'all'")
 	modelName := flag.String("model", "base", "model: base, base(ntb), base(fg), base(fg,ntb), RET, MLB-RET, FG, FG+MLB-RET, or 'all'")
 	n := flag.Uint64("n", 300_000, "target dynamic instruction count")
+	seed := flag.Int64("seed", 0, "branch-predictor initial-state seed (0 = paper's reset)")
 	verbose := flag.Bool("v", false, "print extended statistics")
+	progress := flag.Bool("progress", false, "stream simulation progress to stderr")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	var models []tracep.Model
 	if *modelName == "all" {
 		models = tracep.Models()
 	} else {
-		m, ok := findModel(*modelName)
+		m, ok := tracep.ModelByName(*modelName)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown model %q\n", *modelName)
 			os.Exit(1)
@@ -48,9 +59,21 @@ func main() {
 
 	for _, bm := range benches {
 		for _, m := range models {
-			res, err := tracep.RunBenchmark(bm, m, *n)
+			opts := []tracep.Option{tracep.WithModel(m), tracep.WithSeed(*seed)}
+			if *progress {
+				opts = append(opts, tracep.WithProgress(func(ev tracep.ProgressEvent) {
+					if !ev.Done {
+						fmt.Fprintf(os.Stderr, "  ... %s/%s: %d insts, %d cycles\n",
+							ev.Benchmark, ev.Model, ev.RetiredInsts, ev.Cycle)
+					}
+				}))
+			}
+			res, err := tracep.NewBenchmark(bm, *n, opts...).Run(ctx)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
+				if errors.Is(err, context.Canceled) {
+					os.Exit(130)
+				}
 				os.Exit(1)
 			}
 			s := res.Stats
@@ -61,8 +84,8 @@ func main() {
 				fmt.Printf("  recoveries=%d (fgci=%d cgci=%d base=%d) reconv=%d degenerate=%d reclaims=%d\n",
 					s.Recoveries, s.FGCIRecoveries, s.CGCIRecoveries, s.BaseRecoveries,
 					s.Reconvergences, s.CGCIDegenerate, s.TailReclaims)
-				fmt.Printf("  reissues=%d loadSnoopReissues=%d redispatched=%d rebinds=%d broadcasts=%d\n",
-					s.Reissues, s.LoadSnoopReissues, s.RedispatchedTraces, s.RedispatchRebinds, s.Broadcasts)
+				fmt.Printf("  reissues=%d loadSnoopReissues=%d redispatched=%d rebinds=%d broadcasts=%d tracePreds=%d\n",
+					s.Reissues, s.LoadSnoopReissues, s.RedispatchedTraces, s.RedispatchRebinds, s.Broadcasts, s.TPredictions)
 				fg := s.FGCISmall()
 				fmt.Printf("  branches: fgci<=32 %d (misp %.1f%%) fgci>32 %d otherFwd %d (misp %.1f%%) backward %d (misp %.1f%%)\n",
 					fg.Dynamic, 100*fg.MispRate(), s.FGCIBig().Dynamic,
@@ -71,13 +94,4 @@ func main() {
 			}
 		}
 	}
-}
-
-func findModel(name string) (tracep.Model, bool) {
-	for _, m := range tracep.Models() {
-		if m.Name == name {
-			return m, true
-		}
-	}
-	return tracep.Model{}, false
 }

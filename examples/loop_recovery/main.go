@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -51,13 +52,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg := tracep.DefaultConfig()
+	ctx := context.Background()
 
 	fmt.Println("Unpredictable loop exits: base full squash vs MLB-RET coarse-grain CI")
 	fmt.Println()
 	var baseIPC float64
 	for _, model := range []tracep.Model{tracep.ModelBase, tracep.ModelMLBRET} {
-		res, err := tracep.Run(prog, model, cfg, 0)
+		res, err := tracep.New(prog, tracep.WithModel(model)).Run(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -46,9 +47,9 @@ func main() {
 		log.Fatal(err)
 	}
 
-	cfg := tracep.DefaultConfig()
+	ctx := context.Background()
 	for _, model := range []tracep.Model{tracep.ModelBase, tracep.ModelFGMLBRET} {
-		res, err := tracep.Run(prog, model, cfg, 0)
+		res, err := tracep.New(prog, tracep.WithModel(model)).Run(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -58,8 +59,8 @@ func main() {
 			s.Recoveries, s.FGCIRecoveries, s.CGCIRecoveries, s.BaseRecoveries)
 	}
 
-	base, _ := tracep.Run(prog, tracep.ModelBase, cfg, 0)
-	ci, _ := tracep.Run(prog, tracep.ModelFGMLBRET, cfg, 0)
+	base, _ := tracep.New(prog).Run(ctx)
+	ci, _ := tracep.New(prog, tracep.WithModel(tracep.ModelFGMLBRET)).Run(ctx)
 	fmt.Printf("\ncontrol independence speedup: %+.1f%%\n",
 		100*(ci.Stats.IPC()-base.Stats.IPC())/base.Stats.IPC())
 }

@@ -1,10 +1,12 @@
 // selection_study reproduces the paper's §6.1 analysis on one workload: how
 // the ntb and fg trace-selection constraints change average trace length,
 // trace-predictor accuracy, and trace-cache behaviour, before any control
-// independence mechanism is enabled.
+// independence mechanism is enabled. The four models run concurrently
+// through the Sweep runner.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,15 +19,29 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("Trace selection study on %q (%s analogue)\n\n", bm.Name, bm.Analogue)
+
+	// One benchmark × four selection models, fanned across the worker pool.
+	sw := tracep.Sweep{
+		Benchmarks:  []tracep.Benchmark{bm},
+		Models:      tracep.SelectionModels(),
+		TargetInsts: 150_000,
+	}
+	rs, err := sw.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := rs.Err(); err != nil {
+		log.Fatal(err)
+	}
+
 	fmt.Printf("%-14s %8s %12s %16s %16s\n", "model", "IPC", "trace len", "trace misp/1k", "trace $ miss/1k")
-	for _, model := range tracep.SelectionModels() {
-		res, err := tracep.RunBenchmark(bm, model, 150_000)
-		if err != nil {
-			log.Fatal(err)
+	for _, model := range rs.Models() {
+		s, ok := rs.Get(bm.Name, model)
+		if !ok {
+			continue
 		}
-		s := res.Stats
 		fmt.Printf("%-14s %8.2f %12.1f %16.2f %16.2f\n",
-			model.Name, s.IPC(), s.AvgTraceLen(), s.TraceMispPer1000(), s.TCMissPer1000())
+			model, s.IPC(), s.AvgTraceLen(), s.TraceMispPer1000(), s.TCMissPer1000())
 	}
 	fmt.Println("\nThe ntb constraint terminates traces at predicted not-taken backward")
 	fmt.Println("branches (exposing loop exits for MLB); fg pads embeddable regions to")

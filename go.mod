@@ -1,0 +1,3 @@
+module tracep
+
+go 1.24

@@ -15,6 +15,10 @@ type Config struct {
 	Entries int
 	// RASDepth is the return-address-stack depth.
 	RASDepth int
+	// Seed, when nonzero, initialises the direction counters from a
+	// deterministic PRNG instead of the weakly-not-taken reset, for
+	// predictor warm-up sensitivity studies. 0 keeps the canonical reset.
+	Seed int64
 }
 
 // DefaultConfig matches Table 1.
@@ -48,8 +52,20 @@ func New(cfg Config) *Predictor {
 		ctr:    make([]uint8, cfg.Entries),
 		target: make([]uint32, cfg.Entries),
 	}
-	for i := range p.ctr {
-		p.ctr[i] = 1 // weakly not-taken
+	if cfg.Seed != 0 {
+		x := uint64(cfg.Seed)
+		for i := range p.ctr {
+			// splitmix64: cheap, well-mixed, reproducible.
+			x += 0x9E3779B97F4A7C15
+			z := x
+			z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+			z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+			p.ctr[i] = uint8((z ^ (z >> 31)) & 3)
+		}
+	} else {
+		for i := range p.ctr {
+			p.ctr[i] = 1 // weakly not-taken
+		}
 	}
 	return p
 }

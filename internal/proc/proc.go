@@ -13,6 +13,7 @@
 package proc
 
 import (
+	"context"
 	"fmt"
 
 	"tracep/internal/arb"
@@ -91,6 +92,12 @@ type Config struct {
 	// mispredicted values are repaired by the normal selective-reissue path.
 	ValuePredict bool
 	VPred        vpred.Config
+
+	// Seed, when nonzero, scrambles the initial branch-predictor counter
+	// state with a deterministic PRNG instead of the paper's weakly-not-taken
+	// reset. Runs stay fully deterministic for a given seed; sweeping seeds
+	// measures sensitivity to predictor warm-up (0 = canonical reset).
+	Seed int64
 
 	// Verify runs the architectural oracle against every retired
 	// instruction.
@@ -191,6 +198,10 @@ func (p *Processor) debugf(format string, args ...interface{}) {
 
 // New builds a processor for prog under the given model and configuration.
 func New(prog *isa.Program, model Model, cfg Config) *Processor {
+	bpCfg := cfg.BPred
+	if bpCfg.Seed == 0 {
+		bpCfg.Seed = cfg.Seed
+	}
 	p := &Processor{
 		cfg:   cfg,
 		model: model,
@@ -202,7 +213,7 @@ func New(prog *isa.Program, model Model, cfg Config) *Processor {
 		dcache: cache.NewDCache(cfg.DCache),
 		icache: cache.NewICache(cfg.ICache),
 		tcache: trace.NewCache(cfg.TCache),
-		bp:     bpred.New(cfg.BPred),
+		bp:     bpred.New(bpCfg),
 		tp:     tpred.New(cfg.TPred),
 
 		events:   make(map[int64][]event),
@@ -251,15 +262,57 @@ func (p *Processor) Cycle() int64 { return p.cycle }
 // Run simulates until the program halts, maxInsts instructions have retired,
 // or an error occurs. It returns the collected statistics.
 func (p *Processor) Run(maxInsts uint64) (*Stats, error) {
+	return p.RunContext(context.Background(), maxInsts, 0, nil)
+}
+
+// Progress is a snapshot of a running simulation, delivered to the progress
+// tap registered with RunContext.
+type Progress struct {
+	Cycle         int64
+	RetiredInsts  uint64
+	RetiredTraces uint64
+}
+
+// ctxCheckInterval is how many cycles elapse between context polls: cheap
+// enough to be invisible on the hot path, frequent enough that cancellation
+// lands within microseconds of simulated work.
+const ctxCheckInterval = 1024
+
+// RunContext simulates like Run but stops early when ctx is cancelled,
+// returning the statistics gathered so far together with the context's
+// error. When tap is non-nil it is called (synchronously, on the simulation
+// goroutine) each time another `every` instructions have retired; every <= 0
+// disables the tap.
+func (p *Processor) RunContext(ctx context.Context, maxInsts uint64, every uint64, tap func(Progress)) (*Stats, error) {
+	var ctxErr error
+	var nextTap uint64
+	if every > 0 && tap != nil {
+		nextTap = every
+	}
 	for !p.done && p.err == nil {
 		p.Step()
+		if nextTap > 0 && p.Stats.RetiredInsts >= nextTap {
+			tap(Progress{Cycle: p.cycle, RetiredInsts: p.Stats.RetiredInsts, RetiredTraces: p.Stats.RetiredTraces})
+			for nextTap <= p.Stats.RetiredInsts {
+				nextTap += every
+			}
+		}
 		if maxInsts > 0 && p.Stats.RetiredInsts >= maxInsts {
 			break
+		}
+		if p.cycle%ctxCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				ctxErr = err
+				break
+			}
 		}
 	}
 	p.Stats.Cycles = uint64(p.cycle)
 	p.finalizeStats()
-	return &p.Stats, p.err
+	if p.err != nil {
+		return &p.Stats, p.err
+	}
+	return &p.Stats, ctxErr
 }
 
 // Step advances the processor one cycle.

@@ -55,16 +55,16 @@ type Stats struct {
 	ValueMispredictions uint64
 
 	// Frontend structures (filled by finalizeStats).
-	TCLookups   uint64
-	TCMisses    uint64
-	ICAccesses  uint64
-	ICMisses    uint64
-	DCAccesses  uint64
-	DCMisses    uint64
-	BITLookups  uint64
-	BITMisses   uint64
-	TPredictons uint64
-	TPredTrains uint64
+	TCLookups    uint64
+	TCMisses     uint64
+	ICAccesses   uint64
+	ICMisses     uint64
+	DCAccesses   uint64
+	DCMisses     uint64
+	BITLookups   uint64
+	BITMisses    uint64
+	TPredictions uint64
+	TPredTrains  uint64
 
 	// BranchClasses indexes by branchKind: FGCI<=32, FGCI>32, other
 	// forward, backward.
@@ -77,7 +77,7 @@ func (p *Processor) finalizeStats() {
 	s.ICAccesses, s.ICMisses = p.icache.Stats()
 	s.DCAccesses, s.DCMisses = p.dcache.Stats()
 	s.BITLookups, s.BITMisses = p.bit.Lookups, p.bit.Misses()
-	s.TPredictons = p.tp.Predictions
+	s.TPredictions = p.tp.Predictions
 	s.TPredTrains = p.tp.Trains
 }
 

@@ -1,75 +1,39 @@
 // Package report renders the paper's evaluation tables and figures
 // (Tables 1-5, Figures 9-10) from simulation results, in the same
 // rows/series layout the paper uses.
+//
+// The package is a pure rendering layer: it consumes any Results
+// implementation — in practice the public tracep.ResultSet, which the
+// tracep.Sweep runner fills in parallel — and owns no result storage of its
+// own.
 package report
 
 import (
 	"fmt"
 	"io"
 	"math"
-	"sort"
 	"strings"
 
 	"tracep/internal/proc"
 )
 
-// Key identifies one (benchmark, model) cell.
-type Key struct {
-	Bench string
-	Model string
+// Results is the read-side view the renderers consume: a (benchmark, model)
+// grid of statistics with deterministic row/column orders.
+type Results interface {
+	// Benches returns the benchmark row order.
+	Benches() []string
+	// Models returns the model column order.
+	Models() []string
+	// Get returns the stats for one cell, or false when the cell is absent
+	// (not simulated, or failed).
+	Get(bench, model string) (*proc.Stats, bool)
 }
 
-// ResultSet accumulates simulation statistics per (benchmark, model).
-type ResultSet struct {
-	byKey   map[Key]*proc.Stats
-	benches []string
-	models  []string
-}
-
-// NewResultSet builds an empty result set.
-func NewResultSet() *ResultSet {
-	return &ResultSet{byKey: make(map[Key]*proc.Stats)}
-}
-
-// Add records a result.
-func (r *ResultSet) Add(bench, model string, s *proc.Stats) {
-	k := Key{bench, model}
-	if _, dup := r.byKey[k]; !dup {
-		if !contains(r.benches, bench) {
-			r.benches = append(r.benches, bench)
-		}
-		if !contains(r.models, model) {
-			r.models = append(r.models, model)
-		}
-	}
-	r.byKey[k] = s
-}
-
-// Get returns the stats for (bench, model).
-func (r *ResultSet) Get(bench, model string) (*proc.Stats, bool) {
-	s, ok := r.byKey[Key{bench, model}]
-	return s, ok
-}
-
-// Benches returns the benchmarks in insertion order.
-func (r *ResultSet) Benches() []string { return r.benches }
-
-// Models returns the models in insertion order.
-func (r *ResultSet) Models() []string { return r.models }
-
-func contains(xs []string, x string) bool {
-	for _, v := range xs {
-		if v == x {
-			return true
-		}
-	}
-	return false
-}
-
-// HarmonicMeanIPC returns the harmonic mean IPC over benches for model.
-func (r *ResultSet) HarmonicMeanIPC(model string) float64 {
+// HarmonicMeanIPC returns the harmonic mean IPC over r's benchmarks for
+// model.
+func HarmonicMeanIPC(r Results, model string) float64 {
 	sum, n := 0.0, 0
-	for _, b := range r.benches {
+	for _, b := range r.Benches() {
 		if s, ok := r.Get(b, model); ok && s.IPC() > 0 {
 			sum += 1 / s.IPC()
 			n++
@@ -82,7 +46,7 @@ func (r *ResultSet) HarmonicMeanIPC(model string) float64 {
 }
 
 // Improvement returns the % IPC improvement of model over base for bench.
-func (r *ResultSet) Improvement(bench, model, base string) (float64, bool) {
+func Improvement(r Results, bench, model, base string) (float64, bool) {
 	s, ok1 := r.Get(bench, model)
 	b, ok2 := r.Get(bench, base)
 	if !ok1 || !ok2 || b.IPC() == 0 {
@@ -93,14 +57,14 @@ func (r *ResultSet) Improvement(bench, model, base string) (float64, bool) {
 
 // Table3 renders "IPC without control independence" over the selection-only
 // models.
-func Table3(w io.Writer, r *ResultSet, models []string) {
+func Table3(w io.Writer, r Results, models []string) {
 	fmt.Fprintln(w, "TABLE 3: IPC without control independence.")
 	fmt.Fprintf(w, "%-10s", "")
 	for _, m := range models {
 		fmt.Fprintf(w, "%14s", m)
 	}
 	fmt.Fprintln(w)
-	for _, b := range r.benches {
+	for _, b := range r.Benches() {
 		fmt.Fprintf(w, "%-10s", b)
 		for _, m := range models {
 			if s, ok := r.Get(b, m); ok {
@@ -113,17 +77,17 @@ func Table3(w io.Writer, r *ResultSet, models []string) {
 	}
 	fmt.Fprintf(w, "%-10s", "Harm.Mean")
 	for _, m := range models {
-		fmt.Fprintf(w, "%14.2f", r.HarmonicMeanIPC(m))
+		fmt.Fprintf(w, "%14.2f", HarmonicMeanIPC(r, m))
 	}
 	fmt.Fprintln(w)
 }
 
 // Table4 renders the impact of trace selection on trace length, trace
 // mispredictions and trace cache misses.
-func Table4(w io.Writer, r *ResultSet, models []string) {
+func Table4(w io.Writer, r Results, models []string) {
 	fmt.Fprintln(w, "TABLE 4: Impact of trace selection on trace length, trace mispredictions, and trace cache misses.")
 	fmt.Fprintf(w, "%-14s %-22s", "model", "metric")
-	for _, b := range r.benches {
+	for _, b := range r.Benches() {
 		fmt.Fprintf(w, "%10s", trunc(b, 9))
 	}
 	fmt.Fprintln(w)
@@ -146,7 +110,7 @@ func Table4(w io.Writer, r *ResultSet, models []string) {
 				label = m
 			}
 			fmt.Fprintf(w, "%-14s %-22s", label, row.name)
-			for _, b := range r.benches {
+			for _, b := range r.Benches() {
 				if s, ok := r.Get(b, m); ok {
 					fmt.Fprintf(w, "%10s", row.get(s))
 				} else {
@@ -159,17 +123,17 @@ func Table4(w io.Writer, r *ResultSet, models []string) {
 }
 
 // Table5 renders the conditional branch statistics of the base model.
-func Table5(w io.Writer, r *ResultSet, model string) {
+func Table5(w io.Writer, r Results, model string) {
 	fmt.Fprintln(w, "TABLE 5: Conditional branch statistics.")
 	fmt.Fprintf(w, "%-34s", "")
-	for _, b := range r.benches {
+	for _, b := range r.Benches() {
 		fmt.Fprintf(w, "%9s", trunc(b, 8))
 	}
 	fmt.Fprintln(w)
 
 	row := func(label string, get func(*proc.Stats) string) {
 		fmt.Fprintf(w, "%-34s", label)
-		for _, b := range r.benches {
+		for _, b := range r.Benches() {
 			if s, ok := r.Get(b, model); ok {
 				fmt.Fprintf(w, "%9s", get(s))
 			} else {
@@ -227,7 +191,7 @@ func Table5(w io.Writer, r *ResultSet, model string) {
 
 // Figure renders a %-improvement-over-base bar chart (Figures 9 and 10) as
 // aligned text with ASCII bars.
-func Figure(w io.Writer, title string, r *ResultSet, models []string, base string) {
+func Figure(w io.Writer, title string, r Results, models []string, base string) {
 	fmt.Fprintln(w, title)
 	fmt.Fprintf(w, "%-10s", "")
 	for _, m := range models {
@@ -235,10 +199,10 @@ func Figure(w io.Writer, title string, r *ResultSet, models []string, base strin
 	}
 	fmt.Fprintln(w)
 	sums := make(map[string]float64)
-	for _, b := range r.benches {
+	for _, b := range r.Benches() {
 		fmt.Fprintf(w, "%-10s", b)
 		for _, m := range models {
-			if imp, ok := r.Improvement(b, m, base); ok {
+			if imp, ok := Improvement(r, b, m, base); ok {
 				fmt.Fprintf(w, "%13.1f%%", imp)
 				sums[m] += imp
 			} else {
@@ -249,22 +213,22 @@ func Figure(w io.Writer, title string, r *ResultSet, models []string, base strin
 	}
 	fmt.Fprintf(w, "%-10s", "average")
 	for _, m := range models {
-		fmt.Fprintf(w, "%13.1f%%", sums[m]/float64(len(r.benches)))
+		fmt.Fprintf(w, "%13.1f%%", sums[m]/float64(len(r.Benches())))
 	}
 	fmt.Fprintln(w)
 	fmt.Fprintln(w)
 	// ASCII bars per benchmark for the first model ordering.
 	maxImp := 1.0
-	for _, b := range r.benches {
+	for _, b := range r.Benches() {
 		for _, m := range models {
-			if imp, ok := r.Improvement(b, m, base); ok {
+			if imp, ok := Improvement(r, b, m, base); ok {
 				maxImp = math.Max(maxImp, math.Abs(imp))
 			}
 		}
 	}
-	for _, b := range r.benches {
+	for _, b := range r.Benches() {
 		for _, m := range models {
-			imp, ok := r.Improvement(b, m, base)
+			imp, ok := Improvement(r, b, m, base)
 			if !ok {
 				continue
 			}
@@ -281,13 +245,13 @@ func Figure(w io.Writer, title string, r *ResultSet, models []string, base strin
 // BestPerBenchmark reports, per benchmark, the best CI model's improvement
 // over base — the paper's "using the best-performing technique" summary
 // (13% average; 17% over benchmarks with significant misprediction rates).
-func BestPerBenchmark(w io.Writer, r *ResultSet, ciModels []string, base string) (avg float64) {
+func BestPerBenchmark(w io.Writer, r Results, ciModels []string, base string) (avg float64) {
 	fmt.Fprintln(w, "Best-performing CI technique per benchmark:")
 	var sum float64
-	for _, b := range r.benches {
+	for _, b := range r.Benches() {
 		best, bestModel := math.Inf(-1), ""
 		for _, m := range ciModels {
-			if imp, ok := r.Improvement(b, m, base); ok && imp > best {
+			if imp, ok := Improvement(r, b, m, base); ok && imp > best {
 				best, bestModel = imp, m
 			}
 		}
@@ -297,7 +261,7 @@ func BestPerBenchmark(w io.Writer, r *ResultSet, ciModels []string, base string)
 		fmt.Fprintf(w, "  %-10s %-13s %+.1f%%\n", b, bestModel, best)
 		sum += best
 	}
-	avg = sum / float64(len(r.benches))
+	avg = sum / float64(len(r.Benches()))
 	fmt.Fprintf(w, "  average best-technique improvement: %+.1f%%\n", avg)
 	return avg
 }
@@ -307,19 +271,4 @@ func trunc(s string, n int) string {
 		return s
 	}
 	return s[:n]
-}
-
-// SortedKeys is exported for deterministic test output.
-func (r *ResultSet) SortedKeys() []Key {
-	keys := make([]Key, 0, len(r.byKey))
-	for k := range r.byKey {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].Bench != keys[j].Bench {
-			return keys[i].Bench < keys[j].Bench
-		}
-		return keys[i].Model < keys[j].Model
-	})
-	return keys
 }

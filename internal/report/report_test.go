@@ -8,6 +8,44 @@ import (
 	"tracep/internal/proc"
 )
 
+// grid is a minimal Results implementation for rendering tests; the
+// production implementation is the public tracep.ResultSet.
+type grid struct {
+	benches []string
+	models  []string
+	cells   map[[2]string]*proc.Stats
+}
+
+func newGrid() *grid { return &grid{cells: make(map[[2]string]*proc.Stats)} }
+
+func (g *grid) Add(bench, model string, s *proc.Stats) {
+	if _, ok := g.cells[[2]string{bench, model}]; !ok {
+		if !containsStr(g.benches, bench) {
+			g.benches = append(g.benches, bench)
+		}
+		if !containsStr(g.models, model) {
+			g.models = append(g.models, model)
+		}
+	}
+	g.cells[[2]string{bench, model}] = s
+}
+
+func (g *grid) Benches() []string { return g.benches }
+func (g *grid) Models() []string  { return g.models }
+func (g *grid) Get(bench, model string) (*proc.Stats, bool) {
+	s, ok := g.cells[[2]string{bench, model}]
+	return s, ok
+}
+
+func containsStr(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
 func fakeStats(ipc float64) *proc.Stats {
 	// IPC = retired/cycles; build stats with the desired ratio.
 	s := &proc.Stats{RetiredInsts: uint64(ipc * 1000), Cycles: 1000, RetiredTraces: 100, RetiredTraceLenSum: 2000}
@@ -17,54 +55,34 @@ func fakeStats(ipc float64) *proc.Stats {
 	return s
 }
 
-func TestResultSetBasics(t *testing.T) {
-	rs := NewResultSet()
-	rs.Add("compress", "base", fakeStats(2))
-	rs.Add("gcc", "base", fakeStats(4))
-	rs.Add("compress", "FG", fakeStats(3))
-
-	if got := rs.Benches(); len(got) != 2 || got[0] != "compress" || got[1] != "gcc" {
-		t.Errorf("benches = %v", got)
-	}
-	if got := rs.Models(); len(got) != 2 {
-		t.Errorf("models = %v", got)
-	}
-	if _, ok := rs.Get("compress", "base"); !ok {
-		t.Error("missing cell")
-	}
-	if _, ok := rs.Get("nope", "base"); ok {
-		t.Error("phantom cell")
-	}
-}
-
 func TestHarmonicMean(t *testing.T) {
-	rs := NewResultSet()
+	rs := newGrid()
 	rs.Add("a", "m", fakeStats(2))
 	rs.Add("b", "m", fakeStats(4))
 	// HM of 2 and 4 = 2/(1/2+1/4) = 8/3.
-	if hm := rs.HarmonicMeanIPC("m"); math.Abs(hm-8.0/3) > 1e-9 {
+	if hm := HarmonicMeanIPC(rs, "m"); math.Abs(hm-8.0/3) > 1e-9 {
 		t.Errorf("harmonic mean = %v, want %v", hm, 8.0/3)
 	}
-	if hm := rs.HarmonicMeanIPC("missing"); hm != 0 {
+	if hm := HarmonicMeanIPC(rs, "missing"); hm != 0 {
 		t.Errorf("missing model HM = %v, want 0", hm)
 	}
 }
 
 func TestImprovement(t *testing.T) {
-	rs := NewResultSet()
+	rs := newGrid()
 	rs.Add("a", "base", fakeStats(2))
 	rs.Add("a", "ci", fakeStats(3))
-	imp, ok := rs.Improvement("a", "ci", "base")
+	imp, ok := Improvement(rs, "a", "ci", "base")
 	if !ok || math.Abs(imp-50) > 1e-9 {
 		t.Errorf("improvement = %v (%v), want 50", imp, ok)
 	}
-	if _, ok := rs.Improvement("a", "missing", "base"); ok {
+	if _, ok := Improvement(rs, "a", "missing", "base"); ok {
 		t.Error("missing model must not report improvement")
 	}
 }
 
 func TestTableRendering(t *testing.T) {
-	rs := NewResultSet()
+	rs := newGrid()
 	for _, bench := range []string{"compress", "gcc"} {
 		for i, m := range []string{"base", "base(ntb)"} {
 			rs.Add(bench, m, fakeStats(float64(2+i)))
@@ -113,13 +131,13 @@ func TestTableRendering(t *testing.T) {
 	}
 }
 
-func TestSortedKeys(t *testing.T) {
-	rs := NewResultSet()
-	rs.Add("b", "m2", fakeStats(1))
-	rs.Add("a", "m1", fakeStats(1))
-	rs.Add("a", "m0", fakeStats(1))
-	keys := rs.SortedKeys()
-	if len(keys) != 3 || keys[0] != (Key{"a", "m0"}) || keys[2] != (Key{"b", "m2"}) {
-		t.Errorf("sorted keys = %v", keys)
+func TestMissingCellsRenderDashes(t *testing.T) {
+	rs := newGrid()
+	rs.Add("compress", "base", fakeStats(2))
+	rs.Add("gcc", "base(ntb)", fakeStats(3)) // compress/base(ntb) and gcc/base absent
+	var sb strings.Builder
+	Table3(&sb, rs, []string{"base", "base(ntb)"})
+	if !strings.Contains(sb.String(), "-") {
+		t.Errorf("absent cells should render as dashes:\n%s", sb.String())
 	}
 }

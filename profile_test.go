@@ -1,6 +1,7 @@
 package tracep_test
 
 import (
+	"context"
 	"testing"
 
 	"tracep"
@@ -19,7 +20,7 @@ func TestSuiteProfileShape(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := tracep.RunBenchmark(bm, tracep.ModelBase, 60_000)
+		res, err := tracep.NewBenchmark(bm, 60_000).Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,219 @@
+package tracep
+
+import (
+	"encoding/json"
+	"errors"
+	"sync"
+
+	"tracep/internal/report"
+)
+
+// Result is the outcome of one simulation run: one (benchmark, model) cell.
+// Exactly one of Stats and Error is meaningful: a successful run carries
+// statistics, a failed one carries the error text (and, on a live set, the
+// original error via Err).
+type Result struct {
+	Benchmark string `json:"benchmark"`
+	Model     string `json:"model"`
+	Stats     *Stats `json:"stats,omitempty"`
+	// Error is the failure text of an unsuccessful run ("" on success). It
+	// survives JSON round-trips, unlike the wrapped error itself.
+	Error string `json:"error,omitempty"`
+
+	err error
+}
+
+// Err returns the run's failure as an error, or nil on success. On a live
+// result the original error (supporting errors.Is, e.g. against
+// context.Canceled or ErrInvalidConfig) is returned; after a JSON
+// round-trip only the text survives.
+func (r *Result) Err() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.Error != "" {
+		return errors.New(r.Error)
+	}
+	return nil
+}
+
+type cellKey struct{ bench, model string }
+
+// ResultSet is a (benchmark × model) grid of simulation results with
+// deterministic row/column ordering, per-run error capture, and JSON
+// marshalling for downstream tooling. It is safe for concurrent use: the
+// Sweep runner's workers fill one set in parallel.
+//
+// ResultSet implements internal/report's Results interface, so the paper's
+// table and figure renderers consume it directly.
+type ResultSet struct {
+	mu      sync.RWMutex
+	byKey   map[cellKey]*Result
+	benches []string
+	models  []string
+	seenB   map[string]bool
+	seenM   map[string]bool
+}
+
+// NewResultSet builds an empty result set; rows and columns appear in
+// first-Add order.
+func NewResultSet() *ResultSet {
+	return &ResultSet{
+		byKey: make(map[cellKey]*Result),
+		seenB: make(map[string]bool),
+		seenM: make(map[string]bool),
+	}
+}
+
+// NewResultSetFor builds an empty result set with the row and column order
+// fixed up front, so concurrent writers (e.g. Sweep workers) cannot perturb
+// the ordering however their runs interleave.
+func NewResultSetFor(benches, models []string) *ResultSet {
+	r := NewResultSet()
+	for _, b := range benches {
+		r.noteBench(b)
+	}
+	for _, m := range models {
+		r.noteModel(m)
+	}
+	return r
+}
+
+func (r *ResultSet) noteBench(b string) {
+	if !r.seenB[b] {
+		r.seenB[b] = true
+		r.benches = append(r.benches, b)
+	}
+}
+
+func (r *ResultSet) noteModel(m string) {
+	if !r.seenM[m] {
+		r.seenM[m] = true
+		r.models = append(r.models, m)
+	}
+}
+
+// Add records one run result, overwriting any previous result for the same
+// (benchmark, model) cell.
+func (r *ResultSet) Add(res *Result) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.noteBench(res.Benchmark)
+	r.noteModel(res.Model)
+	r.byKey[cellKey{res.Benchmark, res.Model}] = res
+}
+
+// Lookup returns the full result for one cell (including failed runs).
+func (r *ResultSet) Lookup(bench, model string) (*Result, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	res, ok := r.byKey[cellKey{bench, model}]
+	return res, ok
+}
+
+// Get returns the statistics for one successful cell; failed or absent
+// cells report false. This is the report.Results accessor.
+func (r *ResultSet) Get(bench, model string) (*Stats, bool) {
+	res, ok := r.Lookup(bench, model)
+	if !ok || res.Stats == nil {
+		return nil, false
+	}
+	return res.Stats, true
+}
+
+// Benches returns the benchmark row order.
+func (r *ResultSet) Benches() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]string(nil), r.benches...)
+}
+
+// Models returns the model column order.
+func (r *ResultSet) Models() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]string(nil), r.models...)
+}
+
+// Len returns the number of recorded cells.
+func (r *ResultSet) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.byKey)
+}
+
+// Results returns every recorded result in deterministic benchmark-major
+// order (rows in bench order, columns in model order), regardless of the
+// order runs completed in.
+func (r *ResultSet) Results() []*Result {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Result, 0, len(r.byKey))
+	for _, b := range r.benches {
+		for _, m := range r.models {
+			if res, ok := r.byKey[cellKey{b, m}]; ok {
+				out = append(out, res)
+			}
+		}
+	}
+	return out
+}
+
+// Err joins the errors of every failed run in deterministic order, or
+// returns nil when all recorded runs succeeded.
+func (r *ResultSet) Err() error {
+	var errs []error
+	for _, res := range r.Results() {
+		if e := res.Err(); e != nil {
+			errs = append(errs, e)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// HarmonicMeanIPC returns the harmonic mean IPC over the set's benchmarks
+// for model.
+func (r *ResultSet) HarmonicMeanIPC(model string) float64 {
+	return report.HarmonicMeanIPC(r, model)
+}
+
+// Improvement returns the % IPC improvement of model over base for bench.
+func (r *ResultSet) Improvement(bench, model, base string) (float64, bool) {
+	return report.Improvement(r, bench, model, base)
+}
+
+// resultSetJSON is the wire form: orders are explicit so a round-trip
+// reproduces the set bit-for-bit.
+type resultSetJSON struct {
+	Benchmarks []string  `json:"benchmarks"`
+	Models     []string  `json:"models"`
+	Results    []*Result `json:"results"`
+}
+
+// MarshalJSON encodes the set with explicit row/column orders and the cells
+// in deterministic benchmark-major order.
+func (r *ResultSet) MarshalJSON() ([]byte, error) {
+	return json.Marshal(resultSetJSON{
+		Benchmarks: r.Benches(),
+		Models:     r.Models(),
+		Results:    r.Results(),
+	})
+}
+
+// UnmarshalJSON rebuilds a set marshalled by MarshalJSON. Wrapped run
+// errors do not survive the trip; Result.Error text does.
+func (r *ResultSet) UnmarshalJSON(data []byte) error {
+	var wire resultSetJSON
+	if err := json.Unmarshal(data, &wire); err != nil {
+		return err
+	}
+	fresh := NewResultSetFor(wire.Benchmarks, wire.Models)
+	for _, res := range wire.Results {
+		fresh.Add(res)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.byKey, r.benches, r.models = fresh.byKey, fresh.benches, fresh.models
+	r.seenB, r.seenM = fresh.seenB, fresh.seenM
+	return nil
+}

@@ -1,0 +1,107 @@
+package tracep_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"tracep"
+)
+
+func cell(bench, model string, ipc float64) *tracep.Result {
+	return &tracep.Result{
+		Benchmark: bench,
+		Model:     model,
+		Stats:     &tracep.Stats{RetiredInsts: uint64(ipc * 1000), Cycles: 1000},
+	}
+}
+
+func TestResultSetDeterministicOrdering(t *testing.T) {
+	rs := tracep.NewResultSetFor([]string{"a", "b"}, []string{"m1", "m2"})
+	// Add in scrambled completion order; registered order must win.
+	rs.Add(cell("b", "m2", 4))
+	rs.Add(cell("a", "m2", 3))
+	rs.Add(cell("b", "m1", 2))
+	rs.Add(cell("a", "m1", 1))
+
+	if got := rs.Benches(); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Errorf("benches = %v", got)
+	}
+	if got := rs.Models(); !reflect.DeepEqual(got, []string{"m1", "m2"}) {
+		t.Errorf("models = %v", got)
+	}
+	var order []string
+	for _, res := range rs.Results() {
+		order = append(order, res.Benchmark+"/"+res.Model)
+	}
+	want := []string{"a/m1", "a/m2", "b/m1", "b/m2"}
+	if !reflect.DeepEqual(order, want) {
+		t.Errorf("Results order = %v, want %v", order, want)
+	}
+
+	// Unregistered names still work, appended after the fixed order.
+	rs.Add(cell("c", "m1", 5))
+	if got := rs.Benches(); !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Errorf("benches after late add = %v", got)
+	}
+}
+
+func TestResultSetJSONRoundTrip(t *testing.T) {
+	rs := tracep.NewResultSetFor([]string{"compress", "gcc"}, []string{"base", "FG"})
+	rs.Add(cell("compress", "base", 2))
+	rs.Add(cell("gcc", "FG", 3))
+	rs.Add(&tracep.Result{Benchmark: "gcc", Model: "base", Error: "watchdog: stuck"})
+
+	out, err := json.Marshal(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"benchmarks"`, `"models"`, `"results"`, `"watchdog: stuck"`} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("JSON missing %s:\n%s", want, out)
+		}
+	}
+
+	var back tracep.ResultSet
+	if err := json.Unmarshal(out, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Benches(), rs.Benches()) || !reflect.DeepEqual(back.Models(), rs.Models()) {
+		t.Error("orders did not survive the round trip")
+	}
+	if s, ok := back.Get("compress", "base"); !ok || s.IPC() != 2 {
+		t.Errorf("compress/base after round trip: %v %v", s, ok)
+	}
+	res, ok := back.Lookup("gcc", "base")
+	if !ok || res.Err() == nil || res.Err().Error() != "watchdog: stuck" {
+		t.Errorf("failed cell after round trip: %+v", res)
+	}
+	if _, ok := back.Get("gcc", "base"); ok {
+		t.Error("Get must not expose the failed cell")
+	}
+
+	out2, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, out2) {
+		t.Error("re-marshalling a round-tripped set must be byte-identical")
+	}
+}
+
+func TestResultSetMetricsDelegation(t *testing.T) {
+	rs := tracep.NewResultSet()
+	rs.Add(cell("a", "base", 2))
+	rs.Add(cell("b", "base", 4))
+	rs.Add(cell("a", "ci", 3))
+	// HM of 2 and 4 = 8/3.
+	if hm := rs.HarmonicMeanIPC("base"); hm < 2.66 || hm > 2.67 {
+		t.Errorf("harmonic mean = %v", hm)
+	}
+	imp, ok := rs.Improvement("a", "ci", "base")
+	if !ok || imp < 49.9 || imp > 50.1 {
+		t.Errorf("improvement = %v (%v)", imp, ok)
+	}
+}

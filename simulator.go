@@ -1,0 +1,188 @@
+package tracep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"tracep/internal/proc"
+)
+
+// Configuration validation errors. Simulator.Run validates its Config
+// before constructing the processor and reports violations as ConfigErrors,
+// all of which wrap ErrInvalidConfig — misconfiguration surfaces as a typed
+// error at the API boundary instead of a panic (or a silently substituted
+// default) deep inside an internal package.
+var ErrInvalidConfig = proc.ErrInvalidConfig
+
+// ConfigError reports one invalid Config field; errors.Is(err,
+// ErrInvalidConfig) holds for every ConfigError.
+type ConfigError = proc.ConfigError
+
+// DefaultProgressInterval is how many retired instructions elapse between
+// ProgressEvents when WithProgress is set without WithProgressInterval.
+const DefaultProgressInterval = 25_000
+
+// ProgressEvent is a snapshot of a running simulation, delivered to the
+// hook registered with WithProgress.
+type ProgressEvent struct {
+	// Benchmark and Model identify the run (Benchmark is the session label:
+	// the workload name, or the program name for plain programs).
+	Benchmark string
+	Model     string
+
+	Cycle         int64
+	RetiredInsts  uint64
+	RetiredTraces uint64
+
+	// Done marks the final event of a run that completed (halt or retire
+	// limit). Failed runs — simulator error or cancellation — end without
+	// a Done event.
+	Done bool
+}
+
+// Option configures a Simulator. Options are applied in order; WithConfig
+// replaces the entire configuration, so pass it before field-level options
+// like WithVerify and WithSeed.
+type Option func(*Simulator)
+
+// WithModel selects the trace-selection + control-independence model
+// (default ModelBase).
+func WithModel(m Model) Option { return func(s *Simulator) { s.model = m } }
+
+// WithConfig replaces the processor configuration (default DefaultConfig).
+// The configuration is validated when Run is called.
+func WithConfig(cfg Config) Option { return func(s *Simulator) { s.cfg = cfg } }
+
+// WithMaxInsts caps the run at n retired instructions (0 = run until the
+// program halts).
+func WithMaxInsts(n uint64) Option { return func(s *Simulator) { s.maxInsts = n } }
+
+// WithVerify toggles the architectural oracle that checks every retired
+// instruction (on in DefaultConfig; turn off for throughput measurements).
+func WithVerify(v bool) Option { return func(s *Simulator) { s.cfg.Verify = v } }
+
+// WithSeed scrambles the initial branch-predictor state with a
+// deterministic PRNG (0 = the paper's weakly-not-taken reset). Runs remain
+// bit-reproducible for a given seed; sweeping seeds measures sensitivity to
+// predictor warm-up.
+func WithSeed(seed int64) Option { return func(s *Simulator) { s.cfg.Seed = seed } }
+
+// WithProgress registers a hook that receives a ProgressEvent every
+// DefaultProgressInterval retired instructions (see WithProgressInterval)
+// plus a final Done event. The hook runs synchronously on the simulation
+// goroutine; under Sweep, events from concurrent runs are serialised.
+func WithProgress(fn func(ProgressEvent)) Option {
+	return func(s *Simulator) { s.progress = fn }
+}
+
+// WithProgressInterval sets the retired-instruction spacing of
+// ProgressEvents.
+func WithProgressInterval(insts uint64) Option {
+	return func(s *Simulator) { s.progressEvery = insts }
+}
+
+// WithLabel overrides the session label reported as Result.Benchmark and
+// ProgressEvent.Benchmark.
+func WithLabel(name string) Option { return func(s *Simulator) { s.label = name } }
+
+// Simulator is one configured simulation session: a program plus a model,
+// configuration, run limits and progress plumbing. Sessions are reusable —
+// every Run starts a fresh processor from reset — but not concurrency-safe;
+// share programs across goroutines, not Simulators.
+type Simulator struct {
+	prog          *Program
+	label         string
+	model         Model
+	cfg           Config
+	maxInsts      uint64
+	progress      func(ProgressEvent)
+	progressEvery uint64
+}
+
+func newSimulator(prog *Program, label string, opts []Option) *Simulator {
+	s := &Simulator{
+		prog:  prog,
+		label: label,
+		model: ModelBase,
+		cfg:   DefaultConfig(),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// New builds a simulation session for prog. With no options the session
+// runs prog to halt under ModelBase with Table 1's default configuration.
+func New(prog *Program, opts ...Option) *Simulator {
+	label := ""
+	if prog != nil {
+		label = prog.Name
+	}
+	return newSimulator(prog, label, opts)
+}
+
+// NewBenchmark builds a session for a suite workload, sized so the program
+// retires roughly targetInsts dynamic instructions before halting. The run
+// proceeds to architectural halt unless WithMaxInsts caps it.
+func NewBenchmark(bm Benchmark, targetInsts uint64, opts ...Option) *Simulator {
+	return newSimulator(bm.Build(bm.ScaleFor(targetInsts)), bm.Name, opts)
+}
+
+// Model returns the session's model.
+func (s *Simulator) Model() Model { return s.model }
+
+// Config returns the session's configuration.
+func (s *Simulator) Config() Config { return s.cfg }
+
+// Label returns the session label (Result.Benchmark).
+func (s *Simulator) Label() string { return s.label }
+
+// Run validates the configuration, simulates the session's program from
+// reset, and returns the run's statistics. Cancelling ctx stops the
+// simulation promptly; the returned error then wraps ctx.Err(). Run may be
+// called repeatedly; each call is an independent simulation.
+func (s *Simulator) Run(ctx context.Context) (*Result, error) {
+	if s.prog == nil {
+		return nil, errors.New("tracep: nil program")
+	}
+	if err := s.cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("tracep: %s: %w", s.label, err)
+	}
+
+	p := proc.New(s.prog, s.model, s.cfg)
+	var tap func(proc.Progress)
+	every := uint64(0)
+	if s.progress != nil {
+		every = s.progressEvery
+		if every == 0 {
+			every = DefaultProgressInterval
+		}
+		tap = func(pr proc.Progress) {
+			s.progress(ProgressEvent{
+				Benchmark:     s.label,
+				Model:         s.model.Name,
+				Cycle:         pr.Cycle,
+				RetiredInsts:  pr.RetiredInsts,
+				RetiredTraces: pr.RetiredTraces,
+			})
+		}
+	}
+
+	stats, err := p.RunContext(ctx, s.maxInsts, every, tap)
+	if err != nil {
+		return nil, fmt.Errorf("tracep: %s under %s: %w", s.label, s.model.Name, err)
+	}
+	if s.progress != nil {
+		s.progress(ProgressEvent{
+			Benchmark:     s.label,
+			Model:         s.model.Name,
+			Cycle:         int64(stats.Cycles),
+			RetiredInsts:  stats.RetiredInsts,
+			RetiredTraces: stats.RetiredTraces,
+			Done:          true,
+		})
+	}
+	return &Result{Benchmark: s.label, Model: s.model.Name, Stats: stats}, nil
+}

@@ -1,0 +1,212 @@
+package tracep_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"tracep"
+)
+
+func mustBench(t testing.TB, name string) tracep.Benchmark {
+	t.Helper()
+	bm, err := tracep.BenchmarkByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bm
+}
+
+func TestSimulatorSessionRun(t *testing.T) {
+	b := tracep.NewProgram("session")
+	b.Addi(1, 0, 1)
+	for i := 0; i < 50; i++ {
+		b.Add(2, 2, 1)
+	}
+	b.Store(2, 0, 10)
+	b.Halt()
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sim := tracep.New(prog, tracep.WithModel(tracep.ModelFG))
+	res, err := sim.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.RetiredInsts != 53 {
+		t.Errorf("retired %d, want 53", res.Stats.RetiredInsts)
+	}
+	if res.Benchmark != "session" || res.Model != "FG" {
+		t.Errorf("result labels: %q %q", res.Benchmark, res.Model)
+	}
+	if res.Err() != nil {
+		t.Errorf("successful run must have nil Err, got %v", res.Err())
+	}
+
+	// Sessions are reusable: a second Run starts from reset and reproduces
+	// the first bit-for-bit.
+	res2, err := sim.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Stats, res2.Stats) {
+		t.Error("re-running a session must reproduce identical statistics")
+	}
+}
+
+func TestSimulatorOptionOrderAndAccessors(t *testing.T) {
+	bm := mustBench(t, "compress")
+	cfg := tracep.DefaultConfig()
+	cfg.NumPEs = 8
+	sim := tracep.NewBenchmark(bm, 5_000,
+		tracep.WithConfig(cfg), // field options below override it
+		tracep.WithVerify(false),
+		tracep.WithSeed(7),
+		tracep.WithModel(tracep.ModelRET),
+		tracep.WithLabel("relabelled"),
+	)
+	if got := sim.Config(); got.NumPEs != 8 || got.Verify || got.Seed != 7 {
+		t.Errorf("config = NumPEs:%d Verify:%v Seed:%d, want 8/false/7", got.NumPEs, got.Verify, got.Seed)
+	}
+	if sim.Model().Name != "RET" {
+		t.Errorf("model = %q, want RET", sim.Model().Name)
+	}
+	if sim.Label() != "relabelled" {
+		t.Errorf("label = %q", sim.Label())
+	}
+	res, err := sim.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Benchmark != "relabelled" {
+		t.Errorf("result benchmark = %q, want relabelled", res.Benchmark)
+	}
+}
+
+func TestConfigValidationTypedErrors(t *testing.T) {
+	cfg := tracep.DefaultConfig()
+	cfg.NumPEs = 0
+	cfg.BPred.Entries = 1000 // not a power of two
+	bm := mustBench(t, "compress")
+	_, err := tracep.NewBenchmark(bm, 1_000, tracep.WithConfig(cfg)).Run(context.Background())
+	if err == nil {
+		t.Fatal("invalid config must fail Run")
+	}
+	if !errors.Is(err, tracep.ErrInvalidConfig) {
+		t.Errorf("error %v must wrap ErrInvalidConfig", err)
+	}
+	var ce *tracep.ConfigError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error %v must expose a *ConfigError", err)
+	}
+	if ce.Field != "NumPEs" && ce.Field != "BPred.Entries" {
+		t.Errorf("ConfigError.Field = %q", ce.Field)
+	}
+
+	// The deprecated shim goes through the same validation.
+	prog := mustProg(t)
+	if _, err := tracep.Run(prog, tracep.ModelBase, cfg, 0); !errors.Is(err, tracep.ErrInvalidConfig) {
+		t.Errorf("deprecated Run must validate too, got %v", err)
+	}
+}
+
+func mustProg(t testing.TB) *tracep.Program {
+	t.Helper()
+	b := tracep.NewProgram("tiny")
+	b.Addi(1, 0, 1)
+	b.Halt()
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func TestSimulatorProgressEvents(t *testing.T) {
+	bm := mustBench(t, "compress")
+	var events []tracep.ProgressEvent
+	sim := tracep.NewBenchmark(bm, 20_000,
+		tracep.WithProgress(func(ev tracep.ProgressEvent) { events = append(events, ev) }),
+		tracep.WithProgressInterval(2_000),
+	)
+	res, err := sim.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) < 2 {
+		t.Fatalf("got %d progress events, want several", len(events))
+	}
+	last := events[len(events)-1]
+	if !last.Done {
+		t.Error("final event must be marked Done")
+	}
+	if last.RetiredInsts != res.Stats.RetiredInsts {
+		t.Errorf("Done event insts = %d, want %d", last.RetiredInsts, res.Stats.RetiredInsts)
+	}
+	var prev uint64
+	for i, ev := range events {
+		if ev.Benchmark != "compress" || ev.Model != "base" {
+			t.Fatalf("event %d labels: %q %q", i, ev.Benchmark, ev.Model)
+		}
+		if ev.RetiredInsts < prev {
+			t.Fatalf("event %d not monotonic: %d after %d", i, ev.RetiredInsts, prev)
+		}
+		prev = ev.RetiredInsts
+		if i < len(events)-1 && ev.Done {
+			t.Fatalf("event %d marked Done before the run ended", i)
+		}
+	}
+}
+
+func TestSimulatorCancellation(t *testing.T) {
+	// A budget far beyond what can finish instantly, cancelled immediately:
+	// Run must return promptly with an error wrapping context.Canceled.
+	bm := mustBench(t, "gcc")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := tracep.NewBenchmark(bm, 50_000_000).Run(ctx)
+	if err == nil {
+		t.Fatal("cancelled run must fail")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error %v must wrap context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("cancelled run took %v, want prompt stop", elapsed)
+	}
+}
+
+func TestWithSeedIsDeterministicAndDistinct(t *testing.T) {
+	bm := mustBench(t, "compress")
+	run := func(seed int64) *tracep.Stats {
+		res, err := tracep.NewBenchmark(bm, 20_000, tracep.WithSeed(seed)).Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Stats
+	}
+	a1, a2, b1 := run(42), run(42), run(43)
+	if !reflect.DeepEqual(a1, a2) {
+		t.Error("same seed must reproduce identical statistics")
+	}
+	if reflect.DeepEqual(a1, b1) {
+		t.Error("different predictor-state seeds should perturb the run")
+	}
+}
+
+func TestModelByName(t *testing.T) {
+	for _, m := range tracep.Models() {
+		got, ok := tracep.ModelByName(m.Name)
+		if !ok || got.Name != m.Name {
+			t.Errorf("ModelByName(%q) = %v, %v", m.Name, got, ok)
+		}
+	}
+	if _, ok := tracep.ModelByName("nope"); ok {
+		t.Error("unknown model name must not resolve")
+	}
+}

@@ -1,0 +1,151 @@
+package tracep
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Sweep fans a (benchmark × model) cross-product of simulations across a
+// bounded pool of worker goroutines — the paper's §6 evaluation is 8
+// workloads × 8 models, embarrassingly parallel. Every run is an
+// independent, deterministic simulation, so a parallel sweep produces
+// results bit-identical to a serial loop; only wall-clock time changes.
+//
+// The zero value is not useful: populate Benchmarks and Models, then call
+// Run.
+type Sweep struct {
+	// Benchmarks and Models span the cross-product; every (benchmark,
+	// model) pair is simulated once.
+	Benchmarks []Benchmark
+	Models     []Model
+
+	// TargetInsts sizes each workload to roughly this many dynamic
+	// instructions (like NewBenchmark); each run proceeds to architectural
+	// halt.
+	TargetInsts uint64
+
+	// Config is the processor configuration for every run (nil =
+	// DefaultConfig). It is validated once per run, like Simulator.Run.
+	Config *Config
+
+	// Seed scrambles initial branch-predictor state (see WithSeed).
+	Seed int64
+
+	// Parallelism bounds the worker pool (<= 0 = GOMAXPROCS).
+	Parallelism int
+
+	// Progress, when set, receives every run's ProgressEvents (including
+	// per-run Done events). Events from concurrent runs are serialised, so
+	// the hook needs no locking of its own.
+	Progress func(ProgressEvent)
+	// ProgressInterval is the retired-instruction spacing of progress
+	// events (0 = DefaultProgressInterval).
+	ProgressInterval uint64
+}
+
+type sweepJob struct {
+	bm    Benchmark
+	model Model
+}
+
+// Run executes the sweep and returns the result set. Failed runs are
+// captured per-cell (Result.Error / Result.Err) rather than aborting the
+// sweep; inspect them with ResultSet.Err. Cancelling ctx stops the sweep
+// promptly — in-flight simulations abort and unstarted cells stay absent —
+// and Run returns the partial set together with ctx.Err().
+func (sw *Sweep) Run(ctx context.Context) (*ResultSet, error) {
+	benchNames := make([]string, len(sw.Benchmarks))
+	for i, bm := range sw.Benchmarks {
+		benchNames[i] = bm.Name
+	}
+	modelNames := make([]string, len(sw.Models))
+	for i, m := range sw.Models {
+		modelNames[i] = m.Name
+	}
+	rs := NewResultSetFor(benchNames, modelNames)
+
+	jobs := make([]sweepJob, 0, len(sw.Benchmarks)*len(sw.Models))
+	for _, bm := range sw.Benchmarks {
+		for _, m := range sw.Models {
+			jobs = append(jobs, sweepJob{bm, m})
+		}
+	}
+
+	workers := sw.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers == 0 {
+		return rs, ctx.Err()
+	}
+
+	// Serialise the user's progress hook across workers.
+	var progress func(ProgressEvent)
+	if sw.Progress != nil {
+		var mu sync.Mutex
+		progress = func(ev ProgressEvent) {
+			mu.Lock()
+			defer mu.Unlock()
+			sw.Progress(ev)
+		}
+	}
+
+	jobCh := make(chan sweepJob)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for job := range jobCh {
+				sw.runOne(ctx, job, progress, rs)
+			}
+		}()
+	}
+
+feed:
+	for _, job := range jobs {
+		select {
+		case jobCh <- job:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobCh)
+	wg.Wait()
+
+	return rs, ctx.Err()
+}
+
+func (sw *Sweep) runOne(ctx context.Context, job sweepJob, progress func(ProgressEvent), rs *ResultSet) {
+	if ctx.Err() != nil {
+		return
+	}
+	opts := []Option{WithModel(job.model)}
+	if sw.Config != nil {
+		opts = append(opts, WithConfig(*sw.Config))
+	}
+	if sw.Seed != 0 {
+		opts = append(opts, WithSeed(sw.Seed))
+	}
+	if progress != nil {
+		opts = append(opts, WithProgress(progress))
+		if sw.ProgressInterval > 0 {
+			opts = append(opts, WithProgressInterval(sw.ProgressInterval))
+		}
+	}
+	res, err := NewBenchmark(job.bm, sw.TargetInsts, opts...).Run(ctx)
+	if err != nil {
+		rs.Add(&Result{
+			Benchmark: job.bm.Name,
+			Model:     job.model.Name,
+			Error:     err.Error(),
+			err:       err,
+		})
+		return
+	}
+	rs.Add(res)
+}

@@ -1,0 +1,232 @@
+package tracep_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"tracep"
+)
+
+func sweepFixture(t testing.TB) ([]tracep.Benchmark, []tracep.Model) {
+	t.Helper()
+	return []tracep.Benchmark{mustBench(t, "compress"), mustBench(t, "vortex")},
+		[]tracep.Model{tracep.ModelBase, tracep.ModelFGMLBRET}
+}
+
+// TestSweepMatchesSerial is the harness's core guarantee: fanning the
+// cross-product across a worker pool changes wall-clock time only. The
+// parallel ResultSet must be bit-identical — same cells, same statistics,
+// same ordering, same JSON bytes — to a serial loop over Simulator.Run.
+func TestSweepMatchesSerial(t *testing.T) {
+	benches, models := sweepFixture(t)
+	const budget = 8_000
+
+	serial := tracep.NewResultSetFor(
+		[]string{"compress", "vortex"},
+		[]string{"base", "FG+MLB-RET"},
+	)
+	for _, bm := range benches {
+		for _, m := range models {
+			res, err := tracep.NewBenchmark(bm, budget, tracep.WithModel(m)).Run(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			serial.Add(res)
+		}
+	}
+
+	sw := tracep.Sweep{
+		Benchmarks:  benches,
+		Models:      models,
+		TargetInsts: budget,
+		Parallelism: 4,
+	}
+	parallel, err := sw.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := parallel.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := parallel.Len(), len(benches)*len(models); got != want {
+		t.Fatalf("parallel set has %d cells, want %d", got, want)
+	}
+	if !reflect.DeepEqual(parallel.Benches(), serial.Benches()) {
+		t.Errorf("bench order: %v vs %v", parallel.Benches(), serial.Benches())
+	}
+	if !reflect.DeepEqual(parallel.Models(), serial.Models()) {
+		t.Errorf("model order: %v vs %v", parallel.Models(), serial.Models())
+	}
+	for _, bm := range benches {
+		for _, m := range models {
+			ps, ok1 := parallel.Get(bm.Name, m.Name)
+			ss, ok2 := serial.Get(bm.Name, m.Name)
+			if !ok1 || !ok2 {
+				t.Fatalf("missing cell %s/%s (parallel=%v serial=%v)", bm.Name, m.Name, ok1, ok2)
+			}
+			if !reflect.DeepEqual(ps, ss) {
+				t.Errorf("cell %s/%s: parallel and serial statistics differ", bm.Name, m.Name)
+			}
+		}
+	}
+
+	pj, err := json.Marshal(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sj, err := json.Marshal(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pj, sj) {
+		t.Error("parallel and serial ResultSet JSON must be byte-identical")
+	}
+}
+
+// TestSweepParallelismLevelsAgree runs the same sweep at j=1 and j=3 and
+// demands identical JSON — worker count must never leak into results.
+func TestSweepParallelismLevelsAgree(t *testing.T) {
+	benches, models := sweepFixture(t)
+	var outs [][]byte
+	for _, j := range []int{1, 3} {
+		sw := tracep.Sweep{Benchmarks: benches, Models: models, TargetInsts: 5_000, Parallelism: j}
+		rs, err := sw.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := json.Marshal(rs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs = append(outs, out)
+	}
+	if !bytes.Equal(outs[0], outs[1]) {
+		t.Error("j=1 and j=3 sweeps must serialise identically")
+	}
+}
+
+func TestSweepCancellationPartialResults(t *testing.T) {
+	// Budgets big enough that the full 8×8 sweep takes many seconds; cancel
+	// almost immediately and demand a prompt return with a partial set.
+	sw := tracep.Sweep{
+		Benchmarks:  tracep.Benchmarks(),
+		Models:      tracep.Models(),
+		TargetInsts: 2_000_000,
+		Parallelism: 2,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	time.AfterFunc(100*time.Millisecond, cancel)
+
+	start := time.Now()
+	rs, err := sw.Run(ctx)
+	elapsed := time.Since(start)
+
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("sweep error = %v, want context.Canceled", err)
+	}
+	if elapsed > 15*time.Second {
+		t.Errorf("cancelled sweep took %v, want prompt stop", elapsed)
+	}
+	total := len(sw.Benchmarks) * len(sw.Models)
+	if rs.Len() >= total {
+		t.Errorf("cancelled sweep recorded %d/%d cells, want a partial set", rs.Len(), total)
+	}
+	// Ordering survives even for a partial set.
+	if got := rs.Benches(); len(got) != 8 || got[0] != "compress" {
+		t.Errorf("partial set bench order = %v", got)
+	}
+	// Any recorded failures must be cancellations, not simulator errors.
+	for _, res := range rs.Results() {
+		if e := res.Err(); e != nil && !errors.Is(e, context.Canceled) {
+			t.Errorf("cell %s/%s failed with %v", res.Benchmark, res.Model, e)
+		}
+	}
+}
+
+func TestSweepCapturesPerRunErrors(t *testing.T) {
+	// An invalid config fails every run, but the sweep itself completes and
+	// captures each failure in its cell.
+	cfg := tracep.DefaultConfig()
+	cfg.MaxTraceLen = 0
+	benches, models := sweepFixture(t)
+	sw := tracep.Sweep{
+		Benchmarks:  benches,
+		Models:      models,
+		TargetInsts: 1_000,
+		Config:      &cfg,
+		Parallelism: 2,
+	}
+	rs, err := sw.Run(context.Background())
+	if err != nil {
+		t.Fatalf("sweep must not abort on per-run errors, got %v", err)
+	}
+	if rs.Len() != len(benches)*len(models) {
+		t.Fatalf("recorded %d cells, want all %d", rs.Len(), len(benches)*len(models))
+	}
+	if rs.Err() == nil {
+		t.Fatal("ResultSet.Err must surface the failures")
+	}
+	for _, res := range rs.Results() {
+		if !errors.Is(res.Err(), tracep.ErrInvalidConfig) {
+			t.Errorf("cell %s/%s error = %v, want ErrInvalidConfig", res.Benchmark, res.Model, res.Err())
+		}
+		if res.Stats != nil {
+			t.Errorf("failed cell %s/%s carries stats", res.Benchmark, res.Model)
+		}
+		if _, ok := rs.Get(res.Benchmark, res.Model); ok {
+			t.Errorf("Get must not expose failed cell %s/%s", res.Benchmark, res.Model)
+		}
+	}
+}
+
+func TestSweepProgressSerialised(t *testing.T) {
+	benches, models := sweepFixture(t)
+	var mu sync.Mutex
+	inHook := false
+	var events, doneEvents int
+	sw := tracep.Sweep{
+		Benchmarks:       benches,
+		Models:           models,
+		TargetInsts:      6_000,
+		Parallelism:      4,
+		ProgressInterval: 1_000,
+		Progress: func(ev tracep.ProgressEvent) {
+			mu.Lock()
+			if inHook {
+				mu.Unlock()
+				t.Error("progress hook entered concurrently")
+				return
+			}
+			inHook = true
+			mu.Unlock()
+
+			mu.Lock()
+			events++
+			if ev.Done {
+				doneEvents++
+			}
+			inHook = false
+			mu.Unlock()
+		},
+	}
+	rs, err := sw.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if events == 0 {
+		t.Error("no progress events delivered")
+	}
+	if doneEvents != len(benches)*len(models) {
+		t.Errorf("%d Done events, want one per run (%d)", doneEvents, len(benches)*len(models))
+	}
+}

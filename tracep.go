@@ -6,11 +6,42 @@
 // memory disambiguation, hierarchical PEs) and the SPEC95int-analogue
 // workload suite.
 //
-// Quick start:
+// # Sessions
+//
+// A simulation is a Simulator session built with New (for a program written
+// against the Builder API) or NewBenchmark (for a suite workload), shaped
+// by functional options, and executed with Run:
 //
 //	bm, _ := tracep.BenchmarkByName("compress")
-//	res, err := tracep.RunBenchmark(bm, tracep.ModelFGMLBRET, 300_000)
+//	sim := tracep.NewBenchmark(bm, 300_000,
+//		tracep.WithModel(tracep.ModelFGMLBRET),
+//		tracep.WithProgress(func(ev tracep.ProgressEvent) {
+//			log.Printf("%s/%s: %d insts", ev.Benchmark, ev.Model, ev.RetiredInsts)
+//		}))
+//	res, err := sim.Run(ctx)
 //	fmt.Printf("IPC = %.2f\n", res.Stats.IPC())
+//
+// Run validates the configuration first — violations surface as typed
+// ConfigErrors wrapping ErrInvalidConfig — and honours ctx cancellation,
+// stopping mid-simulation within ~a thousand simulated cycles.
+//
+// # Sweeps
+//
+// The paper's evaluation (§6) is a (benchmark × model) cross-product; Sweep
+// fans it across a bounded worker pool and collects a ResultSet — with
+// deterministic ordering, per-run error capture and JSON marshalling —
+// that the table/figure renderers consume directly:
+//
+//	sw := tracep.Sweep{
+//		Benchmarks:  tracep.Benchmarks(),
+//		Models:      tracep.Models(),
+//		TargetInsts: 300_000,
+//	}
+//	rs, err := sw.Run(ctx)
+//	fmt.Printf("harmonic mean IPC (base) = %.2f\n", rs.HarmonicMeanIPC("base"))
+//
+// Simulations are deterministic, so a parallel sweep is bit-identical to a
+// serial loop over Run.
 //
 // The eight experimental models of the paper's §6 are exposed as ModelBase,
 // ModelBaseNTB, ModelBaseFG, ModelBaseFGNTB (trace selection only, full
@@ -19,19 +50,21 @@
 package tracep
 
 import (
-	"fmt"
+	"context"
 
 	"tracep/internal/asm"
 	"tracep/internal/bench"
 	"tracep/internal/isa"
 	"tracep/internal/proc"
+	"tracep/internal/report"
 )
 
 // Model selects a trace-selection + control-independence configuration.
 type Model = proc.Model
 
 // Config is the processor configuration (Table 1 defaults via
-// DefaultConfig).
+// DefaultConfig). Simulator.Run validates it; see Config.Validate and
+// ErrInvalidConfig.
 type Config = proc.Config
 
 // Stats carries everything the paper's tables and figures report.
@@ -76,6 +109,17 @@ func SelectionModels() []Model {
 	return []Model{ModelBase, ModelBaseNTB, ModelBaseFG, ModelBaseFGNTB}
 }
 
+// ModelByName returns the named model (base, base(ntb), base(fg),
+// base(fg,ntb), RET, MLB-RET, FG, FG+MLB-RET).
+func ModelByName(name string) (Model, bool) {
+	for _, m := range Models() {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Model{}, false
+}
+
 // DefaultConfig returns Table 1's processor configuration with oracle
 // verification enabled.
 func DefaultConfig() Config { return proc.DefaultConfig() }
@@ -90,32 +134,30 @@ func Benchmarks() []Benchmark { return bench.Suite() }
 // m88ksim, perl, vortex).
 func BenchmarkByName(name string) (Benchmark, error) { return bench.ByName(name) }
 
-// Result is the outcome of one simulation.
-type Result struct {
-	Benchmark string
-	Model     string
-	Stats     *Stats
-}
+// Compile-time proof that the public ResultSet plugs into the paper's
+// table/figure renderers.
+var _ report.Results = (*ResultSet)(nil)
 
 // Run simulates prog under model with cfg until the program halts or
 // maxInsts instructions retire (0 = until halt).
+//
+// Deprecated: build a Simulator with New and the functional options
+// instead; that path adds context cancellation, progress hooks and typed
+// configuration validation. Run is a thin shim over it (and so now also
+// validates cfg).
 func Run(prog *Program, model Model, cfg Config, maxInsts uint64) (*Result, error) {
-	p := proc.New(prog, model, cfg)
-	stats, err := p.Run(maxInsts)
-	if err != nil {
-		return nil, fmt.Errorf("tracep: %s under %s: %w", prog.Name, model.Name, err)
-	}
-	return &Result{Benchmark: prog.Name, Model: model.Name, Stats: stats}, nil
+	return New(prog,
+		WithModel(model),
+		WithConfig(cfg),
+		WithMaxInsts(maxInsts),
+	).Run(context.Background())
 }
 
 // RunBenchmark runs a suite workload sized to roughly targetInsts dynamic
 // instructions under the default configuration.
+//
+// Deprecated: use NewBenchmark (one run) or Sweep (a cross-product of
+// runs) instead. RunBenchmark is a thin shim over NewBenchmark.
 func RunBenchmark(bm Benchmark, model Model, targetInsts uint64) (*Result, error) {
-	prog := bm.Build(bm.ScaleFor(targetInsts))
-	res, err := Run(prog, model, DefaultConfig(), 0)
-	if err != nil {
-		return nil, err
-	}
-	res.Benchmark = bm.Name
-	return res, nil
+	return NewBenchmark(bm, targetInsts, WithModel(model)).Run(context.Background())
 }
