@@ -6,16 +6,30 @@
 //
 // The (benchmark × model) cross-product runs through tracep.Sweep on a
 // bounded worker pool; -j controls the parallelism and Ctrl-C cancels the
-// sweep cleanly mid-run.
+// sweep cleanly mid-run. Each benchmark program is built once and shared
+// across all model cells.
+//
+// A saved -json ResultSet doubles as a replay input and a regression
+// baseline: -results renders the paper tables from the file with zero
+// simulation, and -baseline diffs the current results (live or replayed)
+// against a saved set, exiting non-zero on out-of-tolerance IPC drift —
+// the CI regression gate.
 //
 // Usage:
 //
-//	experiments                  # everything, default instruction budget
-//	experiments -table 5         # one table
-//	experiments -figure 10       # one figure
-//	experiments -n 1000000       # larger runs
-//	experiments -j 4             # four simulations in flight
-//	experiments -json            # machine-readable ResultSet instead of tables
+//	experiments                        # everything, default instruction budget
+//	experiments -table 5               # one table
+//	experiments -figure 10             # one figure
+//	experiments -n 1000000             # larger runs
+//	experiments -j 4                   # four simulations in flight
+//	experiments -bench compress,vortex # benchmark subset
+//	experiments -json > rs.json        # machine-readable ResultSet
+//	experiments -results rs.json       # re-render tables from saved JSON (no simulation)
+//	experiments -results rs.json -baseline old.json -diff-tolerance 2
+//	                                   # regression gate: exit 2 on >2% IPC drop
+//
+// Exit codes: 0 success, 1 simulation failure, 2 regression against
+// -baseline, 130 interrupted.
 package main
 
 import (
@@ -25,6 +39,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 
 	"tracep"
 	"tracep/internal/report"
@@ -35,8 +50,13 @@ func main() {
 	figure := flag.Int("figure", 0, "regenerate a single figure (9 or 10); 0 = all")
 	n := flag.Uint64("n", 300_000, "target dynamic instruction count per run")
 	j := flag.Int("j", 0, "simulations to run in parallel (0 = GOMAXPROCS)")
+	benchList := flag.String("bench", "", "comma-separated benchmark subset (default: all eight)")
 	jsonOut := flag.Bool("json", false, "emit the ResultSet as JSON instead of formatted tables")
 	progress := flag.Bool("progress", false, "log per-run completion to stderr")
+	resultsFile := flag.String("results", "", "load the ResultSet from this saved JSON file instead of simulating")
+	baselineFile := flag.String("baseline", "", "diff results against this saved ResultSet JSON; exit 2 on regression")
+	diffTol := flag.Float64("diff-tolerance", 2.0, "allowed per-cell IPC drop in percent for -baseline")
+	diffAllowMissing := flag.Bool("diff-allow-missing", false, "tolerate baseline cells absent from the current results")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -54,6 +74,89 @@ func main() {
 		}
 	}
 
+	var rs *tracep.ResultSet
+	var ctxErr error
+	if *resultsFile != "" {
+		// Replay mode: render (and gate) a saved ResultSet with zero
+		// simulation.
+		var err error
+		rs, err = loadResultSet(*resultsFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else {
+		rs, ctxErr = runSweep(ctx, *benchList, *n, *j, *progress, *jsonOut, wantTable, wantFigure)
+	}
+
+	runErr := rs.Err()
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, runErr)
+	}
+	// Failed cells in a replayed file are historical: they render as "-"
+	// and only the -baseline gate decides the exit code.
+	if *resultsFile != "" {
+		runErr = nil
+	}
+
+	if *jsonOut {
+		// Failed cells serialise alongside successes (Result.Error), so
+		// always emit the set before reporting the failure via exit code.
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rs); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else {
+		if ctxErr != nil {
+			fmt.Fprintf(os.Stderr, "sweep interrupted (%v); tables below are partial\n", ctxErr)
+		}
+		renderTables(rs, wantTable, wantFigure)
+	}
+
+	regressed := false
+	if *baselineFile != "" {
+		baseline, err := loadResultSet(*baselineFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		diff := rs.Diff(baseline, tracep.Tolerances{IPCPct: *diffTol, AllowMissing: *diffAllowMissing})
+		// In -json mode stdout stays a clean ResultSet; the diff verdict
+		// goes to stderr.
+		out := os.Stdout
+		if *jsonOut {
+			out = os.Stderr
+		}
+		diff.WriteText(out)
+		regressed = !diff.OK()
+	}
+
+	switch {
+	case ctxErr != nil:
+		if *jsonOut {
+			fmt.Fprintf(os.Stderr, "sweep interrupted (%v); results are partial\n", ctxErr)
+		}
+		os.Exit(130)
+	case runErr != nil:
+		os.Exit(1)
+	case regressed:
+		os.Exit(2)
+	}
+}
+
+// runSweep executes the live cross-product for the models the requested
+// tables/figures need and returns the (possibly partial) set plus the
+// context error, mirroring Sweep.Run.
+func runSweep(ctx context.Context, benchList string, n uint64, j int, progress, jsonOut bool,
+	wantTable, wantFigure func(int) bool) (*tracep.ResultSet, error) {
+	benches, err := selectBenchmarks(benchList)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
 	needSelection := wantTable(3) || wantTable(4) || wantTable(5) || wantFigure(9)
 	needCI := wantFigure(10)
 
@@ -67,19 +170,19 @@ func main() {
 		}
 		models = append(models, tracep.CIModels()...)
 	}
-	if *jsonOut && len(models) == 0 {
+	if jsonOut && len(models) == 0 {
 		// -json with only tables 1/2 requested still emits the sweep the
 		// tables/figures would need.
 		models = tracep.Models()
 	}
 
 	sw := tracep.Sweep{
-		Benchmarks:  tracep.Benchmarks(),
+		Benchmarks:  benches,
 		Models:      models,
-		TargetInsts: *n,
-		Parallelism: *j,
+		TargetInsts: n,
+		Parallelism: j,
 	}
-	if *progress {
+	if progress {
 		sw.Progress = func(ev tracep.ProgressEvent) {
 			if ev.Done {
 				fmt.Fprintf(os.Stderr, "done %-9s %-13s %d insts in %d cycles\n",
@@ -87,35 +190,10 @@ func main() {
 			}
 		}
 	}
+	return sw.Run(ctx)
+}
 
-	rs, ctxErr := sw.Run(ctx)
-	runErr := rs.Err()
-	if runErr != nil {
-		fmt.Fprintln(os.Stderr, runErr)
-	}
-
-	if *jsonOut {
-		// Failed cells serialise alongside successes (Result.Error), so
-		// always emit the set before reporting the failure via exit code.
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(rs); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		switch {
-		case ctxErr != nil:
-			fmt.Fprintf(os.Stderr, "sweep interrupted (%v); results are partial\n", ctxErr)
-			os.Exit(130)
-		case runErr != nil:
-			os.Exit(1)
-		}
-		return
-	}
-	if ctxErr != nil {
-		fmt.Fprintf(os.Stderr, "sweep interrupted (%v); tables below are partial\n", ctxErr)
-	}
-
+func renderTables(rs *tracep.ResultSet, wantTable, wantFigure func(int) bool) {
 	selNames := modelNames(tracep.SelectionModels())
 	if wantTable(3) {
 		report.Table3(os.Stdout, rs, selNames)
@@ -142,12 +220,33 @@ func main() {
 		report.BestPerBenchmark(os.Stdout, rs, ciNames, tracep.ModelBase.Name)
 		fmt.Println()
 	}
-	if ctxErr != nil {
-		os.Exit(130)
+}
+
+func selectBenchmarks(list string) ([]tracep.Benchmark, error) {
+	if list == "" {
+		return tracep.Benchmarks(), nil
 	}
-	if runErr != nil {
-		os.Exit(1)
+	var out []tracep.Benchmark
+	for _, name := range strings.Split(list, ",") {
+		bm, err := tracep.BenchmarkByName(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, bm)
 	}
+	return out, nil
+}
+
+func loadResultSet(path string) (*tracep.ResultSet, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rs tracep.ResultSet
+	if err := json.Unmarshal(data, &rs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rs, nil
 }
 
 func modelNames(ms []tracep.Model) []string {

@@ -1,0 +1,213 @@
+package tracep
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// Tolerances bounds the drift a Diff accepts before flagging a cell as a
+// regression. The zero value is the strictest gate: any IPC drop at all
+// regresses, and every baseline cell must be present in the current set.
+type Tolerances struct {
+	// IPCPct is the maximum tolerated relative IPC drop, in percent (2.0
+	// allows up to a 2% slowdown per cell). Improvements are never
+	// regressions.
+	IPCPct float64 `json:"ipc_pct"`
+	// AllowMissing tolerates baseline cells that are absent from (or
+	// failed in) the current set — e.g. when gating a deliberately smaller
+	// sweep against a full baseline.
+	AllowMissing bool `json:"allow_missing,omitempty"`
+}
+
+// DiffKind classifies one cell of a Diff.
+type DiffKind string
+
+const (
+	// DiffOK: both sets have statistics and the IPC delta is within
+	// tolerance (improvements included).
+	DiffOK DiffKind = "ok"
+	// DiffRegression: both sets have statistics and current IPC dropped
+	// beyond Tolerances.IPCPct.
+	DiffRegression DiffKind = "regression"
+	// DiffMissing: the baseline cell succeeded but the current set has no
+	// statistics for it (absent, or failed — Detail carries the error
+	// text). A regression unless Tolerances.AllowMissing is set.
+	DiffMissing DiffKind = "missing"
+	// DiffNew: the current cell succeeded but the baseline has no
+	// statistics for it. Informational, never a regression.
+	DiffNew DiffKind = "new"
+)
+
+// CellDelta is one (benchmark, model) cell of a Diff.
+type CellDelta struct {
+	Benchmark string   `json:"benchmark"`
+	Model     string   `json:"model"`
+	Kind      DiffKind `json:"kind"`
+	// BaselineIPC and CurrentIPC are 0 when the respective side has no
+	// statistics for the cell.
+	BaselineIPC float64 `json:"baseline_ipc,omitempty"`
+	CurrentIPC  float64 `json:"current_ipc,omitempty"`
+	// DeltaPct is the relative IPC change in percent (negative = slower);
+	// meaningful only when both sides have statistics.
+	DeltaPct float64 `json:"delta_pct,omitempty"`
+	// Detail carries context for non-ok cells, e.g. the failed run's error
+	// text.
+	Detail string `json:"detail,omitempty"`
+	// Regression marks the cell as failing the gate under the Diff's
+	// tolerances.
+	Regression bool `json:"regression,omitempty"`
+}
+
+// Diff is the cell-by-cell comparison of a current ResultSet against a
+// baseline, under a Tolerances gate. Cells appear in deterministic order:
+// the baseline's benchmark-major grid first, then current-only cells in
+// the current set's grid order. Diff marshals to JSON directly; WriteText
+// renders the human table.
+type Diff struct {
+	Tolerances Tolerances  `json:"tolerances"`
+	Cells      []CellDelta `json:"cells"`
+}
+
+// Diff compares r (the current results) against baseline under tol.
+// Only cells with statistics participate as successes; failed cells count
+// as absent on their side (a baseline failure that now succeeds is
+// DiffNew, a baseline success that now fails is DiffMissing with the error
+// text in Detail).
+func (r *ResultSet) Diff(baseline *ResultSet, tol Tolerances) *Diff {
+	d := &Diff{Tolerances: tol}
+	seen := make(map[cellKey]bool)
+	for _, b := range baseline.Benches() {
+		for _, m := range baseline.Models() {
+			base, ok := baseline.Get(b, m)
+			if !ok {
+				continue
+			}
+			seen[cellKey{b, m}] = true
+			d.Cells = append(d.Cells, compareCell(r, b, m, base.IPC(), tol))
+		}
+	}
+	for _, b := range r.Benches() {
+		for _, m := range r.Models() {
+			if seen[cellKey{b, m}] {
+				continue
+			}
+			cur, ok := r.Get(b, m)
+			if !ok {
+				continue
+			}
+			d.Cells = append(d.Cells, CellDelta{
+				Benchmark:  b,
+				Model:      m,
+				Kind:       DiffNew,
+				CurrentIPC: cur.IPC(),
+			})
+		}
+	}
+	return d
+}
+
+func compareCell(r *ResultSet, bench, model string, baseIPC float64, tol Tolerances) CellDelta {
+	c := CellDelta{Benchmark: bench, Model: model, BaselineIPC: baseIPC}
+	cur, ok := r.Get(bench, model)
+	if !ok {
+		c.Kind = DiffMissing
+		c.Regression = !tol.AllowMissing
+		if res, found := r.Lookup(bench, model); found && res.Error != "" {
+			c.Detail = res.Error
+		} else {
+			c.Detail = "cell absent from current set"
+		}
+		return c
+	}
+	c.CurrentIPC = cur.IPC()
+	if baseIPC > 0 {
+		c.DeltaPct = 100 * (c.CurrentIPC - baseIPC) / baseIPC
+	}
+	if c.DeltaPct < -tol.IPCPct {
+		c.Kind = DiffRegression
+		c.Regression = true
+		c.Detail = fmt.Sprintf("IPC dropped %.2f%% (tolerance %.2f%%)", -c.DeltaPct, tol.IPCPct)
+	} else {
+		c.Kind = DiffOK
+	}
+	return c
+}
+
+// Regressions returns the cells that fail the gate, in Diff order.
+func (d *Diff) Regressions() []CellDelta {
+	var out []CellDelta
+	for _, c := range d.Cells {
+		if c.Regression {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Compared returns how many cells had statistics on both sides and so
+// actually had their IPC checked (kinds DiffOK and DiffRegression).
+func (d *Diff) Compared() int {
+	n := 0
+	for _, c := range d.Cells {
+		if c.Kind == DiffOK || c.Kind == DiffRegression {
+			n++
+		}
+	}
+	return n
+}
+
+// OK reports whether the gate passed: no cell regressed AND at least one
+// IPC comparison actually happened. A baseline that shares no successful
+// cells with the current set (empty file, renamed benchmarks/models) would
+// otherwise pass vacuously — even under AllowMissing — and that is a
+// broken gate, not a green one.
+func (d *Diff) OK() bool { return d.Compared() > 0 && len(d.Regressions()) == 0 }
+
+// WriteText renders the diff as an aligned human-readable table, one row
+// per cell, followed by a one-line verdict.
+func (d *Diff) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "RESULTSET DIFF (tolerance: IPC -%.2f%%", d.Tolerances.IPCPct)
+	if d.Tolerances.AllowMissing {
+		fmt.Fprint(w, ", missing cells allowed")
+	}
+	fmt.Fprintln(w, ")")
+	fmt.Fprintf(w, "  %-10s %-13s %10s %10s %8s  %s\n",
+		"benchmark", "model", "baseline", "current", "delta", "verdict")
+	for _, c := range d.Cells {
+		verdict := string(c.Kind)
+		if c.Regression {
+			verdict = "REGRESSION"
+		}
+		if c.Detail != "" {
+			verdict += " (" + c.Detail + ")"
+		}
+		fmt.Fprintf(w, "  %-10s %-13s %10s %10s %8s  %s\n",
+			c.Benchmark, c.Model, ipcText(c.BaselineIPC), ipcText(c.CurrentIPC), deltaText(c), verdict)
+	}
+	switch reg := d.Regressions(); {
+	case d.Compared() == 0:
+		fmt.Fprintln(w, "FAIL: no cells compared — baseline shares no cells with the current set")
+	case len(reg) > 0:
+		fmt.Fprintf(w, "FAIL: %d of %d cells regressed\n", len(reg), len(d.Cells))
+	default:
+		fmt.Fprintf(w, "OK: %d cells within tolerance\n", len(d.Cells))
+	}
+}
+
+func ipcText(ipc float64) string {
+	if ipc == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.3f", ipc)
+}
+
+func deltaText(c CellDelta) string {
+	if c.BaselineIPC == 0 || c.CurrentIPC == 0 {
+		return "-"
+	}
+	if math.Abs(c.DeltaPct) < 0.0005 {
+		return "0.000%"
+	}
+	return fmt.Sprintf("%+.3f%%", c.DeltaPct)
+}

@@ -1,0 +1,167 @@
+package tracep_test
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"tracep"
+)
+
+// diffFixture builds a 2×2 baseline: IPCs 2.0, 3.0, 1.5, 2.5.
+func diffBaseline() *tracep.ResultSet {
+	rs := tracep.NewResultSetFor([]string{"compress", "vortex"}, []string{"base", "FG"})
+	rs.Add(cell("compress", "base", 2.0))
+	rs.Add(cell("compress", "FG", 3.0))
+	rs.Add(cell("vortex", "base", 1.5))
+	rs.Add(cell("vortex", "FG", 2.5))
+	return rs
+}
+
+func TestDiffIdenticalSetsOK(t *testing.T) {
+	d := diffBaseline().Diff(diffBaseline(), tracep.Tolerances{})
+	if !d.OK() {
+		t.Fatalf("identical sets must pass the strictest gate: %+v", d.Regressions())
+	}
+	if len(d.Cells) != 4 {
+		t.Errorf("diff has %d cells, want 4", len(d.Cells))
+	}
+	for _, c := range d.Cells {
+		if c.Kind != tracep.DiffOK || c.DeltaPct != 0 {
+			t.Errorf("cell %s/%s = %+v, want ok with zero delta", c.Benchmark, c.Model, c)
+		}
+	}
+}
+
+func TestDiffDetectsRegressionWithinTolerance(t *testing.T) {
+	cur := diffBaseline()
+	cur.Add(cell("compress", "base", 1.9)) // -5% vs baseline 2.0
+	cur.Add(cell("vortex", "FG", 2.48))    // -0.8%
+
+	// 5% drop regresses under a 2% gate; the 0.8% drop does not.
+	d := cur.Diff(diffBaseline(), tracep.Tolerances{IPCPct: 2})
+	reg := d.Regressions()
+	if len(reg) != 1 || reg[0].Benchmark != "compress" || reg[0].Model != "base" {
+		t.Fatalf("regressions = %+v, want exactly compress/base", reg)
+	}
+	if reg[0].Kind != tracep.DiffRegression || reg[0].DeltaPct > -4.9 || reg[0].DeltaPct < -5.1 {
+		t.Errorf("regression cell = %+v, want ~-5%%", reg[0])
+	}
+
+	// A 10% gate tolerates both.
+	if d := cur.Diff(diffBaseline(), tracep.Tolerances{IPCPct: 10}); !d.OK() {
+		t.Errorf("10%% gate must pass: %+v", d.Regressions())
+	}
+	// Improvements are never regressions, even under a zero gate.
+	up := diffBaseline()
+	up.Add(cell("compress", "base", 4.0))
+	if d := up.Diff(diffBaseline(), tracep.Tolerances{}); !d.OK() {
+		t.Errorf("improvement flagged as regression: %+v", d.Regressions())
+	}
+}
+
+func TestDiffMissingAndNewCells(t *testing.T) {
+	cur := tracep.NewResultSetFor([]string{"compress", "gcc"}, []string{"base", "FG"})
+	cur.Add(cell("compress", "base", 2.0))
+	cur.Add(cell("compress", "FG", 3.0))
+	cur.Add(cell("gcc", "base", 1.0)) // not in baseline
+	cur.Add(&tracep.Result{Benchmark: "gcc", Model: "FG", Error: "boom"})
+
+	d := cur.Diff(diffBaseline(), tracep.Tolerances{})
+	kinds := map[string]tracep.DiffKind{}
+	for _, c := range d.Cells {
+		kinds[c.Benchmark+"/"+c.Model] = c.Kind
+	}
+	if kinds["vortex/base"] != tracep.DiffMissing || kinds["vortex/FG"] != tracep.DiffMissing {
+		t.Errorf("vortex row kinds = %v, want missing", kinds)
+	}
+	if kinds["gcc/base"] != tracep.DiffNew {
+		t.Errorf("gcc/base kind = %v, want new", kinds["gcc/base"])
+	}
+	if _, ok := kinds["gcc/FG"]; ok {
+		t.Error("a cell with statistics on neither side must not appear in the diff")
+	}
+	if d.OK() {
+		t.Error("missing baseline cells must regress by default")
+	}
+	if d := cur.Diff(diffBaseline(), tracep.Tolerances{AllowMissing: true}); !d.OK() {
+		t.Errorf("AllowMissing must tolerate the smaller sweep: %+v", d.Regressions())
+	}
+
+	// A baseline success that now fails carries the error text.
+	failed := diffBaseline()
+	failed.Add(&tracep.Result{Benchmark: "compress", Model: "base", Error: "watchdog: stuck"})
+	d = failed.Diff(diffBaseline(), tracep.Tolerances{})
+	for _, c := range d.Cells {
+		if c.Benchmark == "compress" && c.Model == "base" {
+			if c.Kind != tracep.DiffMissing || !c.Regression || !strings.Contains(c.Detail, "watchdog") {
+				t.Errorf("failed cell delta = %+v, want missing regression with error detail", c)
+			}
+		}
+	}
+}
+
+// TestDiffNonOverlappingBaselineFails pins the vacuous-pass guard: a
+// baseline that shares no cells with the current set (empty file, renamed
+// benchmarks) compares nothing and must FAIL the gate, not pass it.
+func TestDiffNonOverlappingBaselineFails(t *testing.T) {
+	empty := tracep.NewResultSet()
+	d := diffBaseline().Diff(empty, tracep.Tolerances{IPCPct: 100})
+	if d.OK() {
+		t.Error("empty baseline must fail the gate, not pass vacuously")
+	}
+	if d.Compared() != 0 {
+		t.Errorf("Compared() = %d, want 0", d.Compared())
+	}
+
+	renamed := tracep.NewResultSetFor([]string{"other"}, []string{"base"})
+	renamed.Add(cell("other", "base", 2.0))
+	d = diffBaseline().Diff(renamed, tracep.Tolerances{AllowMissing: true})
+	if d.OK() {
+		t.Error("non-overlapping baseline must fail even with AllowMissing")
+	}
+
+	var text strings.Builder
+	d.WriteText(&text)
+	if !strings.Contains(text.String(), "FAIL: no cells compared") {
+		t.Errorf("rendering must flag the empty comparison:\n%s", text.String())
+	}
+}
+
+func TestDiffDeterministicOrderAndRenderings(t *testing.T) {
+	cur := diffBaseline()
+	cur.Add(cell("compress", "base", 1.0)) // -50%
+	d := cur.Diff(diffBaseline(), tracep.Tolerances{IPCPct: 2})
+
+	var order []string
+	for _, c := range d.Cells {
+		order = append(order, c.Benchmark+"/"+c.Model)
+	}
+	want := "compress/base,compress/FG,vortex/base,vortex/FG"
+	if got := strings.Join(order, ","); got != want {
+		t.Errorf("cell order = %s, want %s (baseline grid order)", got, want)
+	}
+
+	var text strings.Builder
+	d.WriteText(&text)
+	for _, want := range []string{"RESULTSET DIFF", "REGRESSION", "IPC dropped 50.00%", "FAIL: 1 of 4 cells regressed"} {
+		if !strings.Contains(text.String(), want) {
+			t.Errorf("text rendering missing %q:\n%s", want, text.String())
+		}
+	}
+
+	out, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back tracep.Diff
+	if err := json.Unmarshal(out, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Cells) != len(d.Cells) || back.Tolerances != d.Tolerances {
+		t.Errorf("JSON round trip lost data: %+v", back)
+	}
+	if back.OK() {
+		t.Error("round-tripped diff must still report the regression")
+	}
+}

@@ -13,11 +13,18 @@
 package bench
 
 import (
+	"errors"
 	"fmt"
 
 	"tracep/internal/asm"
 	"tracep/internal/isa"
 )
+
+// ErrInvalidBenchmark reports a Benchmark value that cannot be built — a nil
+// Build function or a non-positive InstsPerIter. Like ErrInvalidConfig on
+// the processor side, it surfaces as a typed error from Simulator.Run (and
+// per-cell from Sweep) instead of a panic.
+var ErrInvalidBenchmark = errors.New("invalid benchmark")
 
 // Benchmark is one synthetic workload.
 type Benchmark struct {
@@ -99,9 +106,31 @@ func ByName(name string) (Benchmark, error) {
 	return Benchmark{}, fmt.Errorf("bench: unknown benchmark %q", name)
 }
 
+// Validate reports whether the benchmark is buildable. The zero value is
+// not: it has no Build function and no per-iteration instruction estimate.
+// Every returned error wraps ErrInvalidBenchmark.
+func (b Benchmark) Validate() error {
+	name := b.Name
+	if name == "" {
+		name = "(unnamed)"
+	}
+	if b.Build == nil {
+		return fmt.Errorf("bench: %w: %s has a nil Build function", ErrInvalidBenchmark, name)
+	}
+	if b.InstsPerIter <= 0 {
+		return fmt.Errorf("bench: %w: %s has InstsPerIter %d, want > 0", ErrInvalidBenchmark, name, b.InstsPerIter)
+	}
+	return nil
+}
+
 // ScaleFor returns the outer iteration count that yields roughly n dynamic
-// instructions.
+// instructions. A benchmark with no per-iteration estimate (InstsPerIter
+// <= 0, e.g. the zero value) scales to the floor of 1 rather than
+// panicking; Validate is how such values are rejected.
 func (b Benchmark) ScaleFor(n uint64) int64 {
+	if b.InstsPerIter <= 0 {
+		return 1
+	}
 	s := int64(n) / b.InstsPerIter
 	if s < 1 {
 		s = 1

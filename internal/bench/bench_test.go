@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"errors"
 	"testing"
 
 	"tracep/internal/emu"
@@ -70,6 +71,30 @@ func TestScaleFor(t *testing.T) {
 	}
 	if s := bm.ScaleFor(1); s != 1 {
 		t.Errorf("ScaleFor(1) = %d, want 1 (floor)", s)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	for _, bm := range Suite() {
+		if err := bm.Validate(); err != nil {
+			t.Errorf("%s: suite benchmark must validate, got %v", bm.Name, err)
+		}
+	}
+	var zero Benchmark
+	if err := zero.Validate(); !errors.Is(err, ErrInvalidBenchmark) {
+		t.Errorf("zero value Validate = %v, want ErrInvalidBenchmark", err)
+	}
+	noIters, _ := ByName("compress")
+	noIters.InstsPerIter = 0
+	if err := noIters.Validate(); !errors.Is(err, ErrInvalidBenchmark) {
+		t.Errorf("InstsPerIter=0 Validate = %v, want ErrInvalidBenchmark", err)
+	}
+}
+
+func TestScaleForZeroInstsPerIterDoesNotPanic(t *testing.T) {
+	var zero Benchmark
+	if s := zero.ScaleFor(1_000_000); s != 1 {
+		t.Errorf("zero-value ScaleFor = %d, want floor 1", s)
 	}
 }
 

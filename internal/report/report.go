@@ -3,9 +3,10 @@
 // rows/series layout the paper uses.
 //
 // The package is a pure rendering layer: it consumes any Results
-// implementation — in practice the public tracep.ResultSet, which the
-// tracep.Sweep runner fills in parallel — and owns no result storage of its
-// own.
+// implementation — in practice the public tracep.ResultSet, whether filled
+// in parallel by the tracep.Sweep runner or replayed from a saved JSON
+// file (cmd/experiments -results) — and owns no result storage of its own.
+// Absent or failed cells render as "-".
 package report
 
 import (
@@ -213,7 +214,7 @@ func Figure(w io.Writer, title string, r Results, models []string, base string) 
 	}
 	fmt.Fprintf(w, "%-10s", "average")
 	for _, m := range models {
-		fmt.Fprintf(w, "%13.1f%%", sums[m]/float64(len(r.Benches())))
+		fmt.Fprintf(w, "%13.1f%%", sums[m]/float64(max(len(r.Benches()), 1)))
 	}
 	fmt.Fprintln(w)
 	fmt.Fprintln(w)
@@ -261,7 +262,7 @@ func BestPerBenchmark(w io.Writer, r Results, ciModels []string, base string) (a
 		fmt.Fprintf(w, "  %-10s %-13s %+.1f%%\n", b, bestModel, best)
 		sum += best
 	}
-	avg = sum / float64(len(r.Benches()))
+	avg = sum / float64(max(len(r.Benches()), 1))
 	fmt.Fprintf(w, "  average best-technique improvement: %+.1f%%\n", avg)
 	return avg
 }

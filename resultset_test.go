@@ -2,7 +2,9 @@ package tracep_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"reflect"
 	"strings"
 	"testing"
@@ -88,6 +90,60 @@ func TestResultSetJSONRoundTrip(t *testing.T) {
 	}
 	if !bytes.Equal(out, out2) {
 		t.Error("re-marshalling a round-tripped set must be byte-identical")
+	}
+}
+
+// TestResultSetRoundTripErrorSemantics pins the documented asymmetry for
+// failed cells: on a live set the wrapped error supports errors.Is; after
+// a JSON round-trip only the Error text survives, so errors.Is no longer
+// matches while Err() still reports the failure.
+func TestResultSetRoundTripErrorSemantics(t *testing.T) {
+	// Produce a live failed cell with a genuinely wrapped sentinel: a sweep
+	// cancelled mid-run records context.Canceled per cell.
+	bm, err := tracep.BenchmarkByName("compress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	sw := tracep.Sweep{
+		Benchmarks:  []tracep.Benchmark{bm},
+		Models:      []tracep.Model{tracep.ModelBase},
+		TargetInsts: 50_000_000,
+		Parallelism: 1,
+		Progress: func(tracep.ProgressEvent) {
+			cancel() // cancel as soon as the run is demonstrably in flight
+		},
+		ProgressInterval: 1_000,
+	}
+	rs, runErr := sw.Run(ctx)
+	if !errors.Is(runErr, context.Canceled) {
+		t.Fatalf("sweep error = %v, want context.Canceled", runErr)
+	}
+	live, ok := rs.Lookup("compress", "base")
+	if !ok {
+		t.Fatal("cancelled in-flight cell must be recorded")
+	}
+	if !errors.Is(live.Err(), context.Canceled) {
+		t.Fatalf("live Err() = %v, want errors.Is(context.Canceled)", live.Err())
+	}
+
+	out, err := json.Marshal(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back tracep.ResultSet
+	if err := json.Unmarshal(out, &back); err != nil {
+		t.Fatal(err)
+	}
+	res, ok := back.Lookup("compress", "base")
+	if !ok {
+		t.Fatal("failed cell lost in round trip")
+	}
+	if res.Err() == nil || res.Err().Error() != live.Error {
+		t.Errorf("round-tripped Err() = %v, want text %q", res.Err(), live.Error)
+	}
+	if errors.Is(res.Err(), context.Canceled) {
+		t.Error("wrapped sentinel must NOT survive the JSON round trip")
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"tracep/internal/bench"
 	"tracep/internal/proc"
 )
 
@@ -18,6 +19,12 @@ var ErrInvalidConfig = proc.ErrInvalidConfig
 // ConfigError reports one invalid Config field; errors.Is(err,
 // ErrInvalidConfig) holds for every ConfigError.
 type ConfigError = proc.ConfigError
+
+// ErrInvalidBenchmark reports a Benchmark value that cannot be built (nil
+// Build function, non-positive InstsPerIter — e.g. the zero value).
+// Simulator.Run returns it instead of panicking, and Sweep records it
+// per-cell.
+var ErrInvalidBenchmark = bench.ErrInvalidBenchmark
 
 // DefaultProgressInterval is how many retired instructions elapse between
 // ProgressEvents when WithProgress is set without WithProgressInterval.
@@ -41,9 +48,11 @@ type ProgressEvent struct {
 	Done bool
 }
 
-// Option configures a Simulator. Options are applied in order; WithConfig
-// replaces the entire configuration, so pass it before field-level options
-// like WithVerify and WithSeed.
+// Option configures a Simulator. Options are applied in order, but
+// field-level configuration options (WithVerify, WithSeed) always take
+// effect on top of the configuration, so they compose with WithConfig in
+// either order — WithConfig never silently clobbers an earlier field
+// option.
 type Option func(*Simulator)
 
 // WithModel selects the trace-selection + control-independence model
@@ -51,7 +60,9 @@ type Option func(*Simulator)
 func WithModel(m Model) Option { return func(s *Simulator) { s.model = m } }
 
 // WithConfig replaces the processor configuration (default DefaultConfig).
-// The configuration is validated when Run is called.
+// Field-level options (WithVerify, WithSeed) are re-applied on top of the
+// new configuration regardless of option order. The configuration is
+// validated when Run is called.
 func WithConfig(cfg Config) Option { return func(s *Simulator) { s.cfg = cfg } }
 
 // WithMaxInsts caps the run at n retired instructions (0 = run until the
@@ -60,13 +71,24 @@ func WithMaxInsts(n uint64) Option { return func(s *Simulator) { s.maxInsts = n 
 
 // WithVerify toggles the architectural oracle that checks every retired
 // instruction (on in DefaultConfig; turn off for throughput measurements).
-func WithVerify(v bool) Option { return func(s *Simulator) { s.cfg.Verify = v } }
+// It overrides the Verify field of whatever configuration the session ends
+// up with, even if WithConfig appears later in the option list.
+func WithVerify(v bool) Option {
+	return func(s *Simulator) {
+		s.cfgEdits = append(s.cfgEdits, func(c *Config) { c.Verify = v })
+	}
+}
 
 // WithSeed scrambles the initial branch-predictor state with a
 // deterministic PRNG (0 = the paper's weakly-not-taken reset). Runs remain
 // bit-reproducible for a given seed; sweeping seeds measures sensitivity to
-// predictor warm-up.
-func WithSeed(seed int64) Option { return func(s *Simulator) { s.cfg.Seed = seed } }
+// predictor warm-up. Like WithVerify, it overrides the Seed field
+// regardless of where WithConfig appears in the option list.
+func WithSeed(seed int64) Option {
+	return func(s *Simulator) {
+		s.cfgEdits = append(s.cfgEdits, func(c *Config) { c.Seed = seed })
+	}
+}
 
 // WithProgress registers a hook that receives a ProgressEvent every
 // DefaultProgressInterval retired instructions (see WithProgressInterval)
@@ -91,18 +113,23 @@ func WithLabel(name string) Option { return func(s *Simulator) { s.label = name 
 // every Run starts a fresh processor from reset — but not concurrency-safe;
 // share programs across goroutines, not Simulators.
 type Simulator struct {
-	prog          *Program
+	prog *Program
+	// benchmark-backed sessions build their program lazily on the first
+	// Run, so an unbuildable Benchmark surfaces as an error, not a panic.
+	bm       *Benchmark
+	bmTarget uint64
+
 	label         string
 	model         Model
 	cfg           Config
+	cfgEdits      []func(*Config)
 	maxInsts      uint64
 	progress      func(ProgressEvent)
 	progressEvery uint64
 }
 
-func newSimulator(prog *Program, label string, opts []Option) *Simulator {
+func newSimulator(label string, opts []Option) *Simulator {
 	s := &Simulator{
-		prog:  prog,
 		label: label,
 		model: ModelBase,
 		cfg:   DefaultConfig(),
@@ -110,6 +137,12 @@ func newSimulator(prog *Program, label string, opts []Option) *Simulator {
 	for _, o := range opts {
 		o(s)
 	}
+	// Field-level overrides (WithVerify, WithSeed) win over WithConfig
+	// regardless of the order the options were passed in.
+	for _, edit := range s.cfgEdits {
+		edit(&s.cfg)
+	}
+	s.cfgEdits = nil
 	return s
 }
 
@@ -120,14 +153,54 @@ func New(prog *Program, opts ...Option) *Simulator {
 	if prog != nil {
 		label = prog.Name
 	}
-	return newSimulator(prog, label, opts)
+	s := newSimulator(label, opts)
+	s.prog = prog
+	return s
 }
 
 // NewBenchmark builds a session for a suite workload, sized so the program
 // retires roughly targetInsts dynamic instructions before halting. The run
 // proceeds to architectural halt unless WithMaxInsts caps it.
+//
+// The program is constructed lazily on the first Run (and cached for
+// subsequent Runs); an unbuildable Benchmark — the zero value, a nil Build
+// function — surfaces there as an error wrapping ErrInvalidBenchmark
+// rather than panicking here.
 func NewBenchmark(bm Benchmark, targetInsts uint64, opts ...Option) *Simulator {
-	return newSimulator(bm.Build(bm.ScaleFor(targetInsts)), bm.Name, opts)
+	s := newSimulator(bm.Name, opts)
+	s.bm, s.bmTarget = &bm, targetInsts
+	return s
+}
+
+// program returns the session's program, building (and caching) it for
+// benchmark-backed sessions.
+func (s *Simulator) program() (*Program, error) {
+	if s.prog != nil {
+		return s.prog, nil
+	}
+	if s.bm == nil {
+		return nil, errors.New("nil program")
+	}
+	prog, err := buildProgram(*s.bm, s.bmTarget)
+	if err != nil {
+		return nil, err
+	}
+	s.prog = prog
+	return s.prog, nil
+}
+
+// buildProgram validates bm and constructs its program sized to roughly
+// targetInsts dynamic instructions — the one build path shared by
+// benchmark-backed Simulators and Sweep's once-per-row builds.
+func buildProgram(bm Benchmark, targetInsts uint64) (*Program, error) {
+	if err := bm.Validate(); err != nil {
+		return nil, err
+	}
+	prog := bm.Build(bm.ScaleFor(targetInsts))
+	if prog == nil {
+		return nil, fmt.Errorf("%w: %s Build returned a nil program", ErrInvalidBenchmark, bm.Name)
+	}
+	return prog, nil
 }
 
 // Model returns the session's model.
@@ -144,14 +217,18 @@ func (s *Simulator) Label() string { return s.label }
 // simulation promptly; the returned error then wraps ctx.Err(). Run may be
 // called repeatedly; each call is an independent simulation.
 func (s *Simulator) Run(ctx context.Context) (*Result, error) {
-	if s.prog == nil {
-		return nil, errors.New("tracep: nil program")
+	prog, err := s.program()
+	if err != nil {
+		if s.label == "" {
+			return nil, fmt.Errorf("tracep: %w", err)
+		}
+		return nil, fmt.Errorf("tracep: %s: %w", s.label, err)
 	}
 	if err := s.cfg.Validate(); err != nil {
 		return nil, fmt.Errorf("tracep: %s: %w", s.label, err)
 	}
 
-	p := proc.New(s.prog, s.model, s.cfg)
+	p := proc.New(prog, s.model, s.cfg)
 	var tap func(proc.Progress)
 	every := uint64(0)
 	if s.progress != nil {

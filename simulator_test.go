@@ -107,10 +107,62 @@ func TestConfigValidationTypedErrors(t *testing.T) {
 		t.Errorf("ConfigError.Field = %q", ce.Field)
 	}
 
-	// The deprecated shim goes through the same validation.
+	// Plain-program sessions go through the same validation.
 	prog := mustProg(t)
-	if _, err := tracep.Run(prog, tracep.ModelBase, cfg, 0); !errors.Is(err, tracep.ErrInvalidConfig) {
-		t.Errorf("deprecated Run must validate too, got %v", err)
+	if _, err := tracep.New(prog, tracep.WithConfig(cfg)).Run(context.Background()); !errors.Is(err, tracep.ErrInvalidConfig) {
+		t.Errorf("program session must validate too, got %v", err)
+	}
+}
+
+// TestOptionOrderFieldOverridesWin pins the fix for the option-ordering
+// footgun: WithVerify/WithSeed passed BEFORE WithConfig used to be
+// silently clobbered by the full-config replacement. Field options now
+// apply on top of the configuration regardless of order.
+func TestOptionOrderFieldOverridesWin(t *testing.T) {
+	bm := mustBench(t, "compress")
+	cfg := tracep.DefaultConfig()
+	cfg.NumPEs = 8 // cfg carries Verify=true, Seed=0
+	sim := tracep.NewBenchmark(bm, 5_000,
+		tracep.WithVerify(false),
+		tracep.WithSeed(7),
+		tracep.WithConfig(cfg), // must not clobber the field options above
+	)
+	got := sim.Config()
+	if got.NumPEs != 8 || got.Verify || got.Seed != 7 {
+		t.Errorf("config = NumPEs:%d Verify:%v Seed:%d, want 8/false/7", got.NumPEs, got.Verify, got.Seed)
+	}
+	// Repeated field options: the last one wins.
+	sim2 := tracep.New(mustProg(t), tracep.WithSeed(1), tracep.WithConfig(cfg), tracep.WithSeed(2))
+	if got := sim2.Config().Seed; got != 2 {
+		t.Errorf("last WithSeed must win, got seed %d", got)
+	}
+}
+
+// TestZeroValueBenchmarkErrors pins the fix for zero-value Benchmark
+// crashes: NewBenchmark used to call a nil Build (panic) and ScaleFor used
+// to divide by a zero InstsPerIter (panic). Both now surface as typed
+// errors from Run.
+func TestZeroValueBenchmarkErrors(t *testing.T) {
+	_, err := tracep.NewBenchmark(tracep.Benchmark{}, 1_000).Run(context.Background())
+	if err == nil {
+		t.Fatal("zero-value benchmark must fail Run")
+	}
+	if !errors.Is(err, tracep.ErrInvalidBenchmark) {
+		t.Errorf("error %v must wrap ErrInvalidBenchmark", err)
+	}
+
+	// A Build function alone is not enough: without InstsPerIter the
+	// workload cannot be sized.
+	bad := mustBench(t, "compress")
+	bad.InstsPerIter = 0
+	if _, err := tracep.NewBenchmark(bad, 1_000).Run(context.Background()); !errors.Is(err, tracep.ErrInvalidBenchmark) {
+		t.Errorf("InstsPerIter=0 error = %v, want ErrInvalidBenchmark", err)
+	}
+
+	// ScaleFor itself must not panic on the zero value (Table 2 renders
+	// scales before any simulation runs).
+	if s := (tracep.Benchmark{}).ScaleFor(1_000); s != 1 {
+		t.Errorf("zero-value ScaleFor = %d, want floor 1", s)
 	}
 }
 

@@ -2,6 +2,7 @@ package tracep
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
 )
@@ -12,8 +13,13 @@ import (
 // independent, deterministic simulation, so a parallel sweep produces
 // results bit-identical to a serial loop; only wall-clock time changes.
 //
+// Each benchmark program is built exactly once per sweep and shared,
+// read-only, by every model cell in its row (programs are immutable at run
+// time; see Simulator). An N-model sweep therefore performs N× fewer
+// builds than a loop over NewBenchmark.
+//
 // The zero value is not useful: populate Benchmarks and Models, then call
-// Run.
+// Run (one ResultSet at the end) or Stream (cells as they complete).
 type Sweep struct {
 	// Benchmarks and Models span the cross-product; every (benchmark,
 	// model) pair is simulated once.
@@ -44,43 +50,41 @@ type Sweep struct {
 	ProgressInterval uint64
 }
 
+// sweepJob is one cell: a shared, immutable program (built once per
+// benchmark row) plus the model to run it under. A failed build carries
+// its error instead of a program, failing every cell of the row.
 type sweepJob struct {
-	bm    Benchmark
-	model Model
+	bench    string
+	prog     *Program
+	buildErr error
+	model    Model
 }
 
-// Run executes the sweep and returns the result set. Failed runs are
-// captured per-cell (Result.Error / Result.Err) rather than aborting the
-// sweep; inspect them with ResultSet.Err. Cancelling ctx stops the sweep
-// promptly — in-flight simulations abort and unstarted cells stay absent —
-// and Run returns the partial set together with ctx.Err().
-func (sw *Sweep) Run(ctx context.Context) (*ResultSet, error) {
-	benchNames := make([]string, len(sw.Benchmarks))
-	for i, bm := range sw.Benchmarks {
-		benchNames[i] = bm.Name
-	}
-	modelNames := make([]string, len(sw.Models))
-	for i, m := range sw.Models {
-		modelNames[i] = m.Name
-	}
-	rs := NewResultSetFor(benchNames, modelNames)
-
-	jobs := make([]sweepJob, 0, len(sw.Benchmarks)*len(sw.Models))
-	for _, bm := range sw.Benchmarks {
-		for _, m := range sw.Models {
-			jobs = append(jobs, sweepJob{bm, m})
-		}
+// Stream starts the sweep and returns a channel that delivers every cell's
+// Result exactly once, as it completes (completion order, not grid order —
+// use ResultSet for deterministic ordering). The channel is closed once
+// the sweep finishes; it is buffered for the full cross-product, so a
+// consumer that stops reading never blocks a worker or leaks a goroutine.
+//
+// Failed runs are delivered like successful ones, with Result.Error /
+// Result.Err set. Cancelling ctx stops the sweep promptly: in-flight
+// simulations abort and are delivered as failed cells, unstarted cells are
+// never delivered, and the channel is closed after the last in-flight cell
+// lands.
+func (sw *Sweep) Stream(ctx context.Context) <-chan *Result {
+	total := len(sw.Benchmarks) * len(sw.Models)
+	out := make(chan *Result, total)
+	if total == 0 {
+		close(out)
+		return out
 	}
 
 	workers := sw.Parallelism
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
-	if workers == 0 {
-		return rs, ctx.Err()
+	if workers > total {
+		workers = total
 	}
 
 	// Serialise the user's progress hook across workers.
@@ -101,30 +105,75 @@ func (sw *Sweep) Run(ctx context.Context) (*ResultSet, error) {
 		go func() {
 			defer wg.Done()
 			for job := range jobCh {
-				sw.runOne(ctx, job, progress, rs)
+				if res := sw.runOne(ctx, job, progress); res != nil {
+					out <- res
+				}
 			}
 		}()
 	}
 
-feed:
-	for _, job := range jobs {
-		select {
-		case jobCh <- job:
-		case <-ctx.Done():
-			break feed
+	go func() {
+	feed:
+		for _, bm := range sw.Benchmarks {
+			// One build per benchmark row; every model cell shares the
+			// immutable program.
+			prog, err := buildProgram(bm, sw.TargetInsts)
+			for _, m := range sw.Models {
+				select {
+				case jobCh <- sweepJob{bench: bm.Name, prog: prog, buildErr: err, model: m}:
+				case <-ctx.Done():
+					break feed
+				}
+			}
 		}
-	}
-	close(jobCh)
-	wg.Wait()
+		close(jobCh)
+		wg.Wait()
+		close(out)
+	}()
 
+	return out
+}
+
+// Run executes the sweep (via Stream) and returns the result set. Failed
+// runs are captured per-cell (Result.Error / Result.Err) rather than
+// aborting the sweep; inspect them with ResultSet.Err. Cancelling ctx
+// stops the sweep promptly — in-flight simulations abort and unstarted
+// cells stay absent — and Run returns the partial set together with
+// ctx.Err().
+func (sw *Sweep) Run(ctx context.Context) (*ResultSet, error) {
+	benchNames := make([]string, len(sw.Benchmarks))
+	for i, bm := range sw.Benchmarks {
+		benchNames[i] = bm.Name
+	}
+	modelNames := make([]string, len(sw.Models))
+	for i, m := range sw.Models {
+		modelNames[i] = m.Name
+	}
+	rs := NewResultSetFor(benchNames, modelNames)
+	for res := range sw.Stream(ctx) {
+		rs.Add(res)
+	}
 	return rs, ctx.Err()
 }
 
-func (sw *Sweep) runOne(ctx context.Context, job sweepJob, progress func(ProgressEvent), rs *ResultSet) {
+// runOne simulates one cell and returns its Result; a cell that never
+// started (sweep already cancelled) returns nil.
+func (sw *Sweep) runOne(ctx context.Context, job sweepJob, progress func(ProgressEvent)) *Result {
 	if ctx.Err() != nil {
-		return
+		return nil
 	}
-	opts := []Option{WithModel(job.model)}
+	fail := func(err error) *Result {
+		return &Result{
+			Benchmark: job.bench,
+			Model:     job.model.Name,
+			Error:     err.Error(),
+			err:       err,
+		}
+	}
+	if job.buildErr != nil {
+		return fail(fmt.Errorf("tracep: %s: %w", job.bench, job.buildErr))
+	}
+	opts := []Option{WithModel(job.model), WithLabel(job.bench)}
 	if sw.Config != nil {
 		opts = append(opts, WithConfig(*sw.Config))
 	}
@@ -137,15 +186,9 @@ func (sw *Sweep) runOne(ctx context.Context, job sweepJob, progress func(Progres
 			opts = append(opts, WithProgressInterval(sw.ProgressInterval))
 		}
 	}
-	res, err := NewBenchmark(job.bm, sw.TargetInsts, opts...).Run(ctx)
+	res, err := New(job.prog, opts...).Run(ctx)
 	if err != nil {
-		rs.Add(&Result{
-			Benchmark: job.bm.Name,
-			Model:     job.model.Name,
-			Error:     err.Error(),
-			err:       err,
-		})
-		return
+		return fail(err)
 	}
-	rs.Add(res)
+	return res
 }

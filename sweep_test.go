@@ -7,6 +7,7 @@ import (
 	"errors"
 	"reflect"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -146,6 +147,137 @@ func TestSweepCancellationPartialResults(t *testing.T) {
 	for _, res := range rs.Results() {
 		if e := res.Err(); e != nil && !errors.Is(e, context.Canceled) {
 			t.Errorf("cell %s/%s failed with %v", res.Benchmark, res.Model, e)
+		}
+	}
+}
+
+// TestSweepBuildsEachBenchmarkOnce pins the shared-program guarantee: a
+// sweep over N models invokes each benchmark's Build exactly once, not
+// once per cell, and the shared-program results stay bit-identical to
+// per-cell NewBenchmark builds (the serial loop in TestSweepMatchesSerial
+// uses per-cell builds).
+func TestSweepBuildsEachBenchmarkOnce(t *testing.T) {
+	benches, models := sweepFixture(t)
+	builds := make([]int32, len(benches))
+	for i := range benches {
+		i := i
+		inner := benches[i].Build
+		benches[i].Build = func(scale int64) *tracep.Program {
+			atomic.AddInt32(&builds[i], 1)
+			return inner(scale)
+		}
+	}
+	sw := tracep.Sweep{
+		Benchmarks:  benches,
+		Models:      models,
+		TargetInsts: 5_000,
+		Parallelism: 4,
+	}
+	rs, err := sw.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != len(benches)*len(models) {
+		t.Fatalf("recorded %d cells, want %d", rs.Len(), len(benches)*len(models))
+	}
+	for i, bm := range benches {
+		if n := atomic.LoadInt32(&builds[i]); n != 1 {
+			t.Errorf("%s built %d times across %d models, want exactly 1", bm.Name, n, len(models))
+		}
+	}
+}
+
+// TestSweepStreamDeliversEveryCellOnce drains Stream to completion and
+// checks each (benchmark, model) cell arrives exactly once.
+func TestSweepStreamDeliversEveryCellOnce(t *testing.T) {
+	benches, models := sweepFixture(t)
+	sw := tracep.Sweep{
+		Benchmarks:  benches,
+		Models:      models,
+		TargetInsts: 5_000,
+		Parallelism: 4,
+	}
+	seen := make(map[string]int)
+	for res := range sw.Stream(context.Background()) {
+		if err := res.Err(); err != nil {
+			t.Errorf("cell %s/%s failed: %v", res.Benchmark, res.Model, err)
+		}
+		seen[res.Benchmark+"/"+res.Model]++
+	}
+	if len(seen) != len(benches)*len(models) {
+		t.Fatalf("stream delivered %d distinct cells, want %d", len(seen), len(benches)*len(models))
+	}
+	for key, n := range seen {
+		if n != 1 {
+			t.Errorf("cell %s delivered %d times, want exactly once", key, n)
+		}
+	}
+}
+
+// TestSweepStreamExactlyOnceUnderCancellation cancels mid-sweep and checks
+// the channel still closes, no cell is delivered twice, and every
+// delivered failure is a cancellation.
+func TestSweepStreamExactlyOnceUnderCancellation(t *testing.T) {
+	sw := tracep.Sweep{
+		Benchmarks:  tracep.Benchmarks(),
+		Models:      tracep.Models(),
+		TargetInsts: 2_000_000,
+		Parallelism: 2,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	time.AfterFunc(100*time.Millisecond, cancel)
+
+	start := time.Now()
+	seen := make(map[string]int)
+	for res := range sw.Stream(ctx) {
+		seen[res.Benchmark+"/"+res.Model]++
+		if e := res.Err(); e != nil && !errors.Is(e, context.Canceled) {
+			t.Errorf("cell %s/%s failed with %v, want cancellation", res.Benchmark, res.Model, e)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 15*time.Second {
+		t.Errorf("cancelled stream took %v, want prompt close", elapsed)
+	}
+	total := len(sw.Benchmarks) * len(sw.Models)
+	if len(seen) >= total {
+		t.Errorf("cancelled stream delivered %d/%d cells, want a partial set", len(seen), total)
+	}
+	for key, n := range seen {
+		if n != 1 {
+			t.Errorf("cell %s delivered %d times, want exactly once", key, n)
+		}
+	}
+}
+
+// TestSweepInvalidBenchmarkFailsItsRow: an unbuildable Benchmark (here the
+// zero value) fails every cell of its row with ErrInvalidBenchmark instead
+// of panicking, and the other rows are unaffected.
+func TestSweepInvalidBenchmarkFailsItsRow(t *testing.T) {
+	benches := []tracep.Benchmark{{Name: "broken"}, mustBench(t, "compress")}
+	models := []tracep.Model{tracep.ModelBase, tracep.ModelFG}
+	sw := tracep.Sweep{
+		Benchmarks:  benches,
+		Models:      models,
+		TargetInsts: 2_000,
+		Parallelism: 2,
+	}
+	rs, err := sw.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != len(benches)*len(models) {
+		t.Fatalf("recorded %d cells, want %d", rs.Len(), len(benches)*len(models))
+	}
+	for _, m := range models {
+		res, ok := rs.Lookup("broken", m.Name)
+		if !ok || !errors.Is(res.Err(), tracep.ErrInvalidBenchmark) {
+			t.Errorf("broken/%s = %+v (ok=%v), want ErrInvalidBenchmark", m.Name, res, ok)
+		}
+		if _, ok := rs.Get("compress", m.Name); !ok {
+			t.Errorf("compress/%s missing: a broken row must not poison the sweep", m.Name)
 		}
 	}
 }

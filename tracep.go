@@ -40,8 +40,28 @@
 //	rs, err := sw.Run(ctx)
 //	fmt.Printf("harmonic mean IPC (base) = %.2f\n", rs.HarmonicMeanIPC("base"))
 //
-// Simulations are deterministic, so a parallel sweep is bit-identical to a
-// serial loop over Run.
+// Each benchmark program is built once per sweep and shared read-only by
+// every model cell. Simulations are deterministic, so a parallel sweep is
+// bit-identical to a serial loop over Run.
+//
+// # Streaming and regression gating
+//
+// Sweep.Stream delivers each cell's Result as it completes, so a server
+// can report progress without waiting for the full grid:
+//
+//	for res := range sw.Stream(ctx) {
+//		log.Printf("%s/%s done", res.Benchmark, res.Model)
+//	}
+//
+// A saved ResultSet (its JSON round-trips bit-for-bit) doubles as a
+// regression baseline: ResultSet.Diff compares a fresh set against it
+// cell-by-cell under a Tolerances gate, and cmd/experiments' -baseline
+// mode turns that into a CI exit code — re-rendering the paper tables from
+// saved JSON without re-simulating:
+//
+//	diff := rs.Diff(baseline, tracep.Tolerances{IPCPct: 2})
+//	diff.WriteText(os.Stdout)
+//	if !diff.OK() { os.Exit(1) }
 //
 // The eight experimental models of the paper's §6 are exposed as ModelBase,
 // ModelBaseNTB, ModelBaseFG, ModelBaseFGNTB (trace selection only, full
@@ -50,8 +70,6 @@
 package tracep
 
 import (
-	"context"
-
 	"tracep/internal/asm"
 	"tracep/internal/bench"
 	"tracep/internal/isa"
@@ -137,27 +155,3 @@ func BenchmarkByName(name string) (Benchmark, error) { return bench.ByName(name)
 // Compile-time proof that the public ResultSet plugs into the paper's
 // table/figure renderers.
 var _ report.Results = (*ResultSet)(nil)
-
-// Run simulates prog under model with cfg until the program halts or
-// maxInsts instructions retire (0 = until halt).
-//
-// Deprecated: build a Simulator with New and the functional options
-// instead; that path adds context cancellation, progress hooks and typed
-// configuration validation. Run is a thin shim over it (and so now also
-// validates cfg).
-func Run(prog *Program, model Model, cfg Config, maxInsts uint64) (*Result, error) {
-	return New(prog,
-		WithModel(model),
-		WithConfig(cfg),
-		WithMaxInsts(maxInsts),
-	).Run(context.Background())
-}
-
-// RunBenchmark runs a suite workload sized to roughly targetInsts dynamic
-// instructions under the default configuration.
-//
-// Deprecated: use NewBenchmark (one run) or Sweep (a cross-product of
-// runs) instead. RunBenchmark is a thin shim over NewBenchmark.
-func RunBenchmark(bm Benchmark, model Model, targetInsts uint64) (*Result, error) {
-	return NewBenchmark(bm, targetInsts, WithModel(model)).Run(context.Background())
-}

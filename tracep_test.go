@@ -1,10 +1,22 @@
 package tracep_test
 
 import (
+	"context"
 	"testing"
 
 	"tracep"
 )
+
+// runBench is the serial single-cell path the old deprecated shims
+// provided: one benchmark under one model, default configuration.
+func runBench(t *testing.T, name string, model tracep.Model, target uint64) *tracep.Result {
+	t.Helper()
+	res, err := tracep.NewBenchmark(mustBench(t, name), target, tracep.WithModel(model)).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
 
 func TestPublicAPIQuickRun(t *testing.T) {
 	b := tracep.NewProgram("api")
@@ -18,7 +30,7 @@ func TestPublicAPIQuickRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := tracep.Run(prog, tracep.ModelBase, tracep.DefaultConfig(), 0)
+	res, err := tracep.New(prog).Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,14 +65,10 @@ func TestBenchmarkSuiteAPI(t *testing.T) {
 	if got := len(tracep.Benchmarks()); got != 8 {
 		t.Fatalf("suite has %d benchmarks, want 8", got)
 	}
-	bm, err := tracep.BenchmarkByName("vortex")
-	if err != nil {
+	if _, err := tracep.BenchmarkByName("vortex"); err != nil {
 		t.Fatal(err)
 	}
-	res, err := tracep.RunBenchmark(bm, tracep.ModelBase, 5_000)
-	if err != nil {
-		t.Fatal(err)
-	}
+	res := runBench(t, "vortex", tracep.ModelBase, 5_000)
 	if res.Stats.RetiredInsts == 0 {
 		t.Error("nothing retired")
 	}
@@ -75,18 +83,8 @@ func TestBenchmarkSuiteAPI(t *testing.T) {
 // base trace processor, with zero correctness deviation (the oracle verifies
 // every retired instruction).
 func TestCIHeadlineResult(t *testing.T) {
-	bm, err := tracep.BenchmarkByName("compress")
-	if err != nil {
-		t.Fatal(err)
-	}
-	base, err := tracep.RunBenchmark(bm, tracep.ModelBase, 40_000)
-	if err != nil {
-		t.Fatal(err)
-	}
-	ci, err := tracep.RunBenchmark(bm, tracep.ModelFGMLBRET, 40_000)
-	if err != nil {
-		t.Fatal(err)
-	}
+	base := runBench(t, "compress", tracep.ModelBase, 40_000)
+	ci := runBench(t, "compress", tracep.ModelFGMLBRET, 40_000)
 	imp := (ci.Stats.IPC() - base.Stats.IPC()) / base.Stats.IPC()
 	if imp < 0.05 {
 		t.Errorf("FG+MLB-RET improvement on compress = %.1f%%, want >= 5%%", 100*imp)
@@ -100,18 +98,8 @@ func TestCIHeadlineResult(t *testing.T) {
 // workload (vortex analogue) control independence neither helps nor hurts
 // much — the paper's vortex/m88ksim observation.
 func TestCIDoesNotHurtPredictableCode(t *testing.T) {
-	bm, err := tracep.BenchmarkByName("vortex")
-	if err != nil {
-		t.Fatal(err)
-	}
-	base, err := tracep.RunBenchmark(bm, tracep.ModelBase, 40_000)
-	if err != nil {
-		t.Fatal(err)
-	}
-	ci, err := tracep.RunBenchmark(bm, tracep.ModelFGMLBRET, 40_000)
-	if err != nil {
-		t.Fatal(err)
-	}
+	base := runBench(t, "vortex", tracep.ModelBase, 40_000)
+	ci := runBench(t, "vortex", tracep.ModelFGMLBRET, 40_000)
 	imp := (ci.Stats.IPC() - base.Stats.IPC()) / base.Stats.IPC()
 	if imp < -0.05 || imp > 0.10 {
 		t.Errorf("vortex CI delta = %.1f%%, want within [-5%%, +10%%]", 100*imp)
