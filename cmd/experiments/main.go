@@ -27,6 +27,21 @@
 //	experiments -results rs.json       # re-render tables from saved JSON (no simulation)
 //	experiments -results rs.json -baseline old.json -diff-tolerance 2
 //	                                   # regression gate: exit 2 on >2% IPC drop
+//	experiments -server http://localhost:8089
+//	                                   # run the sweep on a remote tracepd, stream
+//	                                   # cells back, render the same tables
+//
+// With -server the grid is submitted to a tracepd instance (see
+// cmd/tracepd) and cells stream back over NDJSON as they complete; the
+// collected ResultSet is byte-identical to a local run, so -json, -baseline
+// and the tables behave the same either way. -j then has no effect — the
+// server's own pool bounds parallelism. Ctrl-C cancels the remote sweep.
+//
+// The -baseline gate checks IPC (-diff-tolerance, percent drop), trace
+// mispredictions (-diff-tolerance-tmisp, rise per 1000 insts) and recovery
+// counts (-diff-tolerance-recoveries, percent rise); the count gates
+// default to 0 — any rise regresses — because simulations are
+// deterministic.
 //
 // Exit codes: 0 success, 1 simulation failure, 2 regression against
 // -baseline, 130 interrupted.
@@ -35,6 +50,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -42,7 +58,9 @@ import (
 	"strings"
 
 	"tracep"
+	"tracep/client"
 	"tracep/internal/report"
+	"tracep/server"
 )
 
 func main() {
@@ -56,7 +74,12 @@ func main() {
 	resultsFile := flag.String("results", "", "load the ResultSet from this saved JSON file instead of simulating")
 	baselineFile := flag.String("baseline", "", "diff results against this saved ResultSet JSON; exit 2 on regression")
 	diffTol := flag.Float64("diff-tolerance", 2.0, "allowed per-cell IPC drop in percent for -baseline")
+	diffTolTMisp := flag.Float64("diff-tolerance-tmisp", 0,
+		"allowed per-cell rise in trace mispredictions per 1000 insts for -baseline")
+	diffTolRecoveries := flag.Float64("diff-tolerance-recoveries", 0,
+		"allowed per-cell rise in recovery count (percent) for -baseline")
 	diffAllowMissing := flag.Bool("diff-allow-missing", false, "tolerate baseline cells absent from the current results")
+	serverURL := flag.String("server", "", "run the sweep on this tracepd instance (e.g. http://localhost:8089) instead of in-process")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -86,7 +109,7 @@ func main() {
 			os.Exit(1)
 		}
 	} else {
-		rs, ctxErr = runSweep(ctx, *benchList, *n, *j, *progress, *jsonOut, wantTable, wantFigure)
+		rs, ctxErr = runSweep(ctx, *serverURL, *benchList, *n, *j, *progress, *jsonOut, wantTable, wantFigure)
 	}
 
 	runErr := rs.Err()
@@ -122,7 +145,12 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		diff := rs.Diff(baseline, tracep.Tolerances{IPCPct: *diffTol, AllowMissing: *diffAllowMissing})
+		diff := rs.Diff(baseline, tracep.Tolerances{
+			IPCPct:           *diffTol,
+			TraceMispPer1000: *diffTolTMisp,
+			RecoveriesPct:    *diffTolRecoveries,
+			AllowMissing:     *diffAllowMissing,
+		})
 		// In -json mode stdout stays a clean ResultSet; the diff verdict
 		// goes to stderr.
 		out := os.Stdout
@@ -147,9 +175,10 @@ func main() {
 }
 
 // runSweep executes the live cross-product for the models the requested
-// tables/figures need and returns the (possibly partial) set plus the
-// context error, mirroring Sweep.Run.
-func runSweep(ctx context.Context, benchList string, n uint64, j int, progress, jsonOut bool,
+// tables/figures need — in-process, or on a remote tracepd when serverURL
+// is set — and returns the (possibly partial) set plus the context error,
+// mirroring Sweep.Run.
+func runSweep(ctx context.Context, serverURL, benchList string, n uint64, j int, progress, jsonOut bool,
 	wantTable, wantFigure func(int) bool) (*tracep.ResultSet, error) {
 	benches, err := selectBenchmarks(benchList)
 	if err != nil {
@@ -176,6 +205,10 @@ func runSweep(ctx context.Context, benchList string, n uint64, j int, progress, 
 		models = tracep.Models()
 	}
 
+	if serverURL != "" {
+		return runRemote(ctx, serverURL, benches, models, n, progress)
+	}
+
 	sw := tracep.Sweep{
 		Benchmarks:  benches,
 		Models:      models,
@@ -191,6 +224,45 @@ func runSweep(ctx context.Context, benchList string, n uint64, j int, progress, 
 		}
 	}
 	return sw.Run(ctx)
+}
+
+// runRemote submits the grid to a tracepd instance and streams the cells
+// back; the collected ResultSet is byte-identical to a local run. Remote
+// failures other than cancellation are fatal (exit 1) — there is no
+// partial set worth rendering when the server is unreachable.
+func runRemote(ctx context.Context, serverURL string, benches []tracep.Benchmark,
+	models []tracep.Model, n uint64, progress bool) (*tracep.ResultSet, error) {
+	if len(benches) == 0 || len(models) == 0 {
+		return tracep.NewResultSet(), nil
+	}
+	req := server.SweepRequest{
+		Benchmarks:  benchNames(benches),
+		Models:      modelNames(models),
+		TargetInsts: n,
+	}
+	var fn func(*tracep.Result) error
+	if progress {
+		fn = func(res *tracep.Result) error {
+			if res.Stats != nil {
+				fmt.Fprintf(os.Stderr, "done %-9s %-13s %d insts in %d cycles\n",
+					res.Benchmark, res.Model, res.Stats.RetiredInsts, res.Stats.Cycles)
+			} else {
+				fmt.Fprintf(os.Stderr, "fail %-9s %-13s %s\n", res.Benchmark, res.Model, res.Error)
+			}
+			return nil
+		}
+	}
+	rs, err := client.New(serverURL).Run(ctx, req, fn)
+	if err != nil && !errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if rs == nil {
+		// Cancelled before anything was collected (e.g. Ctrl-C during
+		// submit): hand back an empty partial set, like Sweep.Run.
+		rs = tracep.NewResultSet()
+	}
+	return rs, err
 }
 
 func renderTables(rs *tracep.ResultSet, wantTable, wantFigure func(int) bool) {
@@ -247,6 +319,14 @@ func loadResultSet(path string) (*tracep.ResultSet, error) {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return &rs, nil
+}
+
+func benchNames(bms []tracep.Benchmark) []string {
+	names := make([]string, len(bms))
+	for i, bm := range bms {
+		names[i] = bm.Name
+	}
+	return names
 }
 
 func modelNames(ms []tracep.Model) []string {

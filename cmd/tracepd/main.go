@@ -1,0 +1,84 @@
+// Command tracepd serves the trace-processor sweep engine over HTTP: a
+// long-lived simulation service that accepts (benchmark × model) grids,
+// streams each cell's result as it completes (NDJSON), and retains
+// finished ResultSets for replay and diffing. See package server for the
+// API and tracep/client for the Go client; cmd/experiments -server runs
+// the paper's tables against a remote tracepd.
+//
+// Usage:
+//
+//	tracepd                      # serve on :8089, GOMAXPROCS-wide pool
+//	tracepd -addr :9000 -j 4     # custom listen address, 4 simulations at once
+//	tracepd -retain 100          # keep the last 100 finished sweeps
+//	tracepd -target-insts 500000 # default workload size for requests that omit it
+//
+// The -j pool is shared across every concurrent sweep: N clients cannot
+// oversubscribe the host. SIGINT/SIGTERM shut down gracefully — live
+// sweeps are cancelled, their workers drained, then the listener closes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tracep/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8089", "listen address")
+	j := flag.Int("j", 0, "simulations in flight across all sweeps (0 = GOMAXPROCS)")
+	retain := flag.Int("retain", server.DefaultRetain, "finished sweeps retained for replay/diff")
+	targetInsts := flag.Uint64("target-insts", server.DefaultTargetInsts,
+		"default dynamic instruction target for requests that omit target_insts")
+	flag.Parse()
+
+	mgr := server.NewManager(server.Config{
+		Parallelism:        *j,
+		Retain:             *retain,
+		DefaultTargetInsts: *targetInsts,
+	})
+	srv := &http.Server{Addr: *addr, Handler: logRequests(mgr.Handler())}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("tracepd: serving on %s (pool=%d, retain=%d)", *addr, *j, *retain)
+
+	select {
+	case <-ctx.Done():
+		log.Print("tracepd: shutting down")
+		// Drain the manager first: cancelling live sweeps turns their jobs
+		// terminal, which lets open stream requests finish with a done
+		// event — otherwise Shutdown would block on them until its
+		// deadline. New submissions are rejected from here on.
+		mgr.Close()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("tracepd: shutdown: %v", err)
+		}
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		log.Printf("%s %s %s", r.Method, r.URL.Path, time.Since(start).Round(time.Millisecond))
+	})
+}

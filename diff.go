@@ -4,16 +4,38 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"strings"
 )
 
 // Tolerances bounds the drift a Diff accepts before flagging a cell as a
-// regression. The zero value is the strictest gate: any IPC drop at all
-// regresses, and every baseline cell must be present in the current set.
+// regression. The zero value is the strictest gate: any IPC drop, any rise
+// in trace mispredictions or recoveries, regresses, and every baseline
+// cell must be present in the current set. Simulations are deterministic,
+// so the strict gate is the natural default; tolerances exist to absorb
+// intended small perturbations.
 type Tolerances struct {
 	// IPCPct is the maximum tolerated relative IPC drop, in percent (2.0
 	// allows up to a 2% slowdown per cell). Improvements are never
 	// regressions.
 	IPCPct float64 `json:"ipc_pct"`
+	// TraceMispPer1000 is the maximum tolerated rise in trace
+	// mispredictions per 1000 retired instructions (Stats.TraceMispPer1000,
+	// an absolute delta — 0.5 allows half an extra misprediction per 1000
+	// insts). Drops are never regressions.
+	//
+	// Note that every trace misprediction triggers one recovery, so this
+	// and RecoveriesPct watch the same event through different lenses: this
+	// gate is a rate, robust to runs retiring different instruction counts;
+	// RecoveriesPct bounds the raw count. For same-length runs a rise trips
+	// both (and Detail reports both reasons); to absorb an intended
+	// perturbation, loosen both.
+	TraceMispPer1000 float64 `json:"trace_misp_per_1000,omitempty"`
+	// RecoveriesPct is the maximum tolerated relative rise in the total
+	// recovery count (Stats.Recoveries), in percent. A baseline cell with
+	// zero recoveries regresses on any rise at all — there is no base to
+	// scale the tolerance by. See the TraceMispPer1000 note on how the two
+	// gates relate.
+	RecoveriesPct float64 `json:"recoveries_pct,omitempty"`
 	// AllowMissing tolerates baseline cells that are absent from (or
 	// failed in) the current set — e.g. when gating a deliberately smaller
 	// sweep against a full baseline.
@@ -51,6 +73,13 @@ type CellDelta struct {
 	// DeltaPct is the relative IPC change in percent (negative = slower);
 	// meaningful only when both sides have statistics.
 	DeltaPct float64 `json:"delta_pct,omitempty"`
+	// Trace mispredictions per 1000 retired instructions and total recovery
+	// counts on each side, for the Tolerances.TraceMispPer1000 and
+	// Tolerances.RecoveriesPct checks; 0 when the side has no statistics.
+	BaselineTraceMisp  float64 `json:"baseline_trace_misp,omitempty"`
+	CurrentTraceMisp   float64 `json:"current_trace_misp,omitempty"`
+	BaselineRecoveries uint64  `json:"baseline_recoveries,omitempty"`
+	CurrentRecoveries  uint64  `json:"current_recoveries,omitempty"`
 	// Detail carries context for non-ok cells, e.g. the failed run's error
 	// text.
 	Detail string `json:"detail,omitempty"`
@@ -84,7 +113,7 @@ func (r *ResultSet) Diff(baseline *ResultSet, tol Tolerances) *Diff {
 				continue
 			}
 			seen[cellKey{b, m}] = true
-			d.Cells = append(d.Cells, compareCell(r, b, m, base.IPC(), tol))
+			d.Cells = append(d.Cells, compareCell(r, b, m, base, tol))
 		}
 	}
 	for _, b := range r.Benches() {
@@ -107,8 +136,8 @@ func (r *ResultSet) Diff(baseline *ResultSet, tol Tolerances) *Diff {
 	return d
 }
 
-func compareCell(r *ResultSet, bench, model string, baseIPC float64, tol Tolerances) CellDelta {
-	c := CellDelta{Benchmark: bench, Model: model, BaselineIPC: baseIPC}
+func compareCell(r *ResultSet, bench, model string, base *Stats, tol Tolerances) CellDelta {
+	c := CellDelta{Benchmark: bench, Model: model, BaselineIPC: base.IPC()}
 	cur, ok := r.Get(bench, model)
 	if !ok {
 		c.Kind = DiffMissing
@@ -121,13 +150,37 @@ func compareCell(r *ResultSet, bench, model string, baseIPC float64, tol Toleran
 		return c
 	}
 	c.CurrentIPC = cur.IPC()
-	if baseIPC > 0 {
-		c.DeltaPct = 100 * (c.CurrentIPC - baseIPC) / baseIPC
+	c.BaselineTraceMisp = base.TraceMispPer1000()
+	c.CurrentTraceMisp = cur.TraceMispPer1000()
+	c.BaselineRecoveries = base.Recoveries
+	c.CurrentRecoveries = cur.Recoveries
+	if c.BaselineIPC > 0 {
+		c.DeltaPct = 100 * (c.CurrentIPC - c.BaselineIPC) / c.BaselineIPC
 	}
+
+	var reasons []string
 	if c.DeltaPct < -tol.IPCPct {
+		reasons = append(reasons, fmt.Sprintf("IPC dropped %.2f%% (tolerance %.2f%%)", -c.DeltaPct, tol.IPCPct))
+	}
+	if rise := c.CurrentTraceMisp - c.BaselineTraceMisp; rise > tol.TraceMispPer1000 {
+		reasons = append(reasons, fmt.Sprintf("trace mispredictions rose %.2f/1000 insts (tolerance %.2f)",
+			rise, tol.TraceMispPer1000))
+	}
+	if cur.Recoveries > base.Recoveries {
+		exceeded := base.Recoveries == 0
+		if !exceeded {
+			pct := 100 * float64(cur.Recoveries-base.Recoveries) / float64(base.Recoveries)
+			exceeded = pct > tol.RecoveriesPct
+		}
+		if exceeded {
+			reasons = append(reasons, fmt.Sprintf("recoveries rose %d -> %d (tolerance %.2f%%)",
+				base.Recoveries, cur.Recoveries, tol.RecoveriesPct))
+		}
+	}
+	if len(reasons) > 0 {
 		c.Kind = DiffRegression
 		c.Regression = true
-		c.Detail = fmt.Sprintf("IPC dropped %.2f%% (tolerance %.2f%%)", -c.DeltaPct, tol.IPCPct)
+		c.Detail = strings.Join(reasons, "; ")
 	} else {
 		c.Kind = DiffOK
 	}
@@ -167,7 +220,8 @@ func (d *Diff) OK() bool { return d.Compared() > 0 && len(d.Regressions()) == 0 
 // WriteText renders the diff as an aligned human-readable table, one row
 // per cell, followed by a one-line verdict.
 func (d *Diff) WriteText(w io.Writer) {
-	fmt.Fprintf(w, "RESULTSET DIFF (tolerance: IPC -%.2f%%", d.Tolerances.IPCPct)
+	fmt.Fprintf(w, "RESULTSET DIFF (tolerance: IPC -%.2f%%, trace misp +%.2f/1000, recoveries +%.2f%%",
+		d.Tolerances.IPCPct, d.Tolerances.TraceMispPer1000, d.Tolerances.RecoveriesPct)
 	if d.Tolerances.AllowMissing {
 		fmt.Fprint(w, ", missing cells allowed")
 	}

@@ -101,6 +101,77 @@ func TestDiffMissingAndNewCells(t *testing.T) {
 	}
 }
 
+// statsCell builds a result whose cell carries recovery counts alongside
+// IPC, for the extended-tolerance checks.
+func statsCell(bench, model string, insts, cycles, recoveries uint64) *tracep.Result {
+	return &tracep.Result{
+		Benchmark: bench,
+		Model:     model,
+		Stats:     &tracep.Stats{RetiredInsts: insts, Cycles: cycles, Recoveries: recoveries},
+	}
+}
+
+// TestDiffTraceMispAndRecoveryGate: the gate watches more than IPC — a
+// cell whose IPC holds steady but whose trace mispredictions (== recovery
+// count, normalised per 1000 insts) rise beyond tolerance regresses, and
+// the tolerances loosen each dimension independently.
+func TestDiffTraceMispAndRecoveryGate(t *testing.T) {
+	base := tracep.NewResultSetFor([]string{"compress"}, []string{"base"})
+	base.Add(statsCell("compress", "base", 10_000, 5_000, 100)) // 10 misp/1000
+
+	worse := tracep.NewResultSetFor([]string{"compress"}, []string{"base"})
+	worse.Add(statsCell("compress", "base", 10_000, 5_000, 130)) // 13 misp/1000, +30% recoveries
+
+	// Zero-value tolerances: any rise regresses (in both dimensions; the
+	// reasons are joined in Detail).
+	d := worse.Diff(base, tracep.Tolerances{})
+	if d.OK() {
+		t.Fatal("recovery rise with flat IPC must regress under the strict gate")
+	}
+	reg := d.Regressions()
+	if len(reg) != 1 {
+		t.Fatalf("regressions = %+v, want exactly one cell", reg)
+	}
+	for _, want := range []string{"trace mispredictions rose 3.00/1000", "recoveries rose 100 -> 130"} {
+		if !strings.Contains(reg[0].Detail, want) {
+			t.Errorf("detail %q missing %q", reg[0].Detail, want)
+		}
+	}
+	if reg[0].BaselineRecoveries != 100 || reg[0].CurrentRecoveries != 130 {
+		t.Errorf("cell recovery counts = %d -> %d, want 100 -> 130",
+			reg[0].BaselineRecoveries, reg[0].CurrentRecoveries)
+	}
+
+	// Loosening only one dimension is not enough...
+	if d := worse.Diff(base, tracep.Tolerances{TraceMispPer1000: 5}); d.OK() {
+		t.Error("recovery-count rise must still regress when only trace misp is tolerated")
+	}
+	if d := worse.Diff(base, tracep.Tolerances{RecoveriesPct: 50}); d.OK() {
+		t.Error("trace-misp rise must still regress when only recoveries are tolerated")
+	}
+	// ...both together pass.
+	if d := worse.Diff(base, tracep.Tolerances{TraceMispPer1000: 5, RecoveriesPct: 50}); !d.OK() {
+		t.Errorf("loosened gate must pass: %+v", d.Regressions())
+	}
+
+	// Improvements are never regressions.
+	better := tracep.NewResultSetFor([]string{"compress"}, []string{"base"})
+	better.Add(statsCell("compress", "base", 10_000, 5_000, 40))
+	if d := better.Diff(base, tracep.Tolerances{}); !d.OK() {
+		t.Errorf("fewer recoveries flagged as regression: %+v", d.Regressions())
+	}
+
+	// A zero-recovery baseline regresses on any rise at all, whatever the
+	// percentage tolerance (there is no base to scale it by).
+	zero := tracep.NewResultSetFor([]string{"compress"}, []string{"base"})
+	zero.Add(statsCell("compress", "base", 10_000, 5_000, 0))
+	one := tracep.NewResultSetFor([]string{"compress"}, []string{"base"})
+	one.Add(statsCell("compress", "base", 10_000, 5_000, 1))
+	if d := one.Diff(zero, tracep.Tolerances{TraceMispPer1000: 5, RecoveriesPct: 1000}); d.OK() {
+		t.Error("rise from a zero-recovery baseline must regress regardless of RecoveriesPct")
+	}
+}
+
 // TestDiffNonOverlappingBaselineFails pins the vacuous-pass guard: a
 // baseline that shares no cells with the current set (empty file, renamed
 // benchmarks) compares nothing and must FAIL the gate, not pass it.

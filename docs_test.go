@@ -1,0 +1,54 @@
+package tracep_test
+
+import (
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestEveryPackageHasDoc is the repo's doc-presence gate (run by CI): every
+// package in the module — the root API, server, client, every internal
+// package, every command and example — must carry a package-level godoc
+// comment on at least one of its non-test files.
+func TestEveryPackageHasDoc(t *testing.T) {
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		if name := d.Name(); path != "." && (strings.HasPrefix(name, ".") || name == "testdata") {
+			return fs.SkipDir
+		}
+
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, path,
+			func(fi fs.FileInfo) bool { return !strings.HasSuffix(fi.Name(), "_test.go") },
+			parser.ParseComments|parser.PackageClauseOnly)
+		if err != nil {
+			return err
+		}
+		for name, pkg := range pkgs {
+			documented := false
+			var files []string
+			for fname, f := range pkg.Files {
+				files = append(files, fname)
+				if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+					documented = true
+				}
+			}
+			if !documented {
+				t.Errorf("package %s (%s) has no package doc comment on any of %v",
+					name, path, files)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,91 @@
+package tracep_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"tracep"
+)
+
+// A session runs one program under one model: write the program with the
+// Builder, pick a model with options, and Run. Retired-instruction counts
+// are architectural, so they are stable across models and machines.
+func ExampleNew() {
+	b := tracep.NewProgram("count")
+	b.Li(1, 0)      // i = 0
+	b.Li(2, 100)    // limit
+	b.Label("loop") //
+	b.Addi(1, 1, 1) // i++
+	b.Blt(1, 2, "loop")
+	b.Halt()
+	prog, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := tracep.New(prog, tracep.WithModel(tracep.ModelFGMLBRET)).Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s under %s retired %d instructions\n",
+		res.Benchmark, res.Model, res.Stats.RetiredInsts)
+	// Output:
+	// count under FG+MLB-RET retired 203 instructions
+}
+
+// Stream delivers each cell of the (benchmark × model) grid as it
+// completes — the same channel the tracepd server fans out to network
+// clients. Completion order varies with scheduling, so collect into a
+// ResultSet (or use Sweep.Run) for deterministic ordering.
+func ExampleSweep_Stream() {
+	compress, err := tracep.BenchmarkByName("compress")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sw := tracep.Sweep{
+		Benchmarks:  []tracep.Benchmark{compress},
+		Models:      []tracep.Model{tracep.ModelBase, tracep.ModelFG},
+		TargetInsts: 5_000,
+	}
+
+	cells := 0
+	for res := range sw.Stream(context.Background()) {
+		if err := res.Err(); err != nil {
+			log.Fatal(err)
+		}
+		cells++ // a dashboard would render res.Benchmark/res.Model here
+	}
+	fmt.Printf("streamed %d cells\n", cells)
+	// Output:
+	// streamed 2 cells
+}
+
+// Diff gates a fresh ResultSet against a saved baseline: any IPC drop,
+// trace-misprediction rise, or recovery rise beyond Tolerances regresses.
+// ResultSets round-trip through JSON, so baselines are just saved files.
+func ExampleResultSet_Diff() {
+	var baseline, current tracep.ResultSet
+	if err := baseline.UnmarshalJSON([]byte(`{
+		"benchmarks": ["compress"], "models": ["base"],
+		"results": [{"benchmark": "compress", "model": "base",
+		             "stats": {"Cycles": 1000, "RetiredInsts": 2000}}]}`)); err != nil {
+		log.Fatal(err)
+	}
+	if err := current.UnmarshalJSON([]byte(`{
+		"benchmarks": ["compress"], "models": ["base"],
+		"results": [{"benchmark": "compress", "model": "base",
+		             "stats": {"Cycles": 1100, "RetiredInsts": 2000}}]}`)); err != nil {
+		log.Fatal(err)
+	}
+
+	diff := current.Diff(&baseline, tracep.Tolerances{IPCPct: 2})
+	for _, cell := range diff.Cells {
+		fmt.Printf("%s/%s %s: IPC %.2f -> %.2f\n",
+			cell.Benchmark, cell.Model, cell.Kind, cell.BaselineIPC, cell.CurrentIPC)
+	}
+	fmt.Println("gate passed:", diff.OK())
+	// Output:
+	// compress/base regression: IPC 2.00 -> 1.82
+	// gate passed: false
+}

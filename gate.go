@@ -1,0 +1,51 @@
+package tracep
+
+import "context"
+
+// A Gate bounds how many simulations run at once across every Sweep that
+// shares it. A single Sweep already bounds its own workers with
+// Parallelism; a Gate extends that bound across independent, concurrently
+// running sweeps — the tracepd server runs every submitted sweep against
+// one machine-wide Gate so N clients cannot oversubscribe the host N-fold.
+//
+// A nil *Gate is valid and imposes no cross-sweep bound.
+type Gate struct {
+	slots chan struct{}
+}
+
+// NewGate returns a gate admitting at most n concurrent simulations
+// (n <= 0 is treated as 1).
+func NewGate(n int) *Gate {
+	if n <= 0 {
+		n = 1
+	}
+	return &Gate{slots: make(chan struct{}, n)}
+}
+
+// Cap returns the gate's concurrency bound.
+func (g *Gate) Cap() int {
+	if g == nil {
+		return 0
+	}
+	return cap(g.slots)
+}
+
+// acquire blocks until a slot is free or ctx is cancelled; it reports
+// whether a slot was taken (and must later be released).
+func (g *Gate) acquire(ctx context.Context) bool {
+	if g == nil {
+		return true
+	}
+	select {
+	case g.slots <- struct{}{}:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+func (g *Gate) release() {
+	if g != nil {
+		<-g.slots
+	}
+}

@@ -1,0 +1,355 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"tracep"
+)
+
+// Defaults for Config fields left zero.
+const (
+	DefaultRetain      = 32
+	DefaultTargetInsts = 300_000
+)
+
+// Config shapes a Manager.
+type Config struct {
+	// Parallelism is the size of the shared simulation pool: the maximum
+	// number of cells simulating at once across ALL live sweeps (<= 0 =
+	// GOMAXPROCS). It is enforced with one tracep.Gate shared by every
+	// job's Sweep.
+	Parallelism int
+	// Retain bounds how many terminal (done or cancelled) jobs are kept
+	// for status queries and stream replay; the oldest are evicted first
+	// (<= 0 = DefaultRetain). Live jobs are never evicted.
+	Retain int
+	// DefaultTargetInsts sizes workloads for requests that leave
+	// TargetInsts zero (<= 0 = DefaultTargetInsts).
+	DefaultTargetInsts uint64
+}
+
+// Manager owns the server's sweep jobs: it validates submissions, runs
+// each as a tracep.Sweep whose cells are collected through Sweep.Stream,
+// bounds total simulation concurrency with one shared tracep.Gate, and
+// retains terminal jobs (up to Config.Retain) so their ResultSets can be
+// re-fetched and their streams replayed. All methods are safe for
+// concurrent use; Handler exposes the manager over HTTP.
+type Manager struct {
+	cfg  Config
+	gate *tracep.Gate
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string // submission order, for retention eviction
+	nextID int
+	closed bool
+}
+
+// NewManager builds a manager; call Close to stop every live sweep and
+// wait for their workers.
+func NewManager(cfg Config) *Manager {
+	if cfg.Retain <= 0 {
+		cfg.Retain = DefaultRetain
+	}
+	if cfg.DefaultTargetInsts == 0 {
+		cfg.DefaultTargetInsts = DefaultTargetInsts
+	}
+	pool := cfg.Parallelism
+	if pool <= 0 {
+		pool = runtime.GOMAXPROCS(0)
+	}
+	return &Manager{cfg: cfg, jobs: make(map[string]*job), gate: tracep.NewGate(pool)}
+}
+
+// job is one submitted sweep: its resolved grid, the append-only cell log
+// that streams replay from, the growing ResultSet, and the lifecycle
+// state. changed is closed and replaced on every append or state change —
+// the broadcast streams block on.
+type job struct {
+	id          string
+	benches     []string
+	models      []string
+	targetInsts uint64
+	seed        int64
+	total       int
+	createdAt   time.Time
+	cancel      context.CancelFunc
+	finished    chan struct{}
+
+	mu      sync.Mutex
+	cells   []*tracep.Result
+	rs      *tracep.ResultSet
+	failed  int
+	state   State
+	changed chan struct{}
+}
+
+func (j *job) broadcastLocked() {
+	close(j.changed)
+	j.changed = make(chan struct{})
+}
+
+// snapshot returns the job's Status; withResults attaches the live
+// ResultSet (safe to marshal while workers still add cells).
+func (j *job) snapshot(withResults bool) Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID:          j.id,
+		State:       j.state,
+		Benchmarks:  j.benches,
+		Models:      j.models,
+		TargetInsts: j.targetInsts,
+		Seed:        j.seed,
+		Total:       j.total,
+		Completed:   len(j.cells),
+		Failed:      j.failed,
+		CreatedAt:   j.createdAt,
+	}
+	if withResults {
+		st.Results = j.rs
+	}
+	return st
+}
+
+// await blocks until cell i exists (returned with terminal=false), the job
+// is terminal with no cell i (terminal=true), or ctx is cancelled.
+func (j *job) await(ctx context.Context, i int) (cell *tracep.Result, terminal bool, err error) {
+	for {
+		j.mu.Lock()
+		if i < len(j.cells) {
+			cell = j.cells[i]
+			j.mu.Unlock()
+			return cell, false, nil
+		}
+		if j.state.Terminal() {
+			j.mu.Unlock()
+			return nil, true, nil
+		}
+		wait := j.changed
+		j.mu.Unlock()
+		select {
+		case <-wait:
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+}
+
+// collect drains the sweep's stream into the job. It is the only writer of
+// cells/rs/state, runs on its own goroutine, and closes finished last.
+func (j *job) collect(ctx context.Context, stream <-chan *tracep.Result) {
+	for res := range stream {
+		j.mu.Lock()
+		j.cells = append(j.cells, res)
+		j.rs.Add(res)
+		if res.Err() != nil {
+			j.failed++
+		}
+		j.broadcastLocked()
+		j.mu.Unlock()
+	}
+	j.mu.Lock()
+	if len(j.cells) < j.total {
+		j.state = StateCancelled
+	} else {
+		j.state = StateDone
+	}
+	j.broadcastLocked()
+	j.mu.Unlock()
+	close(j.finished)
+}
+
+// resolveRequest maps a wire request onto suite benchmarks and paper
+// models; unknown names are reported as 400s.
+func resolveRequest(req SweepRequest) ([]tracep.Benchmark, []tracep.Model, error) {
+	var benches []tracep.Benchmark
+	if len(req.Benchmarks) == 0 {
+		benches = tracep.Benchmarks()
+	} else {
+		for _, name := range req.Benchmarks {
+			bm, err := tracep.BenchmarkByName(name)
+			if err != nil {
+				return nil, nil, &Error{StatusCode: http.StatusBadRequest, Message: err.Error()}
+			}
+			benches = append(benches, bm)
+		}
+	}
+	var models []tracep.Model
+	if len(req.Models) == 0 {
+		models = tracep.Models()
+	} else {
+		for _, name := range req.Models {
+			m, ok := tracep.ModelByName(name)
+			if !ok {
+				return nil, nil, &Error{StatusCode: http.StatusBadRequest, Message: fmt.Sprintf("unknown model %q", name)}
+			}
+			models = append(models, m)
+		}
+	}
+	return benches, models, nil
+}
+
+// Submit validates req, starts its sweep on the shared pool, and returns
+// the new job's status. The sweep runs until its grid completes, Cancel is
+// called, or the manager closes.
+func (m *Manager) Submit(req SweepRequest) (Status, error) {
+	benches, models, err := resolveRequest(req)
+	if err != nil {
+		return Status{}, err
+	}
+	target := req.TargetInsts
+	if target == 0 {
+		target = m.cfg.DefaultTargetInsts
+	}
+
+	benchNames := make([]string, len(benches))
+	for i, bm := range benches {
+		benchNames[i] = bm.Name
+	}
+	modelNames := make([]string, len(models))
+	for i, md := range models {
+		modelNames[i] = md.Name
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &job{
+		benches:     benchNames,
+		models:      modelNames,
+		targetInsts: target,
+		seed:        req.Seed,
+		total:       len(benches) * len(models),
+		createdAt:   time.Now().UTC(),
+		cancel:      cancel,
+		finished:    make(chan struct{}),
+		rs:          tracep.NewResultSetFor(benchNames, modelNames),
+		state:       StateRunning,
+		changed:     make(chan struct{}),
+	}
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		cancel()
+		return Status{}, &Error{StatusCode: http.StatusServiceUnavailable, Message: "server is shutting down"}
+	}
+	m.nextID++
+	j.id = fmt.Sprintf("sw-%d", m.nextID)
+	m.jobs[j.id] = j
+	m.order = append(m.order, j.id)
+	m.evictLocked()
+	m.mu.Unlock()
+
+	sw := tracep.Sweep{
+		Benchmarks:  benches,
+		Models:      models,
+		TargetInsts: target,
+		Seed:        req.Seed,
+		Parallelism: m.cfg.Parallelism,
+		Gate:        m.gate,
+	}
+	go j.collect(ctx, sw.Stream(ctx))
+	return j.snapshot(false), nil
+}
+
+// evictLocked drops the oldest terminal jobs beyond the retention bound.
+func (m *Manager) evictLocked() {
+	terminal := 0
+	for _, id := range m.order {
+		if m.jobs[id] != nil && m.jobs[id].snapshotTerminal() {
+			terminal++
+		}
+	}
+	if terminal <= m.cfg.Retain {
+		return
+	}
+	kept := m.order[:0]
+	for _, id := range m.order {
+		j := m.jobs[id]
+		if j != nil && terminal > m.cfg.Retain && j.snapshotTerminal() {
+			delete(m.jobs, id)
+			terminal--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	m.order = kept
+}
+
+func (j *job) snapshotTerminal() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state.Terminal()
+}
+
+func (m *Manager) get(id string) (*job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// Status returns a job's status; withResults attaches the collected (and
+// possibly still growing) ResultSet.
+func (m *Manager) Status(id string, withResults bool) (Status, bool) {
+	j, ok := m.get(id)
+	if !ok {
+		return Status{}, false
+	}
+	return j.snapshot(withResults), true
+}
+
+// List returns every retained job's status in submission order.
+func (m *Manager) List() []Status {
+	m.mu.Lock()
+	ids := append([]string(nil), m.order...)
+	jobs := make([]*job, 0, len(ids))
+	for _, id := range ids {
+		if j, ok := m.jobs[id]; ok {
+			jobs = append(jobs, j)
+		}
+	}
+	m.mu.Unlock()
+	out := make([]Status, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.snapshot(false)
+	}
+	return out
+}
+
+// Cancel stops a job's sweep (in-flight cells abort and land as failed
+// cells, unstarted cells are never delivered) and returns its status once
+// the job has reached a terminal state. Cancelling a terminal job is a
+// no-op returning its final status.
+func (m *Manager) Cancel(id string) (Status, bool) {
+	j, ok := m.get(id)
+	if !ok {
+		return Status{}, false
+	}
+	j.cancel()
+	<-j.finished
+	return j.snapshot(false), true
+}
+
+// Close cancels every live job and waits for all sweep workers to drain.
+// The manager rejects new submissions afterwards.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	m.closed = true
+	jobs := make([]*job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		jobs = append(jobs, j)
+	}
+	m.mu.Unlock()
+	for _, j := range jobs {
+		j.cancel()
+	}
+	for _, j := range jobs {
+		<-j.finished
+	}
+}

@@ -1,0 +1,98 @@
+package server
+
+import (
+	"fmt"
+	"time"
+
+	"tracep"
+)
+
+// The wire format. Everything tracepd sends or accepts is defined here, in
+// terms of the root package's JSON-stable types: cells travel as
+// tracep.Result and collected grids as tracep.ResultSet, so a remote sweep
+// serialises byte-identically to the same sweep run in-process — the
+// channel contract (Sweep.Stream) and its JSON shape are the single source
+// of truth for both.
+
+// SweepRequest is the body of POST /v1/sweeps: a (benchmark × model) grid
+// by name, resolved server-side against the suite and the paper's eight
+// models. Empty Benchmarks or Models mean "all eight" — the paper's full
+// §6 cross-product.
+type SweepRequest struct {
+	// Benchmarks names suite workloads (tracep.BenchmarkByName); empty =
+	// the full eight-workload suite.
+	Benchmarks []string `json:"benchmarks,omitempty"`
+	// Models names experimental models (tracep.ModelByName); empty = all
+	// eight models of §6.
+	Models []string `json:"models,omitempty"`
+	// TargetInsts sizes each workload (like tracep.Sweep.TargetInsts);
+	// 0 = the server's default.
+	TargetInsts uint64 `json:"target_insts,omitempty"`
+	// Seed scrambles initial branch-predictor state (tracep.WithSeed).
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// State is a sweep job's lifecycle phase.
+type State string
+
+const (
+	// StateRunning: cells are still being simulated (or queued behind the
+	// server's shared worker pool).
+	StateRunning State = "running"
+	// StateDone: every cell of the grid has been delivered.
+	StateDone State = "done"
+	// StateCancelled: the job was cancelled (DELETE, or server shutdown)
+	// before the grid completed; the collected set is partial.
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether no further cells will be delivered.
+func (s State) Terminal() bool { return s == StateDone || s == StateCancelled }
+
+// Status is one sweep job's externally visible state: the response body of
+// POST /v1/sweeps and DELETE /v1/sweeps/{id}, the status part of GET
+// /v1/sweeps/{id}, and the final event of a stream.
+type Status struct {
+	ID    string `json:"id"`
+	State State  `json:"state"`
+
+	// Benchmarks and Models are the resolved grid axes in request order —
+	// clients rebuild deterministic ResultSet ordering from them
+	// (tracep.NewResultSetFor), which is what makes a remotely collected
+	// set byte-identical to an in-process one.
+	Benchmarks  []string `json:"benchmarks"`
+	Models      []string `json:"models"`
+	TargetInsts uint64   `json:"target_insts"`
+	Seed        int64    `json:"seed,omitempty"`
+
+	// Total and Completed count grid cells; Failed counts completed cells
+	// that carry an error.
+	Total     int `json:"total"`
+	Completed int `json:"completed"`
+	Failed    int `json:"failed,omitempty"`
+
+	CreatedAt time.Time `json:"created_at"`
+
+	// Results is the collected (possibly still growing) grid; populated
+	// only by GET /v1/sweeps/{id}.
+	Results *tracep.ResultSet `json:"results,omitempty"`
+}
+
+// StreamEvent is one NDJSON line of GET /v1/sweeps/{id}/stream. Exactly
+// one field is set: Cell for each completed cell (in completion order,
+// every cell exactly once, replayed from the start on reconnection), then
+// a final Done carrying the job's terminal status.
+type StreamEvent struct {
+	Cell *tracep.Result `json:"cell,omitempty"`
+	Done *Status        `json:"done,omitempty"`
+}
+
+// Error is the JSON body of every non-2xx response.
+type Error struct {
+	StatusCode int    `json:"status_code"`
+	Message    string `json:"error"`
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("tracepd: %s (HTTP %d)", e.Message, e.StatusCode)
+}

@@ -41,6 +41,12 @@ type Sweep struct {
 	// Parallelism bounds the worker pool (<= 0 = GOMAXPROCS).
 	Parallelism int
 
+	// Gate, when non-nil, additionally bounds concurrency across every
+	// sweep sharing the same Gate: a worker holds a gate slot only while
+	// actually simulating a cell. Parallelism still caps this sweep's own
+	// workers; the Gate caps the machine-wide total (see NewGate).
+	Gate *Gate
+
 	// Progress, when set, receives every run's ProgressEvents (including
 	// per-run Done events). Events from concurrent runs are serialised, so
 	// the hook needs no locking of its own.
@@ -173,6 +179,14 @@ func (sw *Sweep) runOne(ctx context.Context, job sweepJob, progress func(Progres
 	if job.buildErr != nil {
 		return fail(fmt.Errorf("tracep: %s: %w", job.bench, job.buildErr))
 	}
+	// Failed builds above are delivered without a slot — only real
+	// simulations count against the shared gate. A cell still waiting for a
+	// slot when the sweep is cancelled never started, so it is not
+	// delivered.
+	if !sw.Gate.acquire(ctx) {
+		return nil
+	}
+	defer sw.Gate.release()
 	opts := []Option{WithModel(job.model), WithLabel(job.bench)}
 	if sw.Config != nil {
 		opts = append(opts, WithConfig(*sw.Config))

@@ -318,6 +318,127 @@ func TestSweepCapturesPerRunErrors(t *testing.T) {
 	}
 }
 
+// TestSweepSharedGateBounds runs two sweeps concurrently against one
+// shared Gate(1) and demands that no two simulations are ever mid-run at
+// the same time, whatever each sweep's own Parallelism says. The active
+// set is tracked from progress events: a run is live from its first event
+// until its Done event (both delivered inside the gated section).
+func TestSweepSharedGateBounds(t *testing.T) {
+	benches, models := sweepFixture(t)
+	gate := tracep.NewGate(1)
+	if gate.Cap() != 1 {
+		t.Fatalf("gate cap = %d, want 1", gate.Cap())
+	}
+
+	var mu sync.Mutex
+	live := make(map[string]bool)
+	maxLive := 0
+	hook := func(sweepID string) func(tracep.ProgressEvent) {
+		return func(ev tracep.ProgressEvent) {
+			key := sweepID + "/" + ev.Benchmark + "/" + ev.Model
+			mu.Lock()
+			defer mu.Unlock()
+			if ev.Done {
+				delete(live, key)
+				return
+			}
+			live[key] = true
+			if len(live) > maxLive {
+				maxLive = len(live)
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	for _, id := range []string{"A", "B"} {
+		id := id
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sw := tracep.Sweep{
+				Benchmarks:       benches,
+				Models:           models,
+				TargetInsts:      5_000,
+				Parallelism:      4,
+				Gate:             gate,
+				ProgressInterval: 500,
+				Progress:         hook(id),
+			}
+			rs, err := sw.Run(context.Background())
+			if err != nil {
+				t.Errorf("sweep %s: %v", id, err)
+				return
+			}
+			if err := rs.Err(); err != nil {
+				t.Errorf("sweep %s: %v", id, err)
+			}
+			if rs.Len() != len(benches)*len(models) {
+				t.Errorf("sweep %s recorded %d cells, want %d", id, rs.Len(), len(benches)*len(models))
+			}
+		}()
+	}
+	wg.Wait()
+
+	if maxLive > 1 {
+		t.Errorf("observed %d concurrent simulations across sweeps, gate allows 1", maxLive)
+	}
+}
+
+// TestSweepGateCancellationReleasesWaiters: cancelling a sweep whose cells
+// are queued behind a busy shared gate must return promptly — waiters give
+// up their place instead of blocking on the gate forever.
+func TestSweepGateCancellationReleasesWaiters(t *testing.T) {
+	gate := tracep.NewGate(1)
+	benches, models := sweepFixture(t)
+
+	// Occupy the gate with a long-running sweep; wait for its first
+	// progress event, which proves it is simulating and holds the slot.
+	longCtx, stopLong := context.WithCancel(context.Background())
+	defer stopLong()
+	holding := make(chan struct{})
+	var once sync.Once
+	long := tracep.Sweep{
+		Benchmarks:       []tracep.Benchmark{benches[0]},
+		Models:           []tracep.Model{models[0]},
+		TargetInsts:      5_000_000,
+		Gate:             gate,
+		ProgressInterval: 500,
+		Progress:         func(tracep.ProgressEvent) { once.Do(func() { close(holding) }) },
+	}
+	longDone := long.Stream(longCtx)
+	select {
+	case <-holding:
+	case <-time.After(30 * time.Second):
+		t.Fatal("long sweep never started simulating")
+	}
+
+	// A second sweep now queues entirely behind the gate; cancel it and
+	// demand a prompt, empty return.
+	ctx, cancel := context.WithCancel(context.Background())
+	time.AfterFunc(100*time.Millisecond, cancel)
+	blocked := tracep.Sweep{
+		Benchmarks:  benches,
+		Models:      models,
+		TargetInsts: 5_000,
+		Gate:        gate,
+	}
+	start := time.Now()
+	rs, err := blocked.Run(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("blocked sweep error = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("blocked sweep took %v to observe cancellation", elapsed)
+	}
+	if rs.Len() != 0 {
+		t.Errorf("blocked sweep recorded %d cells, want 0 (nothing ever started)", rs.Len())
+	}
+
+	stopLong()
+	for range longDone {
+	}
+}
+
 func TestSweepProgressSerialised(t *testing.T) {
 	benches, models := sweepFixture(t)
 	var mu sync.Mutex

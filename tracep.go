@@ -63,6 +63,18 @@
 //	diff.WriteText(os.Stdout)
 //	if !diff.OK() { os.Exit(1) }
 //
+// The gate also watches trace mispredictions and recovery counts; see
+// Tolerances.
+//
+// # Serving sweeps
+//
+// Package tracep/server (and the cmd/tracepd binary) exposes this same
+// streaming contract over HTTP — submitted grids run on a shared worker
+// pool bounded by a Gate, cells stream to clients as NDJSON, and finished
+// ResultSets are retained for replay. Package tracep/client is the typed
+// Go client; a remotely collected ResultSet is byte-identical to the same
+// sweep run in-process. See ARCHITECTURE.md for the full data-flow map.
+//
 // The eight experimental models of the paper's §6 are exposed as ModelBase,
 // ModelBaseNTB, ModelBaseFG, ModelBaseFGNTB (trace selection only, full
 // squash) and ModelRET, ModelMLBRET, ModelFG, ModelFGMLBRET (control
