@@ -300,3 +300,52 @@ func BenchmarkSweepParallelism(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkWarmupSnapshot quantifies the checkpoint subsystem: an 8-model
+// sweep over one benchmark whose warm-up region dwarfs its measured region.
+// "shared" captures one snapshot per benchmark and forks all eight cells
+// from it (Sweep.Warmup); "per-cell" simulates the same warm-up from cold
+// in every cell (WithWarmup). Both produce byte-identical ResultSets — the
+// wall-clock gap is pure snapshot-sharing win, roughly (cells-1) warm-ups.
+func BenchmarkWarmupSnapshot(b *testing.B) {
+	const targetInsts, warm = 520_000, 500_000
+	bm, err := tracep.BenchmarkByName("compress")
+	if err != nil {
+		b.Fatal(err)
+	}
+	models := tracep.Models()
+
+	b.Run("shared", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sw := tracep.Sweep{
+				Benchmarks:  []tracep.Benchmark{bm},
+				Models:      models,
+				TargetInsts: targetInsts,
+				Warmup:      warm,
+				Parallelism: 1,
+			}
+			rs, err := sw.Run(context.Background())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := rs.Err(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("per-cell", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, m := range models {
+				res, err := tracep.NewBenchmark(bm, targetInsts,
+					tracep.WithModel(m), tracep.WithWarmup(warm)).Run(context.Background())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Stats.WarmupInsts != warm {
+					b.Fatalf("missing warm-up metadata: %d", res.Stats.WarmupInsts)
+				}
+			}
+		}
+	})
+}

@@ -21,6 +21,8 @@
 //	experiments -table 5               # one table
 //	experiments -figure 10             # one figure
 //	experiments -n 1000000             # larger runs
+//	experiments -warmup 100000         # measure after a functional warm-up; one
+//	                                   # snapshot per benchmark, shared by all models
 //	experiments -j 4                   # four simulations in flight
 //	experiments -bench compress,vortex # benchmark subset
 //	experiments -json > rs.json        # machine-readable ResultSet
@@ -38,10 +40,14 @@
 // server's own pool bounds parallelism. Ctrl-C cancels the remote sweep.
 //
 // The -baseline gate checks IPC (-diff-tolerance, percent drop), trace
-// mispredictions (-diff-tolerance-tmisp, rise per 1000 insts) and recovery
-// counts (-diff-tolerance-recoveries, percent rise); the count gates
+// mispredictions (-diff-tolerance-tmisp, rise per 1000 insts), recovery
+// counts (-diff-tolerance-recoveries, percent rise) and I-/D-cache miss
+// rates (-diff-tolerance-miss, rise per 1000 insts); the count gates
 // default to 0 — any rise regresses — because simulations are
-// deterministic.
+// deterministic. Cells whose warm-up differs from the baseline's are
+// incomparable and always regress: refresh the baseline (commit label
+// [refresh-baseline] triggers the baseline-refresh workflow) or align
+// -warmup.
 //
 // Exit codes: 0 success, 1 simulation failure, 2 regression against
 // -baseline, 130 interrupted.
@@ -67,6 +73,8 @@ func main() {
 	table := flag.Int("table", 0, "regenerate a single table (1-5); 0 = all")
 	figure := flag.Int("figure", 0, "regenerate a single figure (9 or 10); 0 = all")
 	n := flag.Uint64("n", 300_000, "target dynamic instruction count per run")
+	warmup := flag.Uint64("warmup", 0,
+		"fast-forward this many instructions functionally before measuring; one warm-up snapshot per benchmark is shared across all model cells")
 	j := flag.Int("j", 0, "simulations to run in parallel (0 = GOMAXPROCS)")
 	benchList := flag.String("bench", "", "comma-separated benchmark subset (default: all eight)")
 	jsonOut := flag.Bool("json", false, "emit the ResultSet as JSON instead of formatted tables")
@@ -78,6 +86,8 @@ func main() {
 		"allowed per-cell rise in trace mispredictions per 1000 insts for -baseline")
 	diffTolRecoveries := flag.Float64("diff-tolerance-recoveries", 0,
 		"allowed per-cell rise in recovery count (percent) for -baseline")
+	diffTolMiss := flag.Float64("diff-tolerance-miss", 0,
+		"allowed per-cell rise in I-/D-cache misses per 1000 insts for -baseline")
 	diffAllowMissing := flag.Bool("diff-allow-missing", false, "tolerate baseline cells absent from the current results")
 	serverURL := flag.String("server", "", "run the sweep on this tracepd instance (e.g. http://localhost:8089) instead of in-process")
 	flag.Parse()
@@ -109,7 +119,7 @@ func main() {
 			os.Exit(1)
 		}
 	} else {
-		rs, ctxErr = runSweep(ctx, *serverURL, *benchList, *n, *j, *progress, *jsonOut, wantTable, wantFigure)
+		rs, ctxErr = runSweep(ctx, *serverURL, *benchList, *n, *warmup, *j, *progress, *jsonOut, wantTable, wantFigure)
 	}
 
 	runErr := rs.Err()
@@ -149,6 +159,7 @@ func main() {
 			IPCPct:           *diffTol,
 			TraceMispPer1000: *diffTolTMisp,
 			RecoveriesPct:    *diffTolRecoveries,
+			CacheMissPer1000: *diffTolMiss,
 			AllowMissing:     *diffAllowMissing,
 		})
 		// In -json mode stdout stays a clean ResultSet; the diff verdict
@@ -178,7 +189,7 @@ func main() {
 // tables/figures need — in-process, or on a remote tracepd when serverURL
 // is set — and returns the (possibly partial) set plus the context error,
 // mirroring Sweep.Run.
-func runSweep(ctx context.Context, serverURL, benchList string, n uint64, j int, progress, jsonOut bool,
+func runSweep(ctx context.Context, serverURL, benchList string, n, warmup uint64, j int, progress, jsonOut bool,
 	wantTable, wantFigure func(int) bool) (*tracep.ResultSet, error) {
 	benches, err := selectBenchmarks(benchList)
 	if err != nil {
@@ -206,13 +217,14 @@ func runSweep(ctx context.Context, serverURL, benchList string, n uint64, j int,
 	}
 
 	if serverURL != "" {
-		return runRemote(ctx, serverURL, benches, models, n, progress)
+		return runRemote(ctx, serverURL, benches, models, n, warmup, progress)
 	}
 
 	sw := tracep.Sweep{
 		Benchmarks:  benches,
 		Models:      models,
 		TargetInsts: n,
+		Warmup:      warmup,
 		Parallelism: j,
 	}
 	if progress {
@@ -231,7 +243,7 @@ func runSweep(ctx context.Context, serverURL, benchList string, n uint64, j int,
 // failures other than cancellation are fatal (exit 1) — there is no
 // partial set worth rendering when the server is unreachable.
 func runRemote(ctx context.Context, serverURL string, benches []tracep.Benchmark,
-	models []tracep.Model, n uint64, progress bool) (*tracep.ResultSet, error) {
+	models []tracep.Model, n, warmup uint64, progress bool) (*tracep.ResultSet, error) {
 	if len(benches) == 0 || len(models) == 0 {
 		return tracep.NewResultSet(), nil
 	}
@@ -239,6 +251,7 @@ func runRemote(ctx context.Context, serverURL string, benches []tracep.Benchmark
 		Benchmarks:  benchNames(benches),
 		Models:      modelNames(models),
 		TargetInsts: n,
+		Warmup:      warmup,
 	}
 	var fn func(*tracep.Result) error
 	if progress {

@@ -36,6 +36,11 @@ type Tolerances struct {
 	// scale the tolerance by. See the TraceMispPer1000 note on how the two
 	// gates relate.
 	RecoveriesPct float64 `json:"recoveries_pct,omitempty"`
+	// CacheMissPer1000 is the maximum tolerated rise in cache misses per
+	// 1000 retired instructions, applied to the instruction cache and the
+	// data cache independently (Stats.ICMissPer1000, Stats.DCMissPer1000;
+	// absolute deltas, like TraceMispPer1000). Drops are never regressions.
+	CacheMissPer1000 float64 `json:"cache_miss_per_1000,omitempty"`
 	// AllowMissing tolerates baseline cells that are absent from (or
 	// failed in) the current set — e.g. when gating a deliberately smaller
 	// sweep against a full baseline.
@@ -59,6 +64,12 @@ const (
 	// DiffNew: the current cell succeeded but the baseline has no
 	// statistics for it. Informational, never a regression.
 	DiffNew DiffKind = "new"
+	// DiffIncomparable: both sets have statistics but they measure
+	// different regions — their warm-up instruction counts differ — so no
+	// number is comparable. Always a regression: either align the warm-up
+	// configuration or refresh the baseline (see the baseline-refresh CI
+	// workflow).
+	DiffIncomparable DiffKind = "incomparable"
 )
 
 // CellDelta is one (benchmark, model) cell of a Diff.
@@ -80,6 +91,16 @@ type CellDelta struct {
 	CurrentTraceMisp   float64 `json:"current_trace_misp,omitempty"`
 	BaselineRecoveries uint64  `json:"baseline_recoveries,omitempty"`
 	CurrentRecoveries  uint64  `json:"current_recoveries,omitempty"`
+	// Cache misses per 1000 retired instructions on each side, for the
+	// Tolerances.CacheMissPer1000 check; 0 when the side has no statistics.
+	BaselineICacheMiss float64 `json:"baseline_icache_miss,omitempty"`
+	CurrentICacheMiss  float64 `json:"current_icache_miss,omitempty"`
+	BaselineDCacheMiss float64 `json:"baseline_dcache_miss,omitempty"`
+	CurrentDCacheMiss  float64 `json:"current_dcache_miss,omitempty"`
+	// Warm-up instruction counts on each side (Stats.WarmupInsts). A
+	// mismatch makes the cell DiffIncomparable.
+	BaselineWarmup uint64 `json:"baseline_warmup,omitempty"`
+	CurrentWarmup  uint64 `json:"current_warmup,omitempty"`
 	// Detail carries context for non-ok cells, e.g. the failed run's error
 	// text.
 	Detail string `json:"detail,omitempty"`
@@ -150,10 +171,24 @@ func compareCell(r *ResultSet, bench, model string, base *Stats, tol Tolerances)
 		return c
 	}
 	c.CurrentIPC = cur.IPC()
+	c.BaselineWarmup, c.CurrentWarmup = base.WarmupInsts, cur.WarmupInsts
+	if base.WarmupInsts != cur.WarmupInsts {
+		// The two sides measure different regions of the program; comparing
+		// any counter would be meaningless. Like-for-like only.
+		c.Kind = DiffIncomparable
+		c.Regression = true
+		c.Detail = fmt.Sprintf("warm-up mismatch: baseline %d insts, current %d — align -warmup or refresh the baseline",
+			base.WarmupInsts, cur.WarmupInsts)
+		return c
+	}
 	c.BaselineTraceMisp = base.TraceMispPer1000()
 	c.CurrentTraceMisp = cur.TraceMispPer1000()
 	c.BaselineRecoveries = base.Recoveries
 	c.CurrentRecoveries = cur.Recoveries
+	c.BaselineICacheMiss = base.ICMissPer1000()
+	c.CurrentICacheMiss = cur.ICMissPer1000()
+	c.BaselineDCacheMiss = base.DCMissPer1000()
+	c.CurrentDCacheMiss = cur.DCMissPer1000()
 	if c.BaselineIPC > 0 {
 		c.DeltaPct = 100 * (c.CurrentIPC - c.BaselineIPC) / c.BaselineIPC
 	}
@@ -177,6 +212,14 @@ func compareCell(r *ResultSet, bench, model string, base *Stats, tol Tolerances)
 				base.Recoveries, cur.Recoveries, tol.RecoveriesPct))
 		}
 	}
+	if rise := c.CurrentICacheMiss - c.BaselineICacheMiss; rise > tol.CacheMissPer1000 {
+		reasons = append(reasons, fmt.Sprintf("I-cache misses rose %.2f/1000 insts (tolerance %.2f)",
+			rise, tol.CacheMissPer1000))
+	}
+	if rise := c.CurrentDCacheMiss - c.BaselineDCacheMiss; rise > tol.CacheMissPer1000 {
+		reasons = append(reasons, fmt.Sprintf("D-cache misses rose %.2f/1000 insts (tolerance %.2f)",
+			rise, tol.CacheMissPer1000))
+	}
 	if len(reasons) > 0 {
 		c.Kind = DiffRegression
 		c.Regression = true
@@ -198,12 +241,25 @@ func (d *Diff) Regressions() []CellDelta {
 	return out
 }
 
-// Compared returns how many cells had statistics on both sides and so
-// actually had their IPC checked (kinds DiffOK and DiffRegression).
+// Compared returns how many cells actually had their numbers checked
+// (kinds DiffOK and DiffRegression). Incomparable cells — statistics on
+// both sides but mismatched warm-ups — do not count: nothing was compared.
 func (d *Diff) Compared() int {
 	n := 0
 	for _, c := range d.Cells {
 		if c.Kind == DiffOK || c.Kind == DiffRegression {
+			n++
+		}
+	}
+	return n
+}
+
+// Incomparable returns how many cells had statistics on both sides but
+// mismatched warm-ups.
+func (d *Diff) Incomparable() int {
+	n := 0
+	for _, c := range d.Cells {
+		if c.Kind == DiffIncomparable {
 			n++
 		}
 	}
@@ -220,8 +276,8 @@ func (d *Diff) OK() bool { return d.Compared() > 0 && len(d.Regressions()) == 0 
 // WriteText renders the diff as an aligned human-readable table, one row
 // per cell, followed by a one-line verdict.
 func (d *Diff) WriteText(w io.Writer) {
-	fmt.Fprintf(w, "RESULTSET DIFF (tolerance: IPC -%.2f%%, trace misp +%.2f/1000, recoveries +%.2f%%",
-		d.Tolerances.IPCPct, d.Tolerances.TraceMispPer1000, d.Tolerances.RecoveriesPct)
+	fmt.Fprintf(w, "RESULTSET DIFF (tolerance: IPC -%.2f%%, trace misp +%.2f/1000, recoveries +%.2f%%, cache miss +%.2f/1000",
+		d.Tolerances.IPCPct, d.Tolerances.TraceMispPer1000, d.Tolerances.RecoveriesPct, d.Tolerances.CacheMissPer1000)
 	if d.Tolerances.AllowMissing {
 		fmt.Fprint(w, ", missing cells allowed")
 	}
@@ -240,6 +296,9 @@ func (d *Diff) WriteText(w io.Writer) {
 			c.Benchmark, c.Model, ipcText(c.BaselineIPC), ipcText(c.CurrentIPC), deltaText(c), verdict)
 	}
 	switch reg := d.Regressions(); {
+	case d.Compared() == 0 && d.Incomparable() > 0:
+		fmt.Fprintf(w, "FAIL: %d cells incomparable (warm-up mismatch) and none compared — align -warmup or refresh the baseline\n",
+			d.Incomparable())
 	case d.Compared() == 0:
 		fmt.Fprintln(w, "FAIL: no cells compared — baseline shares no cells with the current set")
 	case len(reg) > 0:
@@ -257,7 +316,10 @@ func ipcText(ipc float64) string {
 }
 
 func deltaText(c CellDelta) string {
-	if c.BaselineIPC == 0 || c.CurrentIPC == 0 {
+	// Incomparable cells never had a delta computed: both IPCs are present
+	// but deliberately not compared, so rendering "0.000%" would misread as
+	// "no change".
+	if c.Kind == DiffIncomparable || c.BaselineIPC == 0 || c.CurrentIPC == 0 {
 		return "-"
 	}
 	if math.Abs(c.DeltaPct) < 0.0005 {

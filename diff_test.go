@@ -236,3 +236,99 @@ func TestDiffDeterministicOrderAndRenderings(t *testing.T) {
 		t.Error("round-tripped diff must still report the regression")
 	}
 }
+
+// warmCell builds a cell whose stats carry warm-up metadata and cache-miss
+// counts.
+func warmCell(bench, model string, ipc float64, warmup, icMisses, dcMisses uint64) *tracep.Result {
+	res := cell(bench, model, ipc)
+	res.Stats.WarmupInsts = warmup
+	res.Stats.ICMisses = icMisses
+	res.Stats.DCMisses = dcMisses
+	return res
+}
+
+// TestDiffWarmupMismatchIsIncomparable: cells measured after different
+// warm-ups must never be numerically compared — they are flagged as
+// incomparable regressions regardless of how good the numbers look.
+func TestDiffWarmupMismatchIsIncomparable(t *testing.T) {
+	cur := tracep.NewResultSetFor([]string{"compress"}, []string{"base"})
+	// Higher IPC than baseline, but over a different measured region.
+	cur.Add(warmCell("compress", "base", 9.9, 5000, 0, 0))
+	base := tracep.NewResultSetFor([]string{"compress"}, []string{"base"})
+	base.Add(cell("compress", "base", 2.0))
+
+	d := cur.Diff(base, tracep.Tolerances{IPCPct: 100})
+	if d.OK() {
+		t.Fatal("warm-vs-cold comparison must fail the gate")
+	}
+	c := d.Cells[0]
+	if c.Kind != tracep.DiffIncomparable || !c.Regression {
+		t.Fatalf("cell = %+v, want incomparable regression", c)
+	}
+	if c.BaselineWarmup != 0 || c.CurrentWarmup != 5000 {
+		t.Errorf("warm-up metadata = %d/%d, want 0/5000", c.BaselineWarmup, c.CurrentWarmup)
+	}
+	if !strings.Contains(c.Detail, "warm-up mismatch") {
+		t.Errorf("detail = %q, want warm-up mismatch explanation", c.Detail)
+	}
+
+	// The rendered verdict names the warm-up mismatch, not a grid overlap
+	// problem (nothing compared, but only because every cell was
+	// incomparable).
+	if d.Compared() != 0 || d.Incomparable() != 1 {
+		t.Errorf("Compared/Incomparable = %d/%d, want 0/1", d.Compared(), d.Incomparable())
+	}
+	var text strings.Builder
+	d.WriteText(&text)
+	if !strings.Contains(text.String(), "incomparable (warm-up mismatch)") {
+		t.Errorf("verdict missing incomparable explanation:\n%s", text.String())
+	}
+
+	// Matching warm-ups on both sides compare normally.
+	warmBase := tracep.NewResultSetFor([]string{"compress"}, []string{"base"})
+	warmBase.Add(warmCell("compress", "base", 2.0, 5000, 0, 0))
+	if d := cur.Diff(warmBase, tracep.Tolerances{}); !d.OK() {
+		t.Errorf("matching warm-ups must compare: %+v", d.Regressions())
+	}
+}
+
+// TestDiffCacheMissGate: rises in I-/D-cache misses per 1000 instructions
+// regress beyond Tolerances.CacheMissPer1000; drops never do.
+func TestDiffCacheMissGate(t *testing.T) {
+	mk := func(ic, dc uint64) *tracep.ResultSet {
+		rs := tracep.NewResultSetFor([]string{"compress"}, []string{"base"})
+		rs.Add(warmCell("compress", "base", 2.0, 0, ic, dc)) // 2000 retired insts
+		return rs
+	}
+	base := mk(10, 20)
+
+	// D-cache misses rise 20 -> 30: +5/1000 insts over 2000 retired insts.
+	d := mk(10, 30).Diff(base, tracep.Tolerances{})
+	if d.OK() {
+		t.Fatal("D-cache miss rise must regress under a zero gate")
+	}
+	if c := d.Regressions()[0]; !strings.Contains(c.Detail, "D-cache") {
+		t.Errorf("detail = %q, want D-cache reason", c.Detail)
+	}
+	// The same rise passes a 5/1000 gate.
+	if d := mk(10, 30).Diff(base, tracep.Tolerances{CacheMissPer1000: 5}); !d.OK() {
+		t.Errorf("rise within tolerance regressed: %+v", d.Regressions())
+	}
+	// I-cache rises are gated independently.
+	d = mk(14, 20).Diff(base, tracep.Tolerances{CacheMissPer1000: 1})
+	if d.OK() {
+		t.Fatal("I-cache miss rise must regress beyond the gate")
+	}
+	if c := d.Regressions()[0]; !strings.Contains(c.Detail, "I-cache") {
+		t.Errorf("detail = %q, want I-cache reason", c.Detail)
+	}
+	// Drops are never regressions.
+	if d := mk(0, 0).Diff(base, tracep.Tolerances{}); !d.OK() {
+		t.Errorf("miss-rate drop regressed: %+v", d.Regressions())
+	}
+	// Metadata lands in the cell.
+	c := mk(10, 30).Diff(base, tracep.Tolerances{}).Cells[0]
+	if c.BaselineDCacheMiss != 10 || c.CurrentDCacheMiss != 15 {
+		t.Errorf("D-cache miss rates = %.1f/%.1f, want 10/15 per 1000", c.BaselineDCacheMiss, c.CurrentDCacheMiss)
+	}
+}

@@ -89,3 +89,41 @@ func ExampleResultSet_Diff() {
 	// compress/base regression: IPC 2.00 -> 1.82
 	// gate passed: false
 }
+
+// A warm-up fast-forwards the first instructions of a program functionally
+// — warming caches and predictors along the committed path — so the
+// measured region starts from steady state, like the paper's methodology.
+// The checkpoint is model-independent: capture it once and fork restored
+// sessions under any model; a restored run is byte-identical to a session
+// that performs the same warm-up itself.
+func ExampleSimulator_withWarmup() {
+	compress, err := tracep.BenchmarkByName("compress")
+	if err != nil {
+		log.Fatal(err)
+	}
+	const targetInsts, warm = 20_000, 5_000
+
+	// One capture…
+	snap, err := tracep.NewBenchmark(compress, targetInsts).CaptureSnapshot(context.Background(), warm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// …forks any number of measured runs.
+	restored, err := tracep.NewFromSnapshot(snap, tracep.WithModel(tracep.ModelFG)).Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The equivalent from-cold session simulates its own warm-up.
+	cold, err := tracep.NewBenchmark(compress, targetInsts,
+		tracep.WithModel(tracep.ModelFG), tracep.WithWarmup(warm)).Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("fast-forwarded %d instructions\n", restored.Warmup())
+	fmt.Printf("restored == cold: %v\n", *restored.Stats == *cold.Stats)
+	// Output:
+	// fast-forwarded 5000 instructions
+	// restored == cold: true
+}

@@ -70,6 +70,23 @@ func New(cfg Config) *Predictor {
 	return p
 }
 
+// Clone returns a deep copy of the predictor — counters, targets and the
+// return-address stack — so a warmed predictor captured in a snapshot can be
+// restored into many independent simulations.
+func (p *Predictor) Clone() *Predictor {
+	return &Predictor{
+		cfg:     p.cfg,
+		mask:    p.mask,
+		ctr:     append([]uint8(nil), p.ctr...),
+		target:  append([]uint32(nil), p.target...),
+		ras:     append([]uint32(nil), p.ras...),
+		Lookups: p.Lookups,
+	}
+}
+
+// ResetStats zeroes the lookup counter, keeping the trained state.
+func (p *Predictor) ResetStats() { p.Lookups = 0 }
+
 func (p *Predictor) idx(pc uint32) uint32 { return pc & p.mask }
 
 // PredictDirection predicts a conditional branch at pc: taken when the 2-bit

@@ -43,6 +43,32 @@ func NewSetAssoc(sets, assoc int) *SetAssoc {
 	return c
 }
 
+// Clone returns a deep copy of the cache — tag, valid and LRU arrays plus
+// the access counters — sharing nothing mutable with the receiver. It is the
+// building block for warm-up snapshots: a captured cache is cloned on every
+// restore so concurrent simulations forked from one snapshot cannot perturb
+// each other.
+func (c *SetAssoc) Clone() *SetAssoc {
+	n := &SetAssoc{
+		sets: c.sets, assoc: c.assoc,
+		Accesses: c.Accesses, Misses: c.Misses,
+	}
+	n.tags = make([][]uint64, c.sets)
+	n.valid = make([][]bool, c.sets)
+	n.lru = make([][]uint8, c.sets)
+	for i := 0; i < c.sets; i++ {
+		n.tags[i] = append([]uint64(nil), c.tags[i]...)
+		n.valid[i] = append([]bool(nil), c.valid[i]...)
+		n.lru[i] = append([]uint8(nil), c.lru[i]...)
+	}
+	return n
+}
+
+// ResetStats zeroes the access counters, keeping the array contents. Used
+// when a snapshot is frozen: the warmed lines stay, but the measured region
+// starts counting from zero.
+func (c *SetAssoc) ResetStats() { c.Accesses, c.Misses = 0, 0 }
+
 // Sets returns the number of sets.
 func (c *SetAssoc) Sets() int { return c.sets }
 
@@ -230,6 +256,14 @@ func (ic *ICache) SameLine(a, b uint32) bool {
 // Stats returns accesses and misses.
 func (ic *ICache) Stats() (accesses, misses uint64) { return ic.c.Accesses, ic.c.Misses }
 
+// Clone returns a deep copy of the instruction cache.
+func (ic *ICache) Clone() *ICache {
+	return &ICache{c: ic.c.Clone(), lineShift: ic.lineShift, MissPenalty: ic.MissPenalty}
+}
+
+// ResetStats zeroes the access counters, keeping the warmed lines.
+func (ic *ICache) ResetStats() { ic.c.ResetStats() }
+
 // DCache models the data cache: 64 kB, 4-way, 64-byte (8-word) lines,
 // 14-cycle miss penalty (Table 1). Addresses are data-word addresses.
 type DCache struct {
@@ -282,3 +316,14 @@ func (dc *DCache) Access(addr uint32) int {
 
 // Stats returns accesses and misses.
 func (dc *DCache) Stats() (accesses, misses uint64) { return dc.c.Accesses, dc.c.Misses }
+
+// Clone returns a deep copy of the data cache.
+func (dc *DCache) Clone() *DCache {
+	return &DCache{
+		c: dc.c.Clone(), lineShift: dc.lineShift,
+		MissPenalty: dc.MissPenalty, HitLatency: dc.HitLatency,
+	}
+}
+
+// ResetStats zeroes the access counters, keeping the warmed lines.
+func (dc *DCache) ResetStats() { dc.c.ResetStats() }

@@ -273,6 +273,31 @@ func (b *BIT) Lookup(pc uint32) (Region, int) {
 // Misses reports how many lookups missed the table.
 func (b *BIT) Misses() uint64 { return b.timing.Misses }
 
+// Clone returns a deep copy of the BIT: timing array, memoised analysis
+// results and counters. The program is shared (immutable); Region values are
+// copied by value.
+func (b *BIT) Clone() *BIT {
+	n := &BIT{
+		cfg:        b.cfg,
+		timing:     b.timing.Clone(),
+		results:    make(map[uint32]Region, len(b.results)),
+		prog:       b.prog,
+		Lookups:    b.Lookups,
+		MissCycles: b.MissCycles,
+	}
+	for pc, reg := range b.results {
+		n.results[pc] = reg
+	}
+	return n
+}
+
+// ResetStats zeroes the lookup and miss-cycle counters (including the timing
+// array's), keeping the warmed entries and memoised analyses.
+func (b *BIT) ResetStats() {
+	b.Lookups, b.MissCycles = 0, 0
+	b.timing.ResetStats()
+}
+
 // TraceView is the minimal view of a resident trace that the CGCI heuristics
 // need: where it starts and whether it ends in a return instruction.
 type TraceView struct {

@@ -46,6 +46,21 @@ func New(prog *isa.Program) *Emulator {
 	return &Emulator{Prog: prog, Mem: isa.NewMemory(prog), PC: prog.Entry}
 }
 
+// Clone returns a deep copy of the emulator: registers, PC and a private
+// copy of memory. The program is shared (it is immutable). A snapshot's
+// architectural state is an emulator; restoring clones it so the oracle of
+// one restored simulation cannot disturb another's.
+func (e *Emulator) Clone() *Emulator {
+	return &Emulator{
+		Prog:   e.Prog,
+		Mem:    e.Mem.Clone(),
+		Regs:   e.Regs,
+		PC:     e.PC,
+		Halted: e.Halted,
+		Count:  e.Count,
+	}
+}
+
 // Step executes the next instruction and returns its record. Stepping a
 // halted machine returns a record with Halted set and advances nothing.
 func (e *Emulator) Step() Record {

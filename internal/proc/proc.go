@@ -196,25 +196,41 @@ func (p *Processor) debugf(format string, args ...interface{}) {
 	}
 }
 
-// New builds a processor for prog under the given model and configuration.
-func New(prog *isa.Program, model Model, cfg Config) *Processor {
+// effectiveBPredConfig is the branch-predictor configuration a run actually
+// uses: the per-predictor seed falls back to the run seed. Snapshot capture
+// and compatibility checks must agree with New on this.
+func effectiveBPredConfig(cfg Config) bpred.Config {
 	bpCfg := cfg.BPred
 	if bpCfg.Seed == 0 {
 		bpCfg.Seed = cfg.Seed
 	}
+	return bpCfg
+}
+
+// effectiveBITConfig is the BIT configuration a run actually uses: the FGCI
+// scan bound follows the maximum trace length.
+func effectiveBITConfig(cfg Config) core.BITConfig {
+	bitCfg := cfg.BIT
+	bitCfg.Analyze.MaxSize = cfg.MaxTraceLen
+	return bitCfg
+}
+
+// New builds a processor for prog under the given model and configuration,
+// starting from architectural reset with cold microarchitectural state.
+func New(prog *isa.Program, model Model, cfg Config) *Processor {
+	return build(prog, model, cfg, nil)
+}
+
+// build constructs a processor. With a nil snapshot every structure starts
+// from reset; with a snapshot, architectural state and the warm-up-visible
+// structures are deep-cloned from it (see NewFromSnapshot).
+func build(prog *isa.Program, model Model, cfg Config, snap *Snapshot) *Processor {
 	p := &Processor{
 		cfg:   cfg,
 		model: model,
 		prog:  prog,
-		mem:   isa.NewMemory(prog),
 
-		regs:   rename.NewFile(),
-		arbuf:  arb.New(),
-		dcache: cache.NewDCache(cfg.DCache),
-		icache: cache.NewICache(cfg.ICache),
-		tcache: trace.NewCache(cfg.TCache),
-		bp:     bpred.New(bpCfg),
-		tp:     tpred.New(cfg.TPred),
+		arbuf: arb.New(),
 
 		events:   make(map[int64][]event),
 		subs:     make(map[rename.Tag][]subRef),
@@ -222,15 +238,44 @@ func New(prog *isa.Program, model Model, cfg Config) *Processor {
 		head:     -1,
 		tail:     -1,
 	}
-	if cfg.Verify {
-		p.oracle = emu.New(prog)
+	if snap == nil {
+		p.mem = isa.NewMemory(prog)
+		p.regs = rename.NewFile()
+		p.dcache = cache.NewDCache(cfg.DCache)
+		p.icache = cache.NewICache(cfg.ICache)
+		p.tcache = trace.NewCache(cfg.TCache)
+		p.bp = bpred.New(effectiveBPredConfig(cfg))
+		p.tp = tpred.New(cfg.TPred)
+		p.bit = core.NewBIT(prog, effectiveBITConfig(cfg))
+		if cfg.Verify {
+			p.oracle = emu.New(prog)
+		}
+		if cfg.ValuePredict {
+			p.vp = vpred.New(cfg.VPred)
+		}
+		p.specMap = rename.InitialMap(p.regs)
+		p.fe.expectedPC = prog.Entry
+	} else {
+		// Every structure is cloned, never aliased: many simulations may be
+		// forked from one snapshot, concurrently.
+		p.mem = snap.emu.Mem.Clone()
+		p.regs = snap.regs.Clone()
+		p.dcache = snap.dcache.Clone()
+		p.icache = snap.icache.Clone()
+		p.tcache = snap.tcache.Clone()
+		p.bp = snap.bp.Clone()
+		p.tp = snap.tp.Clone()
+		p.bit = snap.bit.Clone()
+		if cfg.Verify {
+			p.oracle = snap.emu.Clone()
+		}
+		if cfg.ValuePredict {
+			p.vp = snap.vp.Clone()
+		}
+		p.specMap = snap.rmap
+		p.fe.expectedPC = snap.emu.PC
+		p.Stats.WarmupInsts = snap.warmupInsts
 	}
-	if cfg.ValuePredict {
-		p.vp = vpred.New(cfg.VPred)
-	}
-	bitCfg := cfg.BIT
-	bitCfg.Analyze.MaxSize = cfg.MaxTraceLen
-	p.bit = core.NewBIT(prog, bitCfg)
 	p.ctor = &trace.Constructor{
 		Prog: prog,
 		Sel:  trace.SelConfig{MaxLen: cfg.MaxTraceLen, NTB: model.NTB, FG: model.FG},
@@ -238,13 +283,11 @@ func New(prog *isa.Program, model Model, cfg Config) *Processor {
 		BP:   p.bp,
 		IC:   p.icache,
 	}
-	p.specMap = rename.InitialMap(p.regs)
 	p.pes = make([]*peState, cfg.NumPEs)
 	for i := range p.pes {
 		p.pes[i] = &peState{id: i, next: -1, prev: -1}
 		p.free = append(p.free, i)
 	}
-	p.fe.expectedPC = prog.Entry
 	p.classifyBranches()
 	return p
 }

@@ -22,6 +22,12 @@ type Stats struct {
 	Cycles       uint64
 	RetiredInsts uint64
 
+	// WarmupInsts is the number of instructions fast-forwarded functionally
+	// before the measured region (0 for a cold run). It is metadata, not a
+	// measurement: every other counter covers the measured region only.
+	// Baseline diffs use it to refuse comparing warm against cold cells.
+	WarmupInsts uint64 `json:",omitempty"`
+
 	RetiredTraces      uint64
 	RetiredTraceLenSum uint64
 	DispatchedTraces   uint64
@@ -130,6 +136,23 @@ func (s *Stats) TCMissRate() float64 {
 		return 0
 	}
 	return float64(s.TCMisses) / float64(s.TCLookups)
+}
+
+// ICMissPer1000 returns instruction cache misses per 1000 retired
+// instructions.
+func (s *Stats) ICMissPer1000() float64 {
+	if s.RetiredInsts == 0 {
+		return 0
+	}
+	return 1000 * float64(s.ICMisses) / float64(s.RetiredInsts)
+}
+
+// DCMissPer1000 returns data cache misses per 1000 retired instructions.
+func (s *Stats) DCMissPer1000() float64 {
+	if s.RetiredInsts == 0 {
+		return 0
+	}
+	return 1000 * float64(s.DCMisses) / float64(s.RetiredInsts)
 }
 
 // CondBranches returns the total dynamic conditional branch count.

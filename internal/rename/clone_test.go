@@ -1,0 +1,74 @@
+package rename
+
+import (
+	"testing"
+
+	"tracep/internal/isa"
+)
+
+// TestFileCloneIndependence: entries are deep-copied — writes through one
+// file never reach the other — and tag identity is preserved so maps seeded
+// against the original stay valid against the clone.
+func TestFileCloneIndependence(t *testing.T) {
+	f := NewFile()
+	ready := f.AllocReady(42)
+	pending := f.Alloc()
+
+	c := f.Clone()
+	if got := c.Get(ready); got == nil || !got.Ready || got.Val != 42 {
+		t.Fatalf("clone lost ready entry: %+v", got)
+	}
+	if got := c.Get(pending); got == nil || got.Ready {
+		t.Fatalf("clone lost pending entry: %+v", got)
+	}
+
+	// Write through the original; the clone's entry must not move.
+	f.Write(pending, 7)
+	if c.Get(pending).Ready {
+		t.Error("original's Write reached the clone")
+	}
+	// And the reverse.
+	c.Write(ready, 99)
+	if f.Get(ready).Val != 42 {
+		t.Error("clone's Write reached the original")
+	}
+
+	// The allocation cursor is copied: both files hand out the same next
+	// tag, independently.
+	ta, tb := f.Alloc(), c.Alloc()
+	if ta != tb {
+		t.Errorf("allocation cursors diverged: %d vs %d", ta, tb)
+	}
+	if c.Get(ta) == nil || f.Get(ta) == nil {
+		t.Error("post-clone allocations missing")
+	}
+}
+
+// TestMapFrom: warm values seed ready tags in the same register order as
+// InitialMap, so the zero-value case is indistinguishable from reset.
+func TestMapFrom(t *testing.T) {
+	var vals [isa.NumRegs]int64
+	vals[1], vals[31] = 111, 999
+
+	f := NewFile()
+	m := MapFrom(f, &vals)
+	if e := f.Get(m[1]); e == nil || !e.Ready || e.Val != 111 {
+		t.Errorf("r1 entry: %+v", e)
+	}
+	if e := f.Get(m[31]); e == nil || e.Val != 999 {
+		t.Errorf("r31 entry: %+v", e)
+	}
+	if m[0] != 0 {
+		t.Errorf("r0 must stay unmapped, got tag %d", m[0])
+	}
+
+	// Same allocation order as InitialMap.
+	f2 := NewFile()
+	var zero [isa.NumRegs]int64
+	mz := MapFrom(f2, &zero)
+	f3 := NewFile()
+	mi := InitialMap(f3)
+	if mz != mi {
+		t.Error("MapFrom(zero) and InitialMap allocate different tag layouts")
+	}
+}

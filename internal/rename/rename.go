@@ -96,12 +96,39 @@ func (f *File) Sweep(live func(Tag) bool) {
 	}
 }
 
+// Clone returns a deep copy of the register file: every live entry is
+// duplicated, so writes through one file never reach the other. Tag identity
+// (numbering and the allocation cursor) is preserved, which keeps rename maps
+// captured alongside the file valid against the clone.
+func (f *File) Clone() *File {
+	c := &File{
+		m:         make(map[Tag]*Entry, len(f.m)),
+		next:      f.next,
+		Allocated: f.Allocated,
+		Swept:     f.Swept,
+	}
+	for t, e := range f.m {
+		ne := *e
+		c.m[t] = &ne
+	}
+	return c
+}
+
 // InitialMap seeds a map with fresh ready tags holding zero for every
 // architectural register, matching a zeroed machine at reset.
 func InitialMap(f *File) Map {
+	var zero [isa.NumRegs]int64
+	return MapFrom(f, &zero)
+}
+
+// MapFrom seeds a map with fresh ready tags holding the supplied
+// architectural values — a machine restored from a warm-up checkpoint
+// rather than reset. InitialMap delegates here, so the reset and restored
+// paths allocate identical tag layouts by construction.
+func MapFrom(f *File, vals *[isa.NumRegs]int64) Map {
 	var m Map
 	for r := 1; r < isa.NumRegs; r++ {
-		m[r] = f.AllocReady(0)
+		m[r] = f.AllocReady(vals[r])
 	}
 	return m
 }

@@ -1,0 +1,49 @@
+package tpred
+
+import (
+	"testing"
+
+	"tracep/internal/trace"
+)
+
+// TestCloneIndependence: tables, speculative history and counters copy
+// exactly and then evolve independently.
+func TestCloneIndependence(t *testing.T) {
+	p := New(Config{PathEntries: 256, SimpleEntries: 256, HistLen: 4})
+	d2 := trace.Descriptor{StartPC: 20, NumBr: 2, Outcomes: 2}
+
+	// Train the empty-history slot until it predicts d2 confidently.
+	for i := 0; i < 4; i++ {
+		p.Train(0, d2)
+	}
+	pd, ok := p.Predict()
+	if !ok || pd != d2 {
+		t.Fatalf("setup: predict %v/%v, want %v", pd, ok, d2)
+	}
+
+	c := p.Clone()
+	if c.HistoryPos() != p.HistoryPos() || c.Trains != p.Trains {
+		t.Fatalf("clone metadata: hist %d/%d, trains %d/%d",
+			c.HistoryPos(), p.HistoryPos(), c.Trains, p.Trains)
+	}
+	if cd, cok := c.Predict(); !cok || cd != d2 {
+		t.Fatalf("clone predicts %v/%v, want %v", cd, cok, d2)
+	}
+
+	// Push speculative history on the clone only.
+	c.SpecUpdate(d2)
+	if p.HistoryPos() != 0 {
+		t.Error("clone's SpecUpdate reached the original's history")
+	}
+	c.Rewind(0)
+
+	// Retrain the clone's empty-history slot toward a different descriptor;
+	// the original's prediction must not move.
+	d3 := trace.Descriptor{StartPC: 30, NumBr: 1}
+	for i := 0; i < 8; i++ {
+		c.Train(0, d3)
+	}
+	if got, ok := p.Predict(); !ok || got != d2 {
+		t.Errorf("clone's training leaked into the original: %v/%v", got, ok)
+	}
+}

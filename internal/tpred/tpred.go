@@ -65,6 +65,24 @@ func New(cfg Config) *Predictor {
 	}
 }
 
+// Clone returns a deep copy of the predictor: both component tables, the
+// speculative history, and the counters.
+func (p *Predictor) Clone() *Predictor {
+	return &Predictor{
+		cfg:             p.cfg,
+		path:            append([]entry(nil), p.path...),
+		simple:          append([]entry(nil), p.simple...),
+		histLen:         p.histLen,
+		hist:            append([]uint64(nil), p.hist...),
+		Predictions:     p.Predictions,
+		PathPredictions: p.PathPredictions,
+		Trains:          p.Trains,
+	}
+}
+
+// ResetStats zeroes the prediction/training counters, keeping the tables.
+func (p *Predictor) ResetStats() { p.Predictions, p.PathPredictions, p.Trains = 0, 0, 0 }
+
 // hashPath folds the most recent histLen trace IDs into a path index,
 // weighting recent traces with more bits (a DOLC-style hash).
 func hashPath(hist []uint64, histLen, mask int) int {

@@ -58,6 +58,24 @@ func (c *Cache) Insert(tr *Trace) {
 	c.store[key] = tr
 }
 
+// Clone returns a deep copy of the cache's timing state and content index.
+// The *Trace values themselves are shared: traces are immutable once
+// inserted (repairs construct new traces rather than editing resident ones),
+// so clones may alias them safely.
+func (c *Cache) Clone() *Cache {
+	n := &Cache{
+		timing: c.timing.Clone(),
+		store:  make(map[uint64]*Trace, len(c.store)),
+	}
+	for k, tr := range c.store {
+		n.store[k] = tr
+	}
+	return n
+}
+
+// ResetStats zeroes the lookup/miss counters, keeping resident traces.
+func (c *Cache) ResetStats() { c.timing.ResetStats() }
+
 // Stats returns lookup and miss counts.
 func (c *Cache) Stats() (lookups, misses uint64) {
 	return c.timing.Accesses, c.timing.Misses

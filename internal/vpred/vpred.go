@@ -57,6 +57,21 @@ func New(cfg Config) *Predictor {
 	return &Predictor{cfg: cfg, table: make([]entry, cfg.Entries), mask: uint64(cfg.Entries - 1)}
 }
 
+// Clone returns a deep copy of the predictor table and counters.
+func (p *Predictor) Clone() *Predictor {
+	return &Predictor{
+		cfg:         p.cfg,
+		table:       append([]entry(nil), p.table...),
+		mask:        p.mask,
+		Predictions: p.Predictions,
+		Correct:     p.Correct,
+		Trains:      p.Trains,
+	}
+}
+
+// ResetStats zeroes the prediction/training counters, keeping the table.
+func (p *Predictor) ResetStats() { p.Predictions, p.Correct, p.Trains = 0, 0, 0 }
+
 func (p *Predictor) slot(key uint64) *entry {
 	h := key * 0x9E3779B97F4A7C15
 	h ^= h >> 29

@@ -12,6 +12,11 @@ import (
 // Exactly one of Stats and Error is meaningful: a successful run carries
 // statistics, a failed one carries the error text (and, on a live set, the
 // original error via Err).
+//
+// A warmed-up run records its fast-forwarded prefix in Stats.WarmupInsts
+// (surfaced via Warmup); the metadata travels with the cell through JSON
+// round-trips and the wire, and ResultSet.Diff refuses to compare cells
+// whose warm-ups differ — they measure different regions of the program.
 type Result struct {
 	Benchmark string `json:"benchmark"`
 	Model     string `json:"model"`
@@ -35,6 +40,15 @@ func (r *Result) Err() error {
 		return errors.New(r.Error)
 	}
 	return nil
+}
+
+// Warmup returns the number of instructions the run fast-forwarded before
+// its measured region (0 for cold or failed runs).
+func (r *Result) Warmup() uint64 {
+	if r.Stats == nil {
+		return 0
+	}
+	return r.Stats.WarmupInsts
 }
 
 type cellKey struct{ bench, model string }

@@ -76,6 +76,7 @@ type job struct {
 	models      []string
 	targetInsts uint64
 	seed        int64
+	warmup      uint64
 	total       int
 	createdAt   time.Time
 	cancel      context.CancelFunc
@@ -106,6 +107,7 @@ func (j *job) snapshot(withResults bool) Status {
 		Models:      j.models,
 		TargetInsts: j.targetInsts,
 		Seed:        j.seed,
+		Warmup:      j.warmup,
 		Total:       j.total,
 		Completed:   len(j.cells),
 		Failed:      j.failed,
@@ -223,6 +225,7 @@ func (m *Manager) Submit(req SweepRequest) (Status, error) {
 		models:      modelNames,
 		targetInsts: target,
 		seed:        req.Seed,
+		warmup:      req.Warmup,
 		total:       len(benches) * len(models),
 		createdAt:   time.Now().UTC(),
 		cancel:      cancel,
@@ -250,6 +253,7 @@ func (m *Manager) Submit(req SweepRequest) (Status, error) {
 		Models:      models,
 		TargetInsts: target,
 		Seed:        req.Seed,
+		Warmup:      req.Warmup,
 		Parallelism: m.cfg.Parallelism,
 		Gate:        m.gate,
 	}

@@ -30,6 +30,10 @@ type SweepRequest struct {
 	TargetInsts uint64 `json:"target_insts,omitempty"`
 	// Seed scrambles initial branch-predictor state (tracep.WithSeed).
 	Seed int64 `json:"seed,omitempty"`
+	// Warmup fast-forwards this many instructions functionally before each
+	// cell's measured region; one warm-up snapshot per benchmark is shared
+	// across the row's model cells (tracep.Sweep.Warmup).
+	Warmup uint64 `json:"warmup,omitempty"`
 }
 
 // State is a sweep job's lifecycle phase.
@@ -64,6 +68,7 @@ type Status struct {
 	Models      []string `json:"models"`
 	TargetInsts uint64   `json:"target_insts"`
 	Seed        int64    `json:"seed,omitempty"`
+	Warmup      uint64   `json:"warmup,omitempty"`
 
 	// Total and Completed count grid cells; Failed counts completed cells
 	// that carry an error.

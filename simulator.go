@@ -90,6 +90,31 @@ func WithSeed(seed int64) Option {
 	}
 }
 
+// WithWarmup fast-forwards the first n instructions of the program
+// functionally before the measured region: the architectural emulator
+// executes them (no timing), warming the instruction/data caches, the
+// branch predictor and the BIT along the committed path, and the timing
+// simulation starts from that state. Statistics cover the measured region
+// only; Stats.WarmupInsts records n so baseline diffs compare like for
+// like.
+//
+// The warm-up is model-independent, so a snapshot captured once can seed
+// every model cell of a sweep (see Sweep.Warmup and CaptureSnapshot). A
+// warm-up that reaches the program's halt instruction is an error — there
+// would be nothing left to measure. n = 0 means a cold run.
+func WithWarmup(n uint64) Option { return func(s *Simulator) { s.warmup = n } }
+
+// WithSnapshot starts every Run of the session from snap instead of reset,
+// skipping the warm-up simulation entirely: restore deep-clones the
+// snapshot, so runs forked from one snapshot are fully independent (and
+// byte-identical to a session that performs the same warm-up itself with
+// WithWarmup). The session's program must be the very program the snapshot
+// was captured from, and the configuration must agree with the capture on
+// every snapshotted structure (see Snapshot.CompatibleWith); violations
+// surface from Run as errors wrapping ErrIncompatibleSnapshot.
+// WithSnapshot supersedes WithWarmup.
+func WithSnapshot(snap *Snapshot) Option { return func(s *Simulator) { s.snap = snap } }
+
 // WithProgress registers a hook that receives a ProgressEvent every
 // DefaultProgressInterval retired instructions (see WithProgressInterval)
 // plus a final Done event. The hook runs synchronously on the simulation
@@ -119,11 +144,19 @@ type Simulator struct {
 	bm       *Benchmark
 	bmTarget uint64
 
-	label         string
-	model         Model
-	cfg           Config
-	cfgEdits      []func(*Config)
-	maxInsts      uint64
+	label    string
+	model    Model
+	cfg      Config
+	cfgEdits []func(*Config)
+	maxInsts uint64
+	warmup   uint64
+	snap     *Snapshot
+	// warmSnap caches the snapshot a WithWarmup session captures on its
+	// first Run: capture is deterministic for a given program and
+	// configuration (both fixed after construction) and snapshots are
+	// immutable, so repeated Runs pay the functional fast-forward once —
+	// like the lazily built benchmark program above.
+	warmSnap      *Snapshot
 	progress      func(ProgressEvent)
 	progressEvery uint64
 }
@@ -169,6 +202,21 @@ func New(prog *Program, opts ...Option) *Simulator {
 func NewBenchmark(bm Benchmark, targetInsts uint64, opts ...Option) *Simulator {
 	s := newSimulator(bm.Name, opts)
 	s.bm, s.bmTarget = &bm, targetInsts
+	return s
+}
+
+// NewFromSnapshot builds a session that runs snap's program from the
+// snapshot's checkpoint instead of reset. The session inherits the
+// capture-time configuration (options may refine the non-snapshotted
+// fields, the model, run limits and progress plumbing). It is equivalent to
+// New(snap.Program(), WithConfig(snap.Config()), WithSnapshot(snap), ...).
+func NewFromSnapshot(snap *Snapshot, opts ...Option) *Simulator {
+	if snap == nil || snap.Program() == nil {
+		return newSimulator("", opts) // Run reports the nil program
+	}
+	s := newSimulator(snap.Program().Name, append([]Option{WithConfig(snap.Config())}, opts...))
+	s.prog = snap.Program()
+	s.snap = snap
 	return s
 }
 
@@ -228,7 +276,10 @@ func (s *Simulator) Run(ctx context.Context) (*Result, error) {
 		return nil, fmt.Errorf("tracep: %s: %w", s.label, err)
 	}
 
-	p := proc.New(prog, s.model, s.cfg)
+	p, err := s.newProcessor(ctx, prog)
+	if err != nil {
+		return nil, fmt.Errorf("tracep: %s: %w", s.label, err)
+	}
 	var tap func(proc.Progress)
 	every := uint64(0)
 	if s.progress != nil {
@@ -262,4 +313,50 @@ func (s *Simulator) Run(ctx context.Context) (*Result, error) {
 		})
 	}
 	return &Result{Benchmark: s.label, Model: s.model.Name, Stats: stats}, nil
+}
+
+// newProcessor constructs the run's processor: restored from the session's
+// snapshot, restored from a freshly captured warm-up checkpoint, or cold
+// from reset.
+func (s *Simulator) newProcessor(ctx context.Context, prog *Program) (*proc.Processor, error) {
+	if s.snap != nil {
+		if s.snap.Program() == nil {
+			return nil, fmt.Errorf("%w: snapshot has no program (zero-value Snapshot?)", ErrIncompatibleSnapshot)
+		}
+		if prog != s.snap.Program() {
+			return nil, fmt.Errorf("%w: snapshot was captured from a different program (%q, session has %q)",
+				ErrIncompatibleSnapshot, s.snap.Program().Name, prog.Name)
+		}
+		return proc.NewFromSnapshot(s.snap, s.model, s.cfg)
+	}
+	if s.warmup > 0 {
+		if s.warmSnap == nil {
+			snap, err := proc.CaptureSnapshot(ctx, prog, s.cfg, s.warmup)
+			if err != nil {
+				return nil, err
+			}
+			s.warmSnap = snap
+		}
+		return proc.NewFromSnapshot(s.warmSnap, s.model, s.cfg)
+	}
+	return proc.New(prog, s.model, s.cfg), nil
+}
+
+// CaptureSnapshot runs the functional warm-up of n instructions over the
+// session's program under the session's configuration and returns the
+// resulting checkpoint; cancelling ctx abandons the capture promptly. The
+// snapshot is independent of the session's model — warm-up follows the
+// committed path, which every trace-selection model shares — so one
+// capture can seed restored runs (WithSnapshot, NewFromSnapshot) under any
+// model whose configuration is compatible.
+func (s *Simulator) CaptureSnapshot(ctx context.Context, n uint64) (*Snapshot, error) {
+	prog, err := s.program()
+	if err != nil {
+		return nil, fmt.Errorf("tracep: %s: %w", s.label, err)
+	}
+	snap, err := proc.CaptureSnapshot(ctx, prog, s.cfg, n)
+	if err != nil {
+		return nil, fmt.Errorf("tracep: %s: %w", s.label, err)
+	}
+	return snap, nil
 }

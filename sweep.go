@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+
+	"tracep/internal/proc"
 )
 
 // Sweep fans a (benchmark × model) cross-product of simulations across a
@@ -38,6 +40,16 @@ type Sweep struct {
 	// Seed scrambles initial branch-predictor state (see WithSeed).
 	Seed int64
 
+	// Warmup fast-forwards this many instructions functionally before each
+	// cell's measured region (see WithWarmup). The warm-up is
+	// model-independent, so the sweep captures exactly one Snapshot per
+	// benchmark — extending the build-once program sharing — and forks
+	// every model cell of the row from it; an N-model sweep performs N×
+	// fewer warm-ups than per-cell WithWarmup sessions, with byte-identical
+	// results. A warm-up that fails (e.g. it runs past the program's halt)
+	// fails every cell of the row, like a failed build.
+	Warmup uint64
+
 	// Parallelism bounds the worker pool (<= 0 = GOMAXPROCS).
 	Parallelism int
 
@@ -56,14 +68,63 @@ type Sweep struct {
 	ProgressInterval uint64
 }
 
-// sweepJob is one cell: a shared, immutable program (built once per
-// benchmark row) plus the model to run it under. A failed build carries
-// its error instead of a program, failing every cell of the row.
-type sweepJob struct {
+// sweepRow is the state one benchmark row shares across its model cells:
+// the immutable program (built once, in the feeder) and, when the sweep
+// warms up, the row's snapshot — captured lazily by the first worker that
+// needs it, on a worker goroutine, so captures for different rows proceed
+// in parallel. A failed build or warm-up fails every cell of the row.
+type sweepRow struct {
+	sw       *Sweep
 	bench    string
 	prog     *Program
 	buildErr error
-	model    Model
+
+	capture sync.Once
+	snap    *Snapshot
+	snapErr error
+}
+
+// snapshot returns the row's shared warm-up snapshot (nil when the sweep
+// does not warm up), capturing it on first call. The capturing goroutine
+// holds a Gate slot only for the capture itself — warm-up CPU work is
+// bounded exactly like simulation work — while concurrent callers of the
+// same row wait slot-free until the one capture finishes, leaving the
+// gate's capacity to other sweeps. The snapshot is immutable and
+// restore-side state is always cloned, so handing it to every cell is
+// race-free.
+func (r *sweepRow) snapshot(ctx context.Context, gate *Gate) (*Snapshot, error) {
+	if r.sw.Warmup == 0 {
+		return nil, nil
+	}
+	r.capture.Do(func() {
+		if !gate.acquire(ctx) {
+			r.snapErr = ctx.Err()
+			return
+		}
+		defer gate.release()
+		r.snap, r.snapErr = proc.CaptureSnapshot(ctx, r.prog, r.sw.cellConfig(), r.sw.Warmup)
+	})
+	return r.snap, r.snapErr
+}
+
+// sweepJob is one cell: the shared row plus the model to run it under.
+type sweepJob struct {
+	row   *sweepRow
+	model Model
+}
+
+// cellConfig resolves the one configuration every cell runs under and every
+// row snapshot is captured with (runOne passes it via WithConfig), so
+// capture and restore agree by construction.
+func (sw *Sweep) cellConfig() Config {
+	cfg := DefaultConfig()
+	if sw.Config != nil {
+		cfg = *sw.Config
+	}
+	if sw.Seed != 0 {
+		cfg.Seed = sw.Seed
+	}
+	return cfg
 }
 
 // Stream starts the sweep and returns a channel that delivers every cell's
@@ -122,11 +183,13 @@ func (sw *Sweep) Stream(ctx context.Context) <-chan *Result {
 	feed:
 		for _, bm := range sw.Benchmarks {
 			// One build per benchmark row; every model cell shares the
-			// immutable program.
+			// immutable program (and, when warming up, the row's snapshot,
+			// captured worker-side on first need).
 			prog, err := buildProgram(bm, sw.TargetInsts)
+			row := &sweepRow{sw: sw, bench: bm.Name, prog: prog, buildErr: err}
 			for _, m := range sw.Models {
 				select {
-				case jobCh <- sweepJob{bench: bm.Name, prog: prog, buildErr: err, model: m}:
+				case jobCh <- sweepJob{row: row, model: m}:
 				case <-ctx.Done():
 					break feed
 				}
@@ -168,31 +231,40 @@ func (sw *Sweep) runOne(ctx context.Context, job sweepJob, progress func(Progres
 	if ctx.Err() != nil {
 		return nil
 	}
+	row := job.row
 	fail := func(err error) *Result {
 		return &Result{
-			Benchmark: job.bench,
+			Benchmark: row.bench,
 			Model:     job.model.Name,
 			Error:     err.Error(),
 			err:       err,
 		}
 	}
-	if job.buildErr != nil {
-		return fail(fmt.Errorf("tracep: %s: %w", job.bench, job.buildErr))
+	if row.buildErr != nil {
+		return fail(fmt.Errorf("tracep: %s: %w", row.bench, row.buildErr))
 	}
-	// Failed builds above are delivered without a slot — only real
-	// simulations count against the shared gate. A cell still waiting for a
-	// slot when the sweep is cancelled never started, so it is not
-	// delivered.
+	// The row's one warm-up capture runs under its own gate slot (see
+	// sweepRow.snapshot); a cell whose warm-up was abandoned by
+	// cancellation never started, so — like a cell still waiting for a
+	// slot below — it is not delivered.
+	snap, err := row.snapshot(ctx, sw.Gate)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil
+		}
+		return fail(fmt.Errorf("tracep: %s: %w", row.bench, err))
+	}
+	// Failed builds and warm-ups above are delivered without a slot — only
+	// real simulation counts against the shared gate.
 	if !sw.Gate.acquire(ctx) {
 		return nil
 	}
 	defer sw.Gate.release()
-	opts := []Option{WithModel(job.model), WithLabel(job.bench)}
-	if sw.Config != nil {
-		opts = append(opts, WithConfig(*sw.Config))
-	}
-	if sw.Seed != 0 {
-		opts = append(opts, WithSeed(sw.Seed))
+	// Every cell runs under cellConfig() — the exact configuration row
+	// snapshots are captured with, so capture and restore cannot drift.
+	opts := []Option{WithModel(job.model), WithLabel(row.bench), WithConfig(sw.cellConfig())}
+	if snap != nil {
+		opts = append(opts, WithSnapshot(snap))
 	}
 	if progress != nil {
 		opts = append(opts, WithProgress(progress))
@@ -200,7 +272,7 @@ func (sw *Sweep) runOne(ctx context.Context, job sweepJob, progress func(Progres
 			opts = append(opts, WithProgressInterval(sw.ProgressInterval))
 		}
 	}
-	res, err := New(job.prog, opts...).Run(ctx)
+	res, err := New(row.prog, opts...).Run(ctx)
 	if err != nil {
 		return fail(err)
 	}

@@ -63,8 +63,21 @@
 //	diff.WriteText(os.Stdout)
 //	if !diff.OK() { os.Exit(1) }
 //
-// The gate also watches trace mispredictions and recovery counts; see
-// Tolerances.
+// The gate also watches trace mispredictions, recovery counts and cache
+// miss rates; see Tolerances. Warm and cold cells never compare — see
+// below.
+//
+// # Warm-up snapshots
+//
+// The paper measures steady-state behaviour. WithWarmup(n) (or
+// Sweep.Warmup) fast-forwards the first n instructions functionally —
+// warming caches, branch predictor and BIT along the committed path —
+// and measures only the rest. The checkpoint is model-independent, so a
+// sweep captures one Snapshot per benchmark and forks every model cell
+// from it; explicit capture via Simulator.CaptureSnapshot plus
+// NewFromSnapshot/WithSnapshot does the same by hand. Restored runs are
+// byte-identical to sessions that perform the warm-up themselves, and
+// Stats.WarmupInsts travels with every result so diffs stay like-for-like.
 //
 // # Serving sweeps
 //
@@ -99,6 +112,18 @@ type Config = proc.Config
 
 // Stats carries everything the paper's tables and figures report.
 type Stats = proc.Stats
+
+// Snapshot is an immutable warm-up checkpoint: architectural state plus the
+// model-independent microarchitectural structures after a functional
+// fast-forward. Capture one with Simulator.CaptureSnapshot (or implicitly
+// via WithWarmup / Sweep.Warmup) and fork any number of simulations from it
+// with WithSnapshot or NewFromSnapshot.
+type Snapshot = proc.Snapshot
+
+// ErrIncompatibleSnapshot is the sentinel wrapped by errors reporting a
+// snapshot that cannot be restored under the session's program or
+// configuration; test with errors.Is.
+var ErrIncompatibleSnapshot = proc.ErrIncompatibleSnapshot
 
 // Program is an executable image for the simulator's ISA.
 type Program = isa.Program
