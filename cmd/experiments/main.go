@@ -61,6 +61,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 
 	"tracep"
@@ -75,6 +76,8 @@ func main() {
 	n := flag.Uint64("n", 300_000, "target dynamic instruction count per run")
 	warmup := flag.Uint64("warmup", 0,
 		"fast-forward this many instructions functionally before measuring; one warm-up snapshot per benchmark is shared across all model cells")
+	warmupFor := flag.String("warmup-for", "",
+		"per-benchmark warm-up overrides as name=insts[,name=insts...] (e.g. gcc=200000,compress=50000); unlisted benchmarks use -warmup")
 	j := flag.Int("j", 0, "simulations to run in parallel (0 = GOMAXPROCS)")
 	benchList := flag.String("bench", "", "comma-separated benchmark subset (default: all eight)")
 	jsonOut := flag.Bool("json", false, "emit the ResultSet as JSON instead of formatted tables")
@@ -119,7 +122,12 @@ func main() {
 			os.Exit(1)
 		}
 	} else {
-		rs, ctxErr = runSweep(ctx, *serverURL, *benchList, *n, *warmup, *j, *progress, *jsonOut, wantTable, wantFigure)
+		warmFor, err := parseWarmupFor(*warmupFor)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		rs, ctxErr = runSweep(ctx, *serverURL, *benchList, *n, *warmup, warmFor, *j, *progress, *jsonOut, wantTable, wantFigure)
 	}
 
 	runErr := rs.Err()
@@ -189,12 +197,27 @@ func main() {
 // tables/figures need — in-process, or on a remote tracepd when serverURL
 // is set — and returns the (possibly partial) set plus the context error,
 // mirroring Sweep.Run.
-func runSweep(ctx context.Context, serverURL, benchList string, n, warmup uint64, j int, progress, jsonOut bool,
-	wantTable, wantFigure func(int) bool) (*tracep.ResultSet, error) {
+func runSweep(ctx context.Context, serverURL, benchList string, n, warmup uint64, warmupFor map[string]uint64,
+	j int, progress, jsonOut bool, wantTable, wantFigure func(int) bool) (*tracep.ResultSet, error) {
 	benches, err := selectBenchmarks(benchList)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	// Match the server's contract: an override naming a benchmark outside
+	// the requested grid is an error, not a silent no-op.
+	for name := range warmupFor {
+		found := false
+		for _, bm := range benches {
+			if bm.Name == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "-warmup-for names %q, which is not in the requested grid\n", name)
+			os.Exit(1)
+		}
 	}
 
 	needSelection := wantTable(3) || wantTable(4) || wantTable(5) || wantFigure(9)
@@ -217,7 +240,7 @@ func runSweep(ctx context.Context, serverURL, benchList string, n, warmup uint64
 	}
 
 	if serverURL != "" {
-		return runRemote(ctx, serverURL, benches, models, n, warmup, progress)
+		return runRemote(ctx, serverURL, benches, models, n, warmup, warmupFor, progress)
 	}
 
 	sw := tracep.Sweep{
@@ -225,6 +248,7 @@ func runSweep(ctx context.Context, serverURL, benchList string, n, warmup uint64
 		Models:      models,
 		TargetInsts: n,
 		Warmup:      warmup,
+		WarmupFor:   warmupFor,
 		Parallelism: j,
 	}
 	if progress {
@@ -243,7 +267,7 @@ func runSweep(ctx context.Context, serverURL, benchList string, n, warmup uint64
 // failures other than cancellation are fatal (exit 1) — there is no
 // partial set worth rendering when the server is unreachable.
 func runRemote(ctx context.Context, serverURL string, benches []tracep.Benchmark,
-	models []tracep.Model, n, warmup uint64, progress bool) (*tracep.ResultSet, error) {
+	models []tracep.Model, n, warmup uint64, warmupFor map[string]uint64, progress bool) (*tracep.ResultSet, error) {
 	if len(benches) == 0 || len(models) == 0 {
 		return tracep.NewResultSet(), nil
 	}
@@ -252,6 +276,7 @@ func runRemote(ctx context.Context, serverURL string, benches []tracep.Benchmark
 		Models:      modelNames(models),
 		TargetInsts: n,
 		Warmup:      warmup,
+		WarmupFor:   warmupFor,
 	}
 	var fn func(*tracep.Result) error
 	if progress {
@@ -305,6 +330,31 @@ func renderTables(rs *tracep.ResultSet, wantTable, wantFigure func(int) bool) {
 		report.BestPerBenchmark(os.Stdout, rs, ciNames, tracep.ModelBase.Name)
 		fmt.Println()
 	}
+}
+
+// parseWarmupFor parses -warmup-for's name=insts[,name=insts...] syntax,
+// validating names against the suite.
+func parseWarmupFor(spec string) (map[string]uint64, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	out := make(map[string]uint64)
+	for _, pair := range strings.Split(spec, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			return nil, fmt.Errorf("-warmup-for: %q is not name=insts", pair)
+		}
+		name = strings.TrimSpace(name)
+		if _, err := tracep.BenchmarkByName(name); err != nil {
+			return nil, fmt.Errorf("-warmup-for: %w", err)
+		}
+		n, err := strconv.ParseUint(strings.TrimSpace(val), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("-warmup-for: bad instruction count in %q: %v", pair, err)
+		}
+		out[name] = n
+	}
+	return out, nil
 }
 
 func selectBenchmarks(list string) ([]tracep.Benchmark, error) {

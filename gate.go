@@ -30,6 +30,16 @@ func (g *Gate) Cap() int {
 	return cap(g.slots)
 }
 
+// InUse returns how many simulations currently hold a slot — the gate's
+// instantaneous occupancy, for monitoring. It is safe to call concurrently
+// with acquire/release; the value is naturally racy the way any gauge is.
+func (g *Gate) InUse() int {
+	if g == nil {
+		return 0
+	}
+	return len(g.slots)
+}
+
 // acquire blocks until a slot is free or ctx is cancelled; it reports
 // whether a slot was taken (and must later be released).
 func (g *Gate) acquire(ctx context.Context) bool {

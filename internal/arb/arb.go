@@ -36,9 +36,13 @@ type version struct {
 	val int64
 }
 
-// ARB buffers speculative store data, arranged per address.
+// ARB buffers speculative store data, arranged per address. Per-address
+// version lists are recycled through an internal pool when their last
+// version commits or is undone, so the steady-state store/commit churn of a
+// simulation performs no heap allocation.
 type ARB struct {
 	byAddr map[uint32][]version
+	pool   [][]version // emptied version lists awaiting reuse
 
 	Stores  uint64
 	Undos   uint64
@@ -50,12 +54,25 @@ func New() *ARB {
 	return &ARB{byAddr: make(map[uint32][]version)}
 }
 
+// recycle returns an emptied version list to the pool.
+func (a *ARB) recycle(vs []version) {
+	if cap(vs) > 0 {
+		a.pool = append(a.pool, vs[:0])
+	}
+}
+
 // Store performs (or re-performs) a store: it installs the version for
 // (addr, seq), replacing any previous version by the same sequence number at
 // this address.
 func (a *ARB) Store(addr uint32, val int64, seq Seq) {
 	a.Stores++
-	vs := a.byAddr[addr]
+	vs, ok := a.byAddr[addr]
+	if !ok {
+		if n := len(a.pool); n > 0 {
+			vs = a.pool[n-1]
+			a.pool = a.pool[:n-1]
+		}
+	}
 	for i := range vs {
 		if vs[i].seq == seq {
 			vs[i].val = val
@@ -77,6 +94,7 @@ func (a *ARB) Undo(addr uint32, seq Seq) bool {
 			vs = vs[:len(vs)-1]
 			if len(vs) == 0 {
 				delete(a.byAddr, addr)
+				a.recycle(vs)
 			} else {
 				a.byAddr[addr] = vs
 			}
@@ -122,6 +140,7 @@ func (a *ARB) Commit(addr uint32, seq Seq, mem *isa.Memory) bool {
 			vs = vs[:len(vs)-1]
 			if len(vs) == 0 {
 				delete(a.byAddr, addr)
+				a.recycle(vs)
 			} else {
 				a.byAddr[addr] = vs
 			}

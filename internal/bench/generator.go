@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"tracep/internal/asm"
+	"tracep/internal/emu"
 	"tracep/internal/isa"
 )
 
@@ -143,4 +144,77 @@ func Generate(cfg GenConfig) *isa.Program {
 	b.Store(rAcc3, 0, 902)
 	b.Halt()
 	return b.MustBuild()
+}
+
+// Generated wraps a generator configuration as a suite-style Benchmark, so
+// randomly generated workloads plug into everything Benchmarks do — Sweep
+// rows, snapshot warm-ups, the tracepd wire. The per-iteration instruction
+// estimate is calibrated by emulating a short run of the generated program
+// (generation and emulation are deterministic in cfg, so the calibration
+// is too), which keeps ScaleFor's instruction budgets accurate for any
+// configuration. cfg.OuterIters is overridden by the benchmark scale.
+//
+// Sweeping cfg.Seed produces structurally different programs with the same
+// statistical control-flow profile: combined with Config.Seed on the
+// microarchitectural side, error-bar sweeps can cover program randomness
+// and predictor cold-start randomness independently.
+func Generated(cfg GenConfig) Benchmark {
+	return Benchmark{
+		Name:     generatedName(cfg),
+		Analogue: "generated",
+		Profile: fmt.Sprintf("synthetic: %d hammocks (bias %d, arm %d), %d guarded calls, %d inner loops, %d mem chains",
+			cfg.Hammocks, cfg.HammockBias, cfg.HammockArm, cfg.GuardedCalls, cfg.InnerLoops, cfg.MemOps),
+		Build: func(scale int64) *isa.Program {
+			c := cfg
+			c.OuterIters = scale
+			return Generate(c)
+		},
+		InstsPerIter: calibrateInstsPerIter(cfg),
+	}
+}
+
+// generatedName names a generated benchmark "gen-<seed>" for the default
+// configuration of that seed, and appends a short hash of the structural
+// knobs otherwise — benchmark names key ResultSet cells, WarmupFor
+// overrides and baseline diffs, so two distinct configurations sharing a
+// seed must not collide.
+func generatedName(cfg GenConfig) string {
+	canon := DefaultGenConfig(cfg.Seed)
+	canon.OuterIters = cfg.OuterIters // overridden by scale; not structural
+	if cfg == canon {
+		return fmt.Sprintf("gen-%d", cfg.Seed)
+	}
+	h := uint64(1469598103934665603) // FNV-1a over the structural knobs
+	mix := func(v int64) {
+		h ^= uint64(v)
+		h *= 1099511628211
+	}
+	mix(int64(cfg.Hammocks))
+	mix(cfg.HammockBias)
+	mix(int64(cfg.HammockArm))
+	mix(int64(cfg.GuardedCalls))
+	mix(cfg.CallBias)
+	mix(int64(cfg.InnerLoops))
+	mix(cfg.InnerLoopVariance)
+	mix(cfg.InnerLoopBase)
+	mix(int64(cfg.MemOps))
+	return fmt.Sprintf("gen-%d-%08x", cfg.Seed, uint32(h^(h>>32)))
+}
+
+// calibrateInstsPerIter measures the dynamic instructions per outer
+// iteration of cfg's program by emulating two short runs and differencing,
+// cancelling the prologue/epilogue cost.
+func calibrateInstsPerIter(cfg GenConfig) int64 {
+	count := func(iters int64) int64 {
+		c := cfg
+		c.OuterIters = iters
+		e := emu.New(Generate(c))
+		return int64(e.Run(1 << 22))
+	}
+	const lo, hi = 4, 12
+	per := (count(hi) - count(lo)) / (hi - lo)
+	if per < 1 {
+		per = 1
+	}
+	return per
 }

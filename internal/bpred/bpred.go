@@ -15,9 +15,13 @@ type Config struct {
 	Entries int
 	// RASDepth is the return-address-stack depth.
 	RASDepth int
-	// Seed, when nonzero, initialises the direction counters from a
-	// deterministic PRNG instead of the weakly-not-taken reset, for
-	// predictor warm-up sensitivity studies. 0 keeps the canonical reset.
+	// Seed, when nonzero, initialises the direction counters and the BTB
+	// indirect-target fields from a deterministic PRNG instead of the
+	// weakly-not-taken / no-target reset, for predictor warm-up sensitivity
+	// studies. Scrambled targets model BTB aliasing from a prior context:
+	// construction from a bogus start PC decodes out-of-image instructions
+	// as halts and the normal indirect-misprediction recovery repairs the
+	// trace when the real target resolves. 0 keeps the canonical reset.
 	Seed int64
 }
 
@@ -54,13 +58,24 @@ func New(cfg Config) *Predictor {
 	}
 	if cfg.Seed != 0 {
 		x := uint64(cfg.Seed)
-		for i := range p.ctr {
+		nextRand := func() uint64 {
 			// splitmix64: cheap, well-mixed, reproducible.
 			x += 0x9E3779B97F4A7C15
 			z := x
 			z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
 			z = (z ^ (z >> 27)) * 0x94D049BB133111EB
-			p.ctr[i] = uint8((z ^ (z >> 31)) & 3)
+			return z ^ (z >> 31)
+		}
+		for i := range p.ctr {
+			p.ctr[i] = uint8(nextRand() & 3)
+		}
+		// Scramble a sparse subset of BTB targets (1 in 8) to model aliased
+		// leftovers rather than a uniformly poisoned table; 0 stays "no
+		// prediction" for the rest.
+		for i := range p.target {
+			if r := nextRand(); r&7 == 0 {
+				p.target[i] = uint32(r>>16) & 0xFFFFF
+			}
 		}
 	} else {
 		for i := range p.ctr {

@@ -10,10 +10,14 @@ package cache
 type SetAssoc struct {
 	sets  int
 	assoc int
-	tags  [][]uint64
-	valid [][]bool
-	// lru[i][w] is the recency rank of way w in set i; 0 = MRU.
-	lru [][]uint8
+	// tags/valid/lru are flat sets*assoc arrays indexed by set*assoc+way —
+	// three allocations per cache instead of three per set, which makes
+	// construction and snapshot cloning cheap and keeps each set's ways on
+	// one cache line.
+	tags  []uint64
+	valid []bool
+	// lru[set*assoc+w] is the recency rank of way w in the set; 0 = MRU.
+	lru []uint8
 
 	Accesses uint64
 	Misses   uint64
@@ -29,15 +33,13 @@ func NewSetAssoc(sets, assoc int) *SetAssoc {
 		panic("cache: assoc must be positive")
 	}
 	c := &SetAssoc{sets: sets, assoc: assoc}
-	c.tags = make([][]uint64, sets)
-	c.valid = make([][]bool, sets)
-	c.lru = make([][]uint8, sets)
+	n := sets * assoc
+	c.tags = make([]uint64, n)
+	c.valid = make([]bool, n)
+	c.lru = make([]uint8, n)
 	for i := 0; i < sets; i++ {
-		c.tags[i] = make([]uint64, assoc)
-		c.valid[i] = make([]bool, assoc)
-		c.lru[i] = make([]uint8, assoc)
 		for w := 0; w < assoc; w++ {
-			c.lru[i][w] = uint8(w)
+			c.lru[i*assoc+w] = uint8(w)
 		}
 	}
 	return c
@@ -53,14 +55,9 @@ func (c *SetAssoc) Clone() *SetAssoc {
 		sets: c.sets, assoc: c.assoc,
 		Accesses: c.Accesses, Misses: c.Misses,
 	}
-	n.tags = make([][]uint64, c.sets)
-	n.valid = make([][]bool, c.sets)
-	n.lru = make([][]uint8, c.sets)
-	for i := 0; i < c.sets; i++ {
-		n.tags[i] = append([]uint64(nil), c.tags[i]...)
-		n.valid[i] = append([]bool(nil), c.valid[i]...)
-		n.lru[i] = append([]uint8(nil), c.lru[i]...)
-	}
+	n.tags = append([]uint64(nil), c.tags...)
+	n.valid = append([]bool(nil), c.valid...)
+	n.lru = append([]uint8(nil), c.lru...)
 	return n
 }
 
@@ -78,13 +75,14 @@ func (c *SetAssoc) Assoc() int { return c.assoc }
 func (c *SetAssoc) set(key uint64) int { return int(key) & (c.sets - 1) }
 
 func (c *SetAssoc) touch(si, way int) {
-	old := c.lru[si][way]
+	base := si * c.assoc
+	old := c.lru[base+way]
 	for w := 0; w < c.assoc; w++ {
-		if c.lru[si][w] < old {
-			c.lru[si][w]++
+		if c.lru[base+w] < old {
+			c.lru[base+w]++
 		}
 	}
-	c.lru[si][way] = 0
+	c.lru[base+way] = 0
 }
 
 // Access looks key up, fills on miss (evicting the LRU way) and returns
@@ -99,8 +97,9 @@ func (c *SetAssoc) Access(key uint64) (hit bool) {
 func (c *SetAssoc) AccessEvict(key uint64) (hit bool, evicted uint64, evict bool) {
 	c.Accesses++
 	si := c.set(key)
+	base := si * c.assoc
 	for w := 0; w < c.assoc; w++ {
-		if c.valid[si][w] && c.tags[si][w] == key {
+		if c.valid[base+w] && c.tags[base+w] == key {
 			c.touch(si, w)
 			return true, 0, false
 		}
@@ -109,21 +108,21 @@ func (c *SetAssoc) AccessEvict(key uint64) (hit bool, evicted uint64, evict bool
 	// Fill: pick LRU way.
 	victim := 0
 	for w := 0; w < c.assoc; w++ {
-		if !c.valid[si][w] {
+		if !c.valid[base+w] {
 			victim = w
 			evict = false
 			goto fill
 		}
-		if c.lru[si][w] == uint8(c.assoc-1) {
+		if c.lru[base+w] == uint8(c.assoc-1) {
 			victim = w
 		}
 	}
-	if c.valid[si][victim] {
-		evicted, evict = c.tags[si][victim], true
+	if c.valid[base+victim] {
+		evicted, evict = c.tags[base+victim], true
 	}
 fill:
-	c.tags[si][victim] = key
-	c.valid[si][victim] = true
+	c.tags[base+victim] = key
+	c.valid[base+victim] = true
 	c.touch(si, victim)
 	return false, evicted, evict
 }
@@ -134,8 +133,9 @@ fill:
 func (c *SetAssoc) Touch(key uint64) bool {
 	c.Accesses++
 	si := c.set(key)
+	base := si * c.assoc
 	for w := 0; w < c.assoc; w++ {
-		if c.valid[si][w] && c.tags[si][w] == key {
+		if c.valid[base+w] && c.tags[base+w] == key {
 			c.touch(si, w)
 			return true
 		}
@@ -148,26 +148,27 @@ func (c *SetAssoc) Touch(key uint64) bool {
 // It does not count as an access.
 func (c *SetAssoc) Fill(key uint64) (evicted uint64, evict bool) {
 	si := c.set(key)
+	base := si * c.assoc
 	for w := 0; w < c.assoc; w++ {
-		if c.valid[si][w] && c.tags[si][w] == key {
+		if c.valid[base+w] && c.tags[base+w] == key {
 			c.touch(si, w)
 			return 0, false
 		}
 	}
 	victim := 0
 	for w := 0; w < c.assoc; w++ {
-		if !c.valid[si][w] {
+		if !c.valid[base+w] {
 			victim = w
 			goto fill
 		}
-		if c.lru[si][w] == uint8(c.assoc-1) {
+		if c.lru[base+w] == uint8(c.assoc-1) {
 			victim = w
 		}
 	}
-	evicted, evict = c.tags[si][victim], true
+	evicted, evict = c.tags[base+victim], true
 fill:
-	c.tags[si][victim] = key
-	c.valid[si][victim] = true
+	c.tags[base+victim] = key
+	c.valid[base+victim] = true
 	c.touch(si, victim)
 	return evicted, evict
 }
@@ -175,8 +176,9 @@ fill:
 // Probe reports whether key is resident without updating LRU or filling.
 func (c *SetAssoc) Probe(key uint64) bool {
 	si := c.set(key)
+	base := si * c.assoc
 	for w := 0; w < c.assoc; w++ {
-		if c.valid[si][w] && c.tags[si][w] == key {
+		if c.valid[base+w] && c.tags[base+w] == key {
 			return true
 		}
 	}
@@ -186,9 +188,10 @@ func (c *SetAssoc) Probe(key uint64) bool {
 // Invalidate removes key if resident; it reports whether it was present.
 func (c *SetAssoc) Invalidate(key uint64) bool {
 	si := c.set(key)
+	base := si * c.assoc
 	for w := 0; w < c.assoc; w++ {
-		if c.valid[si][w] && c.tags[si][w] == key {
-			c.valid[si][w] = false
+		if c.valid[base+w] && c.tags[base+w] == key {
+			c.valid[base+w] = false
 			return true
 		}
 	}

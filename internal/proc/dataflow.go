@@ -8,18 +8,21 @@ import (
 
 // deliverEvents processes all events scheduled for the current cycle:
 // completions update local values and wake consumers; global arrivals update
-// subscribed operands in other PEs.
+// subscribed operands in other PEs. The cycle's ring bucket is drained and
+// its storage recycled; nothing delivered here schedules into the current
+// cycle (schedule clamps to cycle+1), so draining in place is safe.
 func (p *Processor) deliverEvents() {
-	evs := p.events[p.cycle]
-	if evs == nil {
+	i := p.cycle & p.evMask
+	evs := p.evBuckets[i]
+	if len(evs) == 0 {
 		return
 	}
-	delete(p.events, p.cycle)
+	p.evBuckets[i] = evs[:0]
 	for _, ev := range evs {
 		switch ev.kind {
 		case evComplete, evLoadComplete:
 			ev.st.pe.inFlight--
-			if ev.st.cancelled || ev.st.pe.gen != ev.gen {
+			if ev.st.cancelled || ev.st.gen != ev.gen {
 				continue
 			}
 			p.complete(ev)
@@ -140,35 +143,43 @@ func (p *Processor) requestBroadcast(st *instState, val int64) {
 		return
 	}
 	st.bcastPending = true
-	p.bcastQueue = append(p.bcastQueue, st)
+	p.bcastQueue = append(p.bcastQueue, instRef{st: st, gen: st.gen})
 }
 
 // grantResultBuses arbitrates the global result buses: up to GlobalBuses
 // grants per cycle, at most MaxBusPerPE from any single PE, oldest request
 // first. A granted value is written to the register file now and arrives at
-// consuming PEs after BusLatency.
+// consuming PEs after BusLatency. The per-PE grant counts live in a flat
+// PE-indexed array reset here, and queue compaction reuses the queue's own
+// backing storage, so arbitration performs no allocation.
 func (p *Processor) grantResultBuses() {
 	if len(p.bcastQueue) == 0 {
 		return
 	}
 	granted := 0
-	perPE := make(map[int]int)
+	for i := range p.busPerPE {
+		p.busPerPE[i] = 0
+	}
 	rest := p.bcastQueue[:0]
-	for i, st := range p.bcastQueue {
+	for i, ref := range p.bcastQueue {
+		st := ref.st
 		if granted >= p.cfg.GlobalBuses {
 			rest = append(rest, p.bcastQueue[i:]...)
 			break
+		}
+		if ref.gen != st.gen {
+			continue // slot reused; the old request died with its instruction
 		}
 		if st.cancelled {
 			st.bcastPending = false
 			continue
 		}
-		if perPE[st.pe.id] >= p.cfg.MaxBusPerPE {
-			rest = append(rest, st)
+		if p.busPerPE[st.pe.id] >= p.cfg.MaxBusPerPE {
+			rest = append(rest, ref)
 			continue
 		}
 		granted++
-		perPE[st.pe.id]++
+		p.busPerPE[st.pe.id]++
 		st.bcastPending = false
 		p.Stats.Broadcasts++
 		if p.regs.Write(st.destTag, st.bcastVal) {
@@ -179,8 +190,8 @@ func (p *Processor) grantResultBuses() {
 }
 
 // deliverGlobal wakes every valid subscriber of tag with its current value.
-// Stale subscriptions (squashed instructions, rebound operands) are pruned
-// lazily here.
+// Stale subscriptions (squashed instructions, reused slots, rebound
+// operands) are pruned lazily here.
 func (p *Processor) deliverGlobal(tag rename.Tag) {
 	subs := p.subs[tag]
 	if len(subs) == 0 {
@@ -188,13 +199,13 @@ func (p *Processor) deliverGlobal(tag rename.Tag) {
 	}
 	e := p.regs.Get(tag)
 	if e == nil {
-		delete(p.subs, tag)
+		p.dropSubs(tag, subs)
 		return
 	}
 	kept := subs[:0]
 	for _, s := range subs {
 		st := s.st
-		if st.cancelled || st.pe.gen != s.gen || st.src[s.src].tag != tag {
+		if st.cancelled || st.gen != s.gen || st.src[s.src].tag != tag {
 			continue // stale subscription
 		}
 		kept = append(kept, s)
@@ -219,16 +230,51 @@ func (p *Processor) deliverGlobal(tag rename.Tag) {
 		p.reissue(st)
 	}
 	if len(kept) == 0 {
-		delete(p.subs, tag)
+		p.dropSubs(tag, kept)
 	} else {
 		p.subs[tag] = kept
+	}
+}
+
+// subArenaBlock sizes the arena new subscriber lists are carved from.
+const subArenaBlock = 2048
+
+// addSub subscribes ref to tag. A tag with no list yet gets one from the
+// recycle pool, or a capacity-2 segment carved from a block arena (nearly
+// every tag has at most two subscribers — the two operand slots of a
+// dependent pair — so segments rarely grow, and a block serves ~1k tags per
+// heap allocation).
+func (p *Processor) addSub(tag rename.Tag, ref subRef) {
+	s, ok := p.subs[tag]
+	if !ok {
+		if n := len(p.subPool); n > 0 {
+			s = p.subPool[n-1]
+			p.subPool = p.subPool[:n-1]
+		} else {
+			if len(p.subArena) < 2 {
+				p.subArena = make([]subRef, subArenaBlock)
+			}
+			s = p.subArena[:0:2]
+			p.subArena = p.subArena[2:]
+		}
+	}
+	p.subs[tag] = append(s, ref)
+}
+
+// dropSubs removes tag's subscriber list, recycling its storage.
+func (p *Processor) dropSubs(tag rename.Tag, s []subRef) {
+	delete(p.subs, tag)
+	if cap(s) > 0 {
+		p.subPool = append(p.subPool, s[:0])
 	}
 }
 
 // ---- load/store snooping ----
 
 // recordLoad indexes a performed load by address for snooping; a reissued
-// load migrating to a new address is moved between buckets.
+// load migrating to a new address is moved between buckets. Buckets are
+// pooled slices of gen-stamped references, so the record churn of the load
+// stream performs no steady-state allocation.
 func (p *Processor) recordLoad(st *instState, addr uint32) {
 	if st.inLoadRecs && st.lastAddr != addr {
 		p.removeLoadRec(st)
@@ -236,14 +282,21 @@ func (p *Processor) recordLoad(st *instState, addr uint32) {
 	st.lastAddr = addr
 	if !st.inLoadRecs {
 		st.inLoadRecs = true
-		p.loadRecs[addr] = append(p.loadRecs[addr], st)
+		recs, ok := p.loadRecs[addr]
+		if !ok {
+			if n := len(p.loadPool); n > 0 {
+				recs = p.loadPool[n-1]
+				p.loadPool = p.loadPool[:n-1]
+			}
+		}
+		p.loadRecs[addr] = append(recs, instRef{st: st, gen: st.gen})
 	}
 }
 
 func (p *Processor) removeLoadRec(st *instState) {
 	recs := p.loadRecs[st.lastAddr]
 	for i, r := range recs {
-		if r == st {
+		if r.st == st && r.gen == st.gen {
 			recs[i] = recs[len(recs)-1]
 			recs = recs[:len(recs)-1]
 			break
@@ -251,6 +304,9 @@ func (p *Processor) removeLoadRec(st *instState) {
 	}
 	if len(recs) == 0 {
 		delete(p.loadRecs, st.lastAddr)
+		if cap(recs) > 0 {
+			p.loadPool = append(p.loadPool, recs[:0])
+		}
 	} else {
 		p.loadRecs[st.lastAddr] = recs
 	}
@@ -279,26 +335,36 @@ func (p *Processor) snoopUndo(addr uint32, undoSeq arb.Seq) {
 }
 
 // snapshotLoads returns the valid load records at addr, pruning dead ones.
+// The returned slice is the processor's reusable snoop scratch: valid until
+// the next snapshotLoads call, which is fine because snoops only reissue the
+// returned loads (never re-enter the record index).
 func (p *Processor) snapshotLoads(addr uint32) []*instState {
 	recs := p.loadRecs[addr]
 	if len(recs) == 0 {
 		return nil
 	}
 	kept := recs[:0]
-	for _, st := range recs {
-		if st.cancelled || !st.pe.active || !st.inLoadRecs {
-			st.inLoadRecs = false
+	out := p.loadScratch[:0]
+	for _, r := range recs {
+		st := r.st
+		if r.gen != st.gen || st.cancelled || !st.pe.active || !st.inLoadRecs {
+			if r.gen == st.gen {
+				st.inLoadRecs = false
+			}
 			continue
 		}
-		kept = append(kept, st)
+		kept = append(kept, r)
+		out = append(out, st)
 	}
+	p.loadScratch = out
 	if len(kept) == 0 {
 		delete(p.loadRecs, addr)
+		if cap(kept) > 0 {
+			p.loadPool = append(p.loadPool, kept)
+		}
 		return nil
 	}
 	p.loadRecs[addr] = kept
-	out := make([]*instState, len(kept))
-	copy(out, kept)
 	return out
 }
 
@@ -306,12 +372,17 @@ func (p *Processor) snapshotLoads(addr uint32) []*instState {
 
 // collectGarbage sweeps unreferenced tags and compacts lazy index
 // structures. Roots: the dispatch-frontier map and every live PE's
-// checkpoints, operand bindings and destination tags.
+// checkpoints, operand bindings and destination tags. The live set is a
+// persistent map cleared in place, so periodic collection does not allocate.
 func (p *Processor) collectGarbage() {
-	live := make(map[rename.Tag]bool, p.regs.Size())
+	if p.gcLive == nil {
+		p.gcLive = make(map[rename.Tag]struct{}, p.regs.Size())
+	}
+	clear(p.gcLive)
+	live := p.gcLive
 	mark := func(t rename.Tag) {
 		if t != 0 {
-			live[t] = true
+			live[t] = struct{}{}
 		}
 	}
 	for _, t := range p.specMap {
@@ -331,10 +402,30 @@ func (p *Processor) collectGarbage() {
 			mark(st.src[1].tag)
 		}
 	}
-	p.regs.Sweep(func(t rename.Tag) bool { return live[t] })
-	for t := range p.subs {
-		if !live[t] {
-			delete(p.subs, t)
+	p.regs.Sweep(func(t rename.Tag) bool { _, ok := live[t]; return ok })
+	for t, s := range p.subs {
+		if _, ok := live[t]; !ok {
+			p.dropSubs(t, s)
+			continue
+		}
+		// Compact stale subscribers out of live tags' lists. deliverGlobal
+		// prunes lazily on delivery, but a long-lived ready tag (a register
+		// written once and read forever) never delivers again, so without
+		// this its list would grow by one dead entry per consuming dispatch
+		// for the rest of the run. The staleness test matches
+		// deliverGlobal's, so removal is behaviour-neutral.
+		kept := s[:0]
+		for _, ref := range s {
+			st := ref.st
+			if st.cancelled || st.gen != ref.gen || st.src[ref.src].tag != t {
+				continue
+			}
+			kept = append(kept, ref)
+		}
+		if len(kept) == 0 {
+			p.dropSubs(t, kept)
+		} else {
+			p.subs[t] = kept
 		}
 	}
 }

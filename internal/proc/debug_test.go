@@ -13,7 +13,7 @@ import (
 func (p *Processor) dumpState() string {
 	s := fmt.Sprintf("cycle=%d head=%d tail=%d free=%d rec={active=%v phase=%d} mispQ=%d fetchQ=%d stopped=%v waitInd=%v expPC=%d\n",
 		p.cycle, p.head, p.tail, len(p.free), p.rec.active, p.rec.phase, len(p.mispQueue),
-		len(p.fe.queue), p.fe.stopped, p.fe.waitIndirect, p.fe.expectedPC)
+		p.fe.queue.len(), p.fe.stopped, p.fe.waitIndirect, p.fe.expectedPC)
 	for id := p.head; id >= 0; id = p.pes[id].next {
 		pe := p.pes[id]
 		s += fmt.Sprintf("  PE%d logical=%d trace=%v inFlight=%d\n", id, pe.logical, pe.tr.Desc, pe.inFlight)

@@ -20,8 +20,13 @@ type fetchEntry struct {
 // frontend models the trace processor frontend of Figure 6: trace-level
 // sequencing (next-trace predictor + trace cache) with instruction-level
 // sequencing (outstanding trace buffers) on trace cache misses.
+//
+// The outstanding trace buffers are hardware-shaped: queue and jobs are
+// fixed-capacity rings sized by the PE count (fetch stalls at NumPEs
+// outstanding entries) and the fetchEntry structs themselves are pooled, so
+// the fetch stream runs without steady-state allocation.
 type frontend struct {
-	queue []*fetchEntry
+	queue entryRing
 	// expectedPC is the start PC of the next trace to fetch; invalid while
 	// waitIndirect.
 	expectedPC   uint32
@@ -29,17 +34,80 @@ type frontend struct {
 	stopped      bool // a halt-terminated trace has been fetched
 	// jobs holds construction work in order; one job progresses at a time
 	// (Table 1: one port to the instruction cache).
-	jobs      []*fetchEntry
+	jobs      entryRing
 	jobDoneAt int64
+
+	pool     []*fetchEntry // recycled fetch entries
+	outcomes []bool        // descriptor-outcome expansion scratch
 }
 
-// outcomesOf expands a descriptor's embedded outcome bits.
-func outcomesOf(d trace.Descriptor) []bool {
-	out := make([]bool, d.NumBr)
-	for i := range out {
-		out[i] = d.Outcomes&(1<<uint(i)) != 0
+func (fe *frontend) init(numPEs int) {
+	fe.queue.init(numPEs)
+	fe.jobs.init(numPEs)
+}
+
+// getEntry takes a cleared fetch entry from the pool (or the heap).
+func (fe *frontend) getEntry() *fetchEntry {
+	if n := len(fe.pool); n > 0 {
+		e := fe.pool[n-1]
+		fe.pool = fe.pool[:n-1]
+		*e = fetchEntry{}
+		return e
 	}
+	return &fetchEntry{}
+}
+
+// putEntry recycles an entry that has left both the queue and the job list.
+func (fe *frontend) putEntry(e *fetchEntry) { fe.pool = append(fe.pool, e) }
+
+// outcomesOf expands a descriptor's embedded outcome bits into the reusable
+// scratch (valid until the next call; Build does not retain it).
+func (fe *frontend) outcomesOf(d trace.Descriptor) []bool {
+	out := fe.outcomes[:0]
+	for i := 0; i < int(d.NumBr); i++ {
+		out = append(out, d.Outcomes&(1<<uint(i)) != 0)
+	}
+	fe.outcomes = out
 	return out
+}
+
+// entryRing is a fixed-capacity FIFO of fetch entries (growable only if a
+// configuration outruns its initial sizing).
+type entryRing struct {
+	buf     []*fetchEntry
+	head, n int
+}
+
+func (r *entryRing) init(capacity int) {
+	if capacity < 1 {
+		capacity = 1
+	}
+	r.buf = make([]*fetchEntry, capacity)
+	r.head, r.n = 0, 0
+}
+
+func (r *entryRing) len() int { return r.n }
+
+func (r *entryRing) at(i int) *fetchEntry { return r.buf[(r.head+i)%len(r.buf)] }
+
+func (r *entryRing) push(e *fetchEntry) {
+	if r.n == len(r.buf) {
+		buf := make([]*fetchEntry, 2*len(r.buf))
+		for i := 0; i < r.n; i++ {
+			buf[i] = r.at(i)
+		}
+		r.buf, r.head = buf, 0
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = e
+	r.n++
+}
+
+func (r *entryRing) pop() *fetchEntry {
+	e := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return e
 }
 
 // frontendStep advances recovery, construction, fetch and dispatch by one
@@ -53,13 +121,13 @@ func (p *Processor) frontendStep() {
 
 // constructionStep progresses the single active construction job.
 func (p *Processor) constructionStep() {
-	if len(p.fe.jobs) == 0 {
+	if p.fe.jobs.len() == 0 {
 		return
 	}
-	job := p.fe.jobs[0]
+	job := p.fe.jobs.at(0)
 	if !job.constructing {
 		// Entry was cancelled (queue dropped): discard.
-		p.fe.jobs = p.fe.jobs[1:]
+		p.fe.jobs.pop()
 		p.fe.jobDoneAt = 0
 		return
 	}
@@ -70,7 +138,7 @@ func (p *Processor) constructionStep() {
 		job.constructing = false
 		job.readyAt = p.cycle + 1
 		p.tcache.Insert(job.tr)
-		p.fe.jobs = p.fe.jobs[1:]
+		p.fe.jobs.pop()
 		p.fe.jobDoneAt = 0
 	}
 }
@@ -88,7 +156,7 @@ func (p *Processor) fetchBlocked() bool {
 // giving the 2-cycle fetch+dispatch pipe of Table 1).
 func (p *Processor) fetchStep() {
 	fe := &p.fe
-	if fe.stopped || p.fetchBlocked() || len(fe.queue) >= p.cfg.NumPEs {
+	if fe.stopped || p.fetchBlocked() || fe.queue.len() >= p.cfg.NumPEs {
 		return
 	}
 
@@ -105,7 +173,8 @@ func (p *Processor) fetchStep() {
 		havePred = false
 	}
 
-	entry := &fetchEntry{predicted: havePred}
+	entry := fe.getEntry()
+	entry.predicted = havePred
 	if havePred {
 		entry.desc = pred
 		entry.histPos = p.tp.SpecUpdate(pred)
@@ -113,7 +182,7 @@ func (p *Processor) fetchStep() {
 			entry.tr = tr
 			entry.readyAt = p.cycle + 1
 		} else {
-			tr, cycles := p.ctor.Build(pred.StartPC, outcomesOf(pred))
+			tr, cycles := p.ctor.Build(pred.StartPC, fe.outcomesOf(pred))
 			entry.tr = tr
 			entry.constructing = true
 			entry.constructCycles = cycles
@@ -123,26 +192,31 @@ func (p *Processor) fetchStep() {
 				entry.desc = tr.Desc
 				p.tp.ReplaceAt(entry.histPos, tr.Desc)
 			}
-			p.fe.jobs = append(p.fe.jobs, entry)
+			p.fe.jobs.push(entry)
 		}
 	} else {
-		// Instruction-level sequencing from the branch predictor.
-		tr, cycles := p.ctor.Build(start, nil)
+		// Instruction-level sequencing from the branch predictor. The build
+		// is transient: its descriptor keys a trace-cache lookup, and on a
+		// hit the constructed trace is discarded (its storage reused by the
+		// next build) in favour of the resident pre-renamed copy.
+		tr, cycles := p.ctor.BuildTransient(start, nil)
 		entry.desc = tr.Desc
 		entry.histPos = p.tp.SpecUpdate(tr.Desc)
 		if cached, hit := p.tcache.Lookup(tr.Desc); hit {
 			entry.tr = cached
 			entry.readyAt = p.cycle + 1
 		} else {
-			entry.tr = tr
+			entry.tr = p.ctor.Keep(tr)
 			entry.constructing = true
 			entry.constructCycles = cycles
-			p.fe.jobs = append(p.fe.jobs, entry)
+			p.fe.jobs.push(entry)
 		}
 	}
 
-	fe.queue = append(fe.queue, entry)
-	p.debugf("fetch: desc=%v nextPC=%d pred=%v constructing=%v qlen=%d", entry.desc, entry.tr.NextPC, entry.predicted, entry.constructing, len(fe.queue))
+	fe.queue.push(entry)
+	if p.debugLog != nil {
+		p.debugf("fetch: desc=%v nextPC=%d pred=%v constructing=%v qlen=%d", entry.desc, entry.tr.NextPC, entry.predicted, entry.constructing, fe.queue.len())
+	}
 	fe.expectedPC = entry.tr.NextPC
 	fe.waitIndirect = entry.tr.EndsIndirect
 	fe.stopped = entry.tr.EndsHalt
@@ -158,10 +232,10 @@ func (p *Processor) dispatchBlocked() bool {
 // tail, or at the CGCI insertion frontier while recovery is filling in
 // correct control-dependent traces.
 func (p *Processor) dispatchStep() {
-	if p.dispatchBlocked() || len(p.fe.queue) == 0 {
+	if p.dispatchBlocked() || p.fe.queue.len() == 0 {
 		return
 	}
-	entry := p.fe.queue[0]
+	entry := p.fe.queue.at(0)
 	if entry.tr == nil || entry.constructing || entry.readyAt > p.cycle {
 		return
 	}
@@ -178,8 +252,9 @@ func (p *Processor) dispatchStep() {
 		return
 	}
 
-	p.fe.queue = p.fe.queue[1:]
+	p.fe.queue.pop()
 	pe := p.dispatchTrace(entry.tr, insertAfter, entry.histPos, entry.predicted)
+	p.fe.putEntry(entry)
 	if p.rec.active && p.rec.phase == recInserting {
 		p.rec.insertAfter = pe.id
 		p.rec.inserted++
@@ -220,7 +295,9 @@ func (p *Processor) insertingDispatchTarget(insertAfter *int, entry *fetchEntry)
 		return true
 	}
 	if entry.desc.StartPC == ci.tr.Desc.StartPC {
-		p.debugf("reconvergence: ci=%d(%v) inserted=%d", ci.id, ci.tr.Desc, rec.inserted)
+		if p.debugLog != nil {
+			p.debugf("reconvergence: ci=%d(%v) inserted=%d", ci.id, ci.tr.Desc, rec.inserted)
+		}
 		// Re-convergence: the next trace prediction matches the first
 		// control-independent trace (§2.1). The resident CI traces are
 		// preserved; refetch continues after the current window tail.
@@ -272,14 +349,18 @@ func (p *Processor) resumeFetchAfter(q *peState) {
 	}
 }
 
-// dropFetchQueue discards all outstanding fetch entries and rewinds the
-// speculative predictor history to pos.
+// dropFetchQueue discards all outstanding fetch entries (recycling them)
+// and rewinds the speculative predictor history to pos. Every job entry is
+// also a queue entry, so draining the queue frees everything exactly once.
 func (p *Processor) dropFetchQueue(pos int) {
-	for _, e := range p.fe.queue {
+	for p.fe.queue.len() > 0 {
+		e := p.fe.queue.pop()
 		e.constructing = false
+		p.fe.putEntry(e)
 	}
-	p.fe.queue = p.fe.queue[:0]
-	p.fe.jobs = p.fe.jobs[:0]
+	for p.fe.jobs.len() > 0 {
+		p.fe.jobs.pop()
+	}
 	p.fe.jobDoneAt = 0
 	p.tp.Rewind(pos)
 }
@@ -334,12 +415,12 @@ func (p *Processor) checkIndirectTarget(st *instState) {
 	if p.rec.active && p.rec.phase == recRepairing {
 		return
 	}
-	if len(p.fe.queue) > 0 {
-		if p.fe.queue[0].desc.StartPC == st.actualTarget {
+	if p.fe.queue.len() > 0 {
+		if p.fe.queue.at(0).desc.StartPC == st.actualTarget {
 			st.checkedTarget = true
 			return
 		}
-		p.dropFetchQueue(p.fe.queue[0].histPos)
+		p.dropFetchQueue(p.fe.queue.at(0).histPos)
 		p.Stats.FetchRedirects++
 	} else if !p.fe.waitIndirect && !p.fe.stopped && p.fe.expectedPC == st.actualTarget {
 		st.checkedTarget = true

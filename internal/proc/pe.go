@@ -33,9 +33,20 @@ type operand struct {
 }
 
 // instState is a dynamic instruction resident in a PE.
+//
+// Instruction state is pooled: every PE owns a fixed arena of instStates
+// (one per trace slot, sized by Config.MaxTraceLen) that dispatch reuses
+// across traces instead of allocating. A slot's gen counter increments every
+// time the slot is reinitialised for a new dynamic instruction — at trace
+// dispatch, at repair-suffix replacement, and when the PE is unlinked — so
+// any reference recorded alongside the then-current gen (value
+// subscriptions, completion events, broadcast and misprediction queue
+// entries, load records) can detect that its instruction is gone and the
+// slot now holds an unrelated one.
 type instState struct {
 	pe   *peState
 	slot int
+	gen  uint64
 	inst isa.Inst
 	pc   uint32
 
@@ -103,8 +114,13 @@ type peState struct {
 	active bool
 	gen    uint64
 
-	tr    *trace.Trace
+	tr *trace.Trace
+	// insts is the resident trace's dynamic instructions: a prefix of ptrs,
+	// whose entries point permanently into the pool arena. Dispatch
+	// re-slices and reinitialises rather than allocating.
 	insts []*instState
+	pool  []instState
+	ptrs  []*instState
 
 	// Linked-list control structure (§2.1): logical order plus prev/next
 	// physical PE numbers.
@@ -129,7 +145,45 @@ type peState struct {
 	dispatchedAt int64
 }
 
-// subRef is a subscription of an operand to a global tag.
+// initPool sizes the PE's instruction arena for traces up to maxLen
+// instructions and wires the permanent slot pointers.
+func (pe *peState) initPool(maxLen int) {
+	pe.pool = make([]instState, maxLen)
+	pe.ptrs = make([]*instState, maxLen)
+	for i := range pe.pool {
+		pe.pool[i].pe = pe
+		pe.pool[i].slot = i
+		pe.ptrs[i] = &pe.pool[i]
+	}
+	pe.insts = pe.ptrs[:0]
+}
+
+// ensureSlots guarantees the arena holds at least n slots. Traces are
+// bounded by Config.MaxTraceLen, so this only ever grows on configurations
+// whose trace selection admits longer traces than the arena was sized for;
+// growth allocates individual slots so existing slot pointers stay valid.
+func (pe *peState) ensureSlots(n int) {
+	for len(pe.ptrs) < n {
+		st := &instState{pe: pe, slot: len(pe.ptrs)}
+		pe.ptrs = append(pe.ptrs, st)
+	}
+}
+
+// reinit prepares the slot for a new dynamic instruction: the generation
+// advances (invalidating every stale reference to the previous occupant)
+// and all per-instruction state clears.
+func (st *instState) reinit() {
+	*st = instState{pe: st.pe, slot: st.slot, gen: st.gen + 1}
+}
+
+// invalidate advances the slot's generation without installing a new
+// instruction, so stale references fail their gen check. Used when a PE
+// leaves the window (retirement or squash) while queue entries, events or
+// subscriptions may still point at its slots.
+func (st *instState) invalidate() { st.gen++ }
+
+// subRef is a subscription of an operand to a global tag; gen is the
+// instruction slot's generation at subscription time.
 type subRef struct {
 	st  *instState
 	gen uint64
@@ -153,6 +207,40 @@ type event struct {
 	tag  rename.Tag
 }
 
+// initEventRing sizes the per-cycle event buckets. Event deltas are bounded
+// by the largest modelled latency (cache miss penalties, the divide unit,
+// the bus latency); the ring grows on demand if a configuration exceeds the
+// initial size, and bucket storage is reused cycle after cycle so
+// steady-state scheduling never touches the heap.
+func (p *Processor) initEventRing() {
+	n := 64
+	for n <= p.cfg.BusLatency+1 {
+		n *= 2
+	}
+	p.evBuckets = make([][]event, n)
+	p.evMask = int64(n - 1)
+}
+
+// growEventRing doubles the ring until the delta at-cycle fits, re-homing
+// pending buckets by their absolute cycle.
+func (p *Processor) growEventRing(at int64) {
+	old := p.evBuckets
+	oldLen := int64(len(old))
+	n := len(old)
+	for int64(n) <= at-p.cycle {
+		n *= 2
+	}
+	p.evBuckets = make([][]event, n)
+	p.evMask = int64(n - 1)
+	// Pending events live at absolute cycles (cycle, cycle+oldLen).
+	for d := int64(1); d < oldLen; d++ {
+		a := p.cycle + d
+		if evs := old[a&(oldLen-1)]; evs != nil {
+			p.evBuckets[a&p.evMask] = evs
+		}
+	}
+}
+
 func (p *Processor) schedule(at int64, ev event) {
 	if at <= p.cycle {
 		at = p.cycle + 1
@@ -160,7 +248,11 @@ func (p *Processor) schedule(at int64, ev event) {
 	if ev.st != nil && (ev.kind == evComplete || ev.kind == evLoadComplete) {
 		ev.st.pe.inFlight++
 	}
-	p.events[at] = append(p.events[at], ev)
+	if at-p.cycle >= int64(len(p.evBuckets)) {
+		p.growEventRing(at)
+	}
+	i := at & p.evMask
+	p.evBuckets[i] = append(p.evBuckets[i], ev)
 }
 
 // ---- linked-list PE management ----
@@ -177,7 +269,7 @@ func (p *Processor) allocPE(prevID int) *peState {
 	}
 	pe.active = true
 	pe.gen++
-	pe.insts = pe.insts[:0]
+	pe.insts = pe.ptrs[:0]
 	pe.tr = nil
 	pe.inFlight = 0
 
@@ -208,7 +300,10 @@ func (p *Processor) allocPE(prevID int) *peState {
 	return pe
 }
 
-// unlinkPE removes a PE from the list and returns it to the free pool.
+// unlinkPE removes a PE from the list and returns it to the free pool. The
+// generation of every resident instruction slot advances so stale
+// references (subscriptions, events, queue entries) to the departing trace's
+// instructions are recognisably dead once the arena is reused.
 func (p *Processor) unlinkPE(pe *peState) {
 	if !pe.active {
 		p.fail(fmt.Errorf("unlinkPE: PE %d is not active (double unlink)", pe.id))
@@ -227,6 +322,9 @@ func (p *Processor) unlinkPE(pe *peState) {
 	pe.next, pe.prev = -1, -1
 	pe.active = false
 	pe.gen++
+	for _, st := range pe.insts {
+		st.invalidate()
+	}
 	p.free = append(p.free, pe.id)
 	p.renumber()
 }
@@ -276,10 +374,10 @@ func (p *Processor) dispatchTrace(tr *trace.Trace, prevID int, histPos int, pred
 	pe.mapBefore = p.specMap
 	pe.dispatchedAt = p.cycle
 
-	pe.insts = make([]*instState, len(tr.Insts))
+	pe.ensureSlots(len(tr.Insts))
+	pe.insts = pe.ptrs[:len(tr.Insts)]
 	for i := range tr.Insts {
-		st := p.newInstState(pe, i, tr)
-		pe.insts[i] = st
+		p.initInstState(pe.insts[i], i, tr)
 	}
 	// Live-outs: allocate destination tags for every writing instruction;
 	// only last-writers are marked liveOut (broadcast on completion) and
@@ -297,7 +395,9 @@ func (p *Processor) dispatchTrace(tr *trace.Trace, prevID int, histPos int, pred
 	}
 	pe.mapAfter = p.specMap
 	p.Stats.DispatchedTraces++
-	p.debugf("dispatch: pe=%d after=%d desc=%v nextPC=%d", pe.id, prevID, tr.Desc, tr.NextPC)
+	if p.debugLog != nil {
+		p.debugf("dispatch: pe=%d after=%d desc=%v nextPC=%d", pe.id, prevID, tr.Desc, tr.NextPC)
+	}
 	if p.debugLog != nil && prevID >= 0 {
 		prev := p.pes[prevID]
 		if prev.tr != nil && !prev.tr.EndsIndirect && !prev.tr.EndsHalt && prev.tr.NextPC != tr.Desc.StartPC {
@@ -307,16 +407,15 @@ func (p *Processor) dispatchTrace(tr *trace.Trace, prevID int, histPos int, pred
 	return pe
 }
 
-// newInstState builds the dynamic instruction for slot i of tr, binding its
-// live-in operands through the map before the trace.
-func (p *Processor) newInstState(pe *peState, i int, tr *trace.Trace) *instState {
+// initInstState reinitialises st (a pooled slot) as the dynamic instruction
+// for slot i of tr, binding its live-in operands through the map before the
+// trace.
+func (p *Processor) initInstState(st *instState, i int, tr *trace.Trace) {
+	pe := st.pe
 	in := tr.Insts[i]
-	st := &instState{
-		pe:   pe,
-		slot: i,
-		inst: in,
-		pc:   tr.PCs[i],
-	}
+	st.reinit()
+	st.inst = in
+	st.pc = tr.PCs[i]
 	if rd, ok := in.WritesReg(); ok {
 		st.destArch = rd
 	}
@@ -331,7 +430,6 @@ func (p *Processor) newInstState(pe *peState, i int, tr *trace.Trace) *instState
 		}
 	}
 	p.bindOperands(st, tr, pe.mapBefore)
-	return st
 }
 
 // bindOperands binds st's sources per the trace's pre-renaming: local
@@ -389,7 +487,7 @@ func (p *Processor) bindLiveIn(st *instState, k int, tag rename.Tag) {
 	default:
 		op.ready = false
 	}
-	p.subs[tag] = append(p.subs[tag], subRef{st: st, gen: st.pe.gen, src: k})
+	p.addSub(tag, subRef{st: st, gen: st.gen, src: k})
 }
 
 // ---- issue and execution ----
@@ -443,7 +541,7 @@ func (p *Processor) execute(st *instState) {
 
 	switch {
 	case in.Op == isa.OpNop || in.Op == isa.OpHalt || in.Op == isa.OpJump:
-		p.schedule(p.cycle+1, event{kind: evComplete, st: st, gen: st.pe.gen})
+		p.schedule(p.cycle+1, event{kind: evComplete, st: st, gen: st.gen})
 
 	case in.IsCondBranch():
 		taken := isa.BranchTaken(in.Op, a, b)
@@ -451,18 +549,18 @@ func (p *Processor) execute(st *instState) {
 		if taken {
 			v = 1
 		}
-		p.schedule(p.cycle+1, event{kind: evComplete, st: st, gen: st.pe.gen, val: v})
+		p.schedule(p.cycle+1, event{kind: evComplete, st: st, gen: st.gen, val: v})
 
 	case in.Op == isa.OpCall:
-		p.schedule(p.cycle+1, event{kind: evComplete, st: st, gen: st.pe.gen, val: int64(st.pc + 1)})
+		p.schedule(p.cycle+1, event{kind: evComplete, st: st, gen: st.gen, val: int64(st.pc + 1)})
 
 	case in.Op == isa.OpCallR:
 		// Indirect call: dest is the link value; the target operand resolves
 		// the trace successor.
-		p.schedule(p.cycle+1, event{kind: evComplete, st: st, gen: st.pe.gen, val: int64(st.pc + 1)})
+		p.schedule(p.cycle+1, event{kind: evComplete, st: st, gen: st.gen, val: int64(st.pc + 1)})
 
 	case in.Op == isa.OpJr || in.Op == isa.OpRet:
-		p.schedule(p.cycle+1, event{kind: evComplete, st: st, gen: st.pe.gen, val: a})
+		p.schedule(p.cycle+1, event{kind: evComplete, st: st, gen: st.gen, val: a})
 
 	case in.Op == isa.OpLoad:
 		addr := uint32(a + in.Imm)
@@ -471,7 +569,7 @@ func (p *Processor) execute(st *instState) {
 		st.dataSeq = src
 		st.performed = true
 		lat := int64(1 + p.dcache.Access(addr))
-		p.schedule(p.cycle+lat, event{kind: evLoadComplete, st: st, gen: st.pe.gen, val: val, data: src})
+		p.schedule(p.cycle+lat, event{kind: evLoadComplete, st: st, gen: st.gen, val: val, data: src})
 		p.Stats.Loads++
 
 	case in.Op == isa.OpStore:
@@ -488,11 +586,11 @@ func (p *Processor) execute(st *instState) {
 		st.performed = true
 		p.arbuf.Store(addr, val, st.seq())
 		p.snoopStore(addr, st.seq())
-		p.schedule(p.cycle+1, event{kind: evComplete, st: st, gen: st.pe.gen})
+		p.schedule(p.cycle+1, event{kind: evComplete, st: st, gen: st.gen})
 		p.Stats.Stores++
 
 	default: // ALU ops
 		val := isa.EvalALU(in.Op, a, b, in.Imm)
-		p.schedule(p.cycle+int64(isa.Latency(in.Op)), event{kind: evComplete, st: st, gen: st.pe.gen, val: val})
+		p.schedule(p.cycle+int64(isa.Latency(in.Op)), event{kind: evComplete, st: st, gen: st.gen, val: val})
 	}
 }

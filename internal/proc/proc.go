@@ -93,10 +93,14 @@ type Config struct {
 	ValuePredict bool
 	VPred        vpred.Config
 
-	// Seed, when nonzero, scrambles the initial branch-predictor counter
-	// state with a deterministic PRNG instead of the paper's weakly-not-taken
-	// reset. Runs stay fully deterministic for a given seed; sweeping seeds
-	// measures sensitivity to predictor warm-up (0 = canonical reset).
+	// Seed, when nonzero, scrambles initial predictor state with a
+	// deterministic PRNG instead of the paper's canonical reset: the branch
+	// predictor's direction counters and (sparsely) its BTB indirect
+	// targets, and the next-trace predictor's replacement-hysteresis
+	// counters. Per-predictor seeds (BPred.Seed, TPred.Seed) override this
+	// run seed individually. Runs stay fully deterministic for a given
+	// seed; sweeping seeds measures sensitivity to predictor cold-start (0
+	// = canonical reset).
 	Seed int64
 
 	// Verify runs the architectural oracle against every retired
@@ -160,21 +164,40 @@ type Processor struct {
 	head int // oldest PE in the linked list (-1 when empty)
 	tail int
 
-	cycle  int64
-	events map[int64][]event
+	cycle int64
+	// evBuckets is the event scheduler: a power-of-two ring of per-cycle
+	// buckets indexed by cycle&evMask, with bucket storage reused across
+	// cycles (see initEventRing).
+	evBuckets [][]event
+	evMask    int64
 	// subs holds global-value subscriptions: operands bound to a tag that
-	// must be notified when the tag's value arrives or changes.
-	subs map[rename.Tag][]subRef
-	// loadRecs indexes performed loads by address for store/undo snooping.
-	loadRecs map[uint32][]*instState
-	// bcastQueue holds pending global result-bus requests in request order.
-	bcastQueue []*instState
+	// must be notified when the tag's value arrives or changes. Subscriber
+	// lists are recycled through subPool when their tag dies.
+	subs     map[rename.Tag][]subRef
+	subPool  [][]subRef
+	subArena []subRef
+	// loadRecs indexes performed loads by address for store/undo snooping;
+	// buckets are pooled and the snoop iteration scratch is reused.
+	loadRecs    map[uint32][]instRef
+	loadPool    [][]instRef
+	loadScratch []*instState
+	// bcastQueue holds pending global result-bus requests in request order;
+	// busPerPE is the flat per-PE grant counter reset each arbitration.
+	bcastQueue []instRef
+	busPerPE   []int
 
 	fe  frontend
 	rec recovery
 	// mispQueue holds resolved branches whose outcome disagrees with the
 	// assumed outcome, awaiting recovery (oldest processed first).
-	mispQueue []*instState
+	mispQueue []instRef
+
+	// gcLive is the persistent mark set of collectGarbage.
+	gcLive map[rename.Tag]struct{}
+	// forcedScratch, ciYounger and ciViews are recovery-path scratch buffers.
+	forcedScratch []bool
+	ciYounger     []*peState
+	ciViews       []core.TraceView
 
 	branchClasses map[uint32]branchClass
 
@@ -207,6 +230,19 @@ func effectiveBPredConfig(cfg Config) bpred.Config {
 	return bpCfg
 }
 
+// effectiveTPredConfig is the next-trace-predictor configuration a run
+// actually uses: the per-predictor seed falls back to the run seed, so
+// WithSeed-style sweeps perturb trace-level cold-start state alongside the
+// branch predictor's. Snapshot capture and compatibility checks must agree
+// with New on this.
+func effectiveTPredConfig(cfg Config) tpred.Config {
+	tpCfg := cfg.TPred
+	if tpCfg.Seed == 0 {
+		tpCfg.Seed = cfg.Seed
+	}
+	return tpCfg
+}
+
 // effectiveBITConfig is the BIT configuration a run actually uses: the FGCI
 // scan bound follows the maximum trace length.
 func effectiveBITConfig(cfg Config) core.BITConfig {
@@ -232,12 +268,13 @@ func build(prog *isa.Program, model Model, cfg Config, snap *Snapshot) *Processo
 
 		arbuf: arb.New(),
 
-		events:   make(map[int64][]event),
 		subs:     make(map[rename.Tag][]subRef),
-		loadRecs: make(map[uint32][]*instState),
+		loadRecs: make(map[uint32][]instRef),
+		busPerPE: make([]int, cfg.NumPEs),
 		head:     -1,
 		tail:     -1,
 	}
+	p.initEventRing()
 	if snap == nil {
 		p.mem = isa.NewMemory(prog)
 		p.regs = rename.NewFile()
@@ -245,7 +282,7 @@ func build(prog *isa.Program, model Model, cfg Config, snap *Snapshot) *Processo
 		p.icache = cache.NewICache(cfg.ICache)
 		p.tcache = trace.NewCache(cfg.TCache)
 		p.bp = bpred.New(effectiveBPredConfig(cfg))
-		p.tp = tpred.New(cfg.TPred)
+		p.tp = tpred.New(effectiveTPredConfig(cfg))
 		p.bit = core.NewBIT(prog, effectiveBITConfig(cfg))
 		if cfg.Verify {
 			p.oracle = emu.New(prog)
@@ -284,12 +321,26 @@ func build(prog *isa.Program, model Model, cfg Config, snap *Snapshot) *Processo
 		IC:   p.icache,
 	}
 	p.pes = make([]*peState, cfg.NumPEs)
+	p.free = make([]int, 0, cfg.NumPEs)
 	for i := range p.pes {
-		p.pes[i] = &peState{id: i, next: -1, prev: -1}
+		pe := &peState{id: i, next: -1, prev: -1}
+		pe.initPool(cfg.MaxTraceLen)
+		p.pes[i] = pe
 		p.free = append(p.free, i)
 	}
+	p.fe.init(cfg.NumPEs)
 	p.classifyBranches()
 	return p
+}
+
+// instRef is a gen-stamped reference to a pooled instruction slot: gen
+// guards against the slot having been reused (reinitialised for another
+// dynamic instruction) since the reference was recorded. It is the entry
+// type of the load-record index, the result-bus request queue and the
+// misprediction queue.
+type instRef struct {
+	st  *instState
+	gen uint64
 }
 
 // Err returns the first simulator-internal error (oracle mismatch, watchdog,

@@ -67,7 +67,7 @@ func (p *Processor) enqueueMisp(st *instState) {
 		return
 	}
 	st.inMispQueue = true
-	p.mispQueue = append(p.mispQueue, st)
+	p.mispQueue = append(p.mispQueue, instRef{st: st, gen: st.gen})
 }
 
 // mispValid re-derives whether a queued misprediction still needs recovery.
@@ -92,19 +92,25 @@ func (p *Processor) mispValid(st *instState) bool {
 }
 
 // processMispredictions starts recovery for the oldest outstanding
-// misprediction, when no recovery is in flight.
+// misprediction, when no recovery is in flight. Queue compaction reuses the
+// queue's backing storage; entries whose instruction slot was reused since
+// enqueueing (gen mismatch) are dropped without touching the new occupant.
 func (p *Processor) processMispredictions() {
 	if p.rec.active || len(p.mispQueue) == 0 {
 		return
 	}
 	kept := p.mispQueue[:0]
 	var oldest *instState
-	for _, st := range p.mispQueue {
+	for _, ref := range p.mispQueue {
+		st := ref.st
+		if ref.gen != st.gen {
+			continue // slot reused; the queued misprediction died with it
+		}
 		if !p.mispValid(st) {
 			st.inMispQueue = false
 			continue
 		}
-		kept = append(kept, st)
+		kept = append(kept, ref)
 		if oldest == nil || p.olderThan(st.pe, st.slot, oldest.pe, oldest.slot) {
 			oldest = st
 		}
@@ -113,8 +119,8 @@ func (p *Processor) processMispredictions() {
 	if oldest == nil {
 		return
 	}
-	for i, st := range p.mispQueue {
-		if st == oldest {
+	for i, ref := range p.mispQueue {
+		if ref.st == oldest {
 			p.mispQueue = append(p.mispQueue[:i], p.mispQueue[i+1:]...)
 			break
 		}
@@ -129,12 +135,16 @@ func (p *Processor) startRecovery(st *instState) {
 	pe := st.pe
 	slot := st.slot
 	rec := &p.rec
+	red, gens := rec.redispatch[:0], rec.redispatchGens[:0]
 	*rec = recovery{
 		active: true,
 		phase:  recRepairing,
 		pe:     pe,
 		gen:    pe.gen,
 		slot:   slot,
+		// The redispatch sequence reuses its backing storage run to run.
+		redispatch:     red,
+		redispatchGens: gens,
 	}
 	p.Stats.Recoveries++
 
@@ -150,12 +160,16 @@ func (p *Processor) startRecovery(st *instState) {
 			mode = recCGCI
 			rec.ciPE = ci
 			rec.ciGen = ci.gen
-			p.debugf("CI point: pe=%d(log %d) desc=%v", ci.id, ci.logical, ci.tr.Desc)
+			if p.debugLog != nil {
+				p.debugf("CI point: pe=%d(log %d) desc=%v", ci.id, ci.logical, ci.tr.Desc)
+			}
 		}
 	}
 	rec.mode = mode
-	p.debugf("recovery start: mode=%d pe=%d(log %d) slot=%d pc=%d isBr=%v resolved=%v indirect=%v oldDesc=%v oldNextPC=%d tail=%d fetchQ=%d",
-		mode, pe.id, pe.logical, slot, st.pc, st.isBr, st.resolvedTaken, st.isIndirect, pe.tr.Desc, pe.tr.NextPC, p.tail, len(p.fe.queue))
+	if p.debugLog != nil {
+		p.debugf("recovery start: mode=%d pe=%d(log %d) slot=%d pc=%d isBr=%v resolved=%v indirect=%v oldDesc=%v oldNextPC=%d tail=%d fetchQ=%d",
+			mode, pe.id, pe.logical, slot, st.pc, st.isBr, st.resolvedTaken, st.isIndirect, pe.tr.Desc, pe.tr.NextPC, p.tail, p.fe.queue.len())
+	}
 	switch mode {
 	case recFGCI:
 		p.Stats.FGCIRecoveries++
@@ -176,7 +190,9 @@ func (p *Processor) startRecovery(st *instState) {
 		rec.isIndirect = true
 		rec.correctedTarget = st.actualTarget
 		st.checkedTarget = true
-		p.debugf("indirect misp: correctedTarget=%d", rec.correctedTarget)
+		if p.debugLog != nil {
+			p.debugf("indirect misp: correctedTarget=%d", rec.correctedTarget)
+		}
 	}
 
 	// Squash the incorrect control-dependent instructions in this PE (the
@@ -208,7 +224,7 @@ func (p *Processor) startRecovery(st *instState) {
 		rec.installAt = p.cycle + 1
 		return
 	}
-	forced := make([]bool, 0, len(pe.tr.Branches))
+	forced := p.forcedScratch[:0]
 	for _, bi := range pe.tr.Branches {
 		if bi.Idx < slot {
 			forced = append(forced, pe.insts[bi.Idx].assumedTaken)
@@ -220,26 +236,29 @@ func (p *Processor) startRecovery(st *instState) {
 		break
 	}
 	newTr, _ := p.ctor.Build(pe.tr.Desc.StartPC, forced)
+	p.forcedScratch = forced[:0]
 	rec.newTrace = newTr
 	repair := int64(p.ctor.SuffixCycles(newTr, slot))
 	rec.installAt = p.cycle + repair
 }
 
 // findCIPoint applies the configured CGCI heuristic over the traces younger
-// than the mispredicted one.
+// than the mispredicted one (younger/views are reusable scratch).
 func (p *Processor) findCIPoint(st *instState) *peState {
 	pe := st.pe
-	var younger []*peState
+	younger := p.ciYounger[:0]
 	for id := pe.next; id >= 0; id = p.pes[id].next {
 		younger = append(younger, p.pes[id])
 	}
+	p.ciYounger = younger[:0]
 	if len(younger) == 0 {
 		return nil
 	}
-	views := make([]core.TraceView, len(younger))
-	for i, q := range younger {
-		views[i] = core.TraceView{StartPC: q.tr.Desc.StartPC, EndsInRet: q.tr.EndsInRet}
+	views := p.ciViews[:0]
+	for _, q := range younger {
+		views = append(views, core.TraceView{StartPC: q.tr.Desc.StartPC, EndsInRet: q.tr.EndsInRet})
 	}
+	p.ciViews = views[:0]
 	var ci int
 	var ok bool
 	switch p.model.CGCI {
@@ -277,7 +296,9 @@ func (p *Processor) squashSuffix(pe *peState, from int) {
 
 // squashTrace removes a whole trace from the window.
 func (p *Processor) squashTrace(pe *peState) {
-	p.debugf("squash: pe=%d(log %d) desc=%v", pe.id, pe.logical, pe.tr.Desc)
+	if p.debugLog != nil {
+		p.debugf("squash: pe=%d(log %d) desc=%v", pe.id, pe.logical, pe.tr.Desc)
+	}
 	p.squashSuffix(pe, 0)
 	p.Stats.SquashedTraces++
 	p.unlinkPE(pe)
@@ -302,7 +323,7 @@ func (p *Processor) recoveryStep() {
 		// Insertion is driven by fetch/dispatch. If the correct path halts
 		// before re-convergence, the assumed CI traces are unreachable:
 		// squash them and finish.
-		if p.fe.stopped && len(p.fe.queue) == 0 && len(p.fe.jobs) == 0 {
+		if p.fe.stopped && p.fe.queue.len() == 0 && p.fe.jobs.len() == 0 {
 			ci := rec.ciPE
 			if ci.active && ci.gen == rec.ciGen {
 				for {
@@ -340,7 +361,9 @@ func (p *Processor) installRepair() {
 		// cannot happen for well-formed embeddable regions; degrade to a
 		// full squash to stay correct.
 		p.Stats.FGCIBoundaryViolations++
-		p.debugf("FGCI boundary violation: pe=%d old nextPC=%d new nextPC=%d", pe.id, rec.oldNextPC, newTr.NextPC)
+		if p.debugLog != nil {
+			p.debugf("FGCI boundary violation: pe=%d old nextPC=%d new nextPC=%d", pe.id, rec.oldNextPC, newTr.NextPC)
+		}
 		for pe.next >= 0 {
 			p.squashTrace(p.pes[pe.next])
 		}
@@ -355,11 +378,20 @@ func (p *Processor) installRepair() {
 			return
 		}
 
-		states := make([]*instState, len(newTr.Insts))
-		copy(states, pe.insts[:slot+1])
+		// The kept prefix stays in its pooled slots untouched; suffix slots
+		// are reinitialised in place for the repaired trace's instructions
+		// (their generation bump orphans any stale references to the
+		// squashed suffix). Slots beyond the new length fall off the insts
+		// prefix; their generations advance so references die with them.
+		for i := len(newTr.Insts); i < len(pe.insts); i++ {
+			pe.insts[i].invalidate()
+		}
+		pe.ensureSlots(len(newTr.Insts))
 		pe.tr = newTr
+		pe.insts = pe.ptrs[:len(newTr.Insts)]
+		states := pe.insts
 		for i := slot + 1; i < len(newTr.Insts); i++ {
-			states[i] = p.newInstState(pe, i, newTr)
+			p.initInstState(states[i], i, newTr)
 			if states[i].destArch != 0 {
 				states[i].destTag = p.regs.Alloc()
 			}
@@ -377,7 +409,6 @@ func (p *Processor) installRepair() {
 				}
 			}
 		}
-		pe.insts = states
 
 		// Recompute live-out status; promoted prefix values publish their
 		// completed results to the register file.
@@ -396,7 +427,9 @@ func (p *Processor) installRepair() {
 		p.tcache.Insert(newTr)
 	}
 
-	p.debugf("install: pe=%d newDesc=%v nextPC=%d mode=%d", pe.id, pe.tr.Desc, pe.tr.NextPC, rec.mode)
+	if p.debugLog != nil {
+		p.debugf("install: pe=%d newDesc=%v nextPC=%d mode=%d", pe.id, pe.tr.Desc, pe.tr.NextPC, rec.mode)
+	}
 
 	// Rebuild the rename-map frontier: map before the trace plus the
 	// repaired trace's live-outs.
@@ -520,7 +553,7 @@ func (p *Processor) rebindOperand(st *instState, k int, newTag rename.Tag) {
 	op := &st.src[k]
 	op.tag = newTag
 	op.predicted = false
-	p.subs[newTag] = append(p.subs[newTag], subRef{st: st, gen: st.pe.gen, src: k})
+	p.addSub(newTag, subRef{st: st, gen: st.gen, src: k})
 	e := p.regs.Get(newTag)
 	if e != nil && e.Ready {
 		if op.ready && op.val == e.Val {
@@ -548,7 +581,9 @@ func (p *Processor) retargetIndirectRecovery(st *instState) {
 		st.checkedTarget = true
 		return
 	}
-	p.debugf("retarget indirect recovery: %d -> %d (phase %d)", rec.correctedTarget, st.actualTarget, rec.phase)
+	if p.debugLog != nil {
+		p.debugf("retarget indirect recovery: %d -> %d (phase %d)", rec.correctedTarget, st.actualTarget, rec.phase)
+	}
 	switch rec.phase {
 	case recRepairing:
 		rec.correctedTarget = st.actualTarget
@@ -587,7 +622,9 @@ func (p *Processor) retargetIndirectRecovery(st *instState) {
 	}
 }
 
-// endRecovery returns the machine to normal operation.
+// endRecovery returns the machine to normal operation, keeping the
+// redispatch sequence's backing storage for the next recovery.
 func (p *Processor) endRecovery() {
-	p.rec = recovery{}
+	red, gens := p.rec.redispatch[:0], p.rec.redispatchGens[:0]
+	p.rec = recovery{redispatch: red, redispatchGens: gens}
 }

@@ -84,8 +84,8 @@ func (p *Processor) retireStep() {
 			// In-flight loads holding this store's data now source it from
 			// committed memory: rewrite their data sequence numbers so later
 			// snoops do not compare against a recycled PE's logical position.
-			for _, ld := range p.loadRecs[st.lastAddr] {
-				if !ld.cancelled && ld.dataSeq == st.seq() {
+			for _, r := range p.loadRecs[st.lastAddr] {
+				if ld := r.st; r.gen == ld.gen && !ld.cancelled && ld.dataSeq == st.seq() {
 					ld.dataSeq = arb.MemSeq
 				}
 			}
@@ -105,7 +105,9 @@ func (p *Processor) retireStep() {
 		p.halted = true
 		p.done = true
 	}
-	p.debugf("retire: pe=%d desc=%v nextPC=%d", pe.id, pe.tr.Desc, pe.tr.NextPC)
+	if p.debugLog != nil {
+		p.debugf("retire: pe=%d desc=%v nextPC=%d", pe.id, pe.tr.Desc, pe.tr.NextPC)
+	}
 	// A retiring trace that is the CGCI insertion point moves the insertion
 	// frontier to the window head.
 	if p.rec.active && p.rec.phase == recInserting && p.rec.insertAfter == pe.id {

@@ -180,7 +180,7 @@ func CaptureSnapshot(ctx context.Context, prog *isa.Program, cfg Config, warmupI
 		dcache:      dc,
 		bp:          bp,
 		tcache:      trace.NewCache(cfg.TCache),
-		tp:          tpred.New(cfg.TPred),
+		tp:          tpred.New(effectiveTPredConfig(cfg)),
 		bit:         bit,
 	}
 	if cfg.ValuePredict {
@@ -209,8 +209,8 @@ func (s *Snapshot) CompatibleWith(cfg Config) error {
 		return mismatch("TCache", s.cfg.TCache, cfg.TCache)
 	case effectiveBPredConfig(cfg) != effectiveBPredConfig(s.cfg):
 		return mismatch("BPred", effectiveBPredConfig(s.cfg), effectiveBPredConfig(cfg))
-	case cfg.TPred != s.cfg.TPred:
-		return mismatch("TPred", s.cfg.TPred, cfg.TPred)
+	case effectiveTPredConfig(cfg) != effectiveTPredConfig(s.cfg):
+		return mismatch("TPred", effectiveTPredConfig(s.cfg), effectiveTPredConfig(cfg))
 	case effectiveBITConfig(cfg) != effectiveBITConfig(s.cfg):
 		return mismatch("BIT", effectiveBITConfig(s.cfg), effectiveBITConfig(cfg))
 	case cfg.MaxTraceLen != s.cfg.MaxTraceLen:

@@ -25,10 +25,21 @@ type Entry struct {
 // Map translates architectural registers to tags.
 type Map [isa.NumRegs]Tag
 
-// File is the global register file: tag -> value storage.
+// entryBlock is how many entries a fresh arena block holds: large enough to
+// amortise block allocation to noise, small enough not to bloat short runs.
+const entryBlock = 512
+
+// File is the global register file: tag -> value storage. Entries are
+// recycled: Sweep returns dead entries to an internal pool that Alloc drains
+// before touching the heap, and entries the pool cannot supply (between
+// garbage collections) come from block arenas, so the allocate/sweep churn
+// of the dispatch loop costs one heap allocation per entryBlock entries at
+// worst and none at all once the pool covers the inter-GC working set.
 type File struct {
-	m    map[Tag]*Entry
-	next Tag
+	m     map[Tag]*Entry
+	next  Tag
+	pool  []*Entry // swept entries awaiting reuse
+	block []Entry  // current fresh-entry arena
 
 	Allocated uint64
 	Swept     uint64
@@ -43,7 +54,19 @@ func NewFile() *File {
 func (f *File) Alloc() Tag {
 	t := f.next
 	f.next++
-	f.m[t] = &Entry{}
+	var e *Entry
+	if n := len(f.pool); n > 0 {
+		e = f.pool[n-1]
+		f.pool = f.pool[:n-1]
+		*e = Entry{}
+	} else {
+		if len(f.block) == 0 {
+			f.block = make([]Entry, entryBlock)
+		}
+		e = &f.block[0]
+		f.block = f.block[1:]
+	}
+	f.m[t] = e
 	f.Allocated++
 	return t
 }
@@ -88,9 +111,10 @@ func (f *File) Size() int { return len(f.m) }
 // Sweep removes every tag for which live returns false. The caller marks
 // roots (current maps, per-trace checkpoints, operand references).
 func (f *File) Sweep(live func(Tag) bool) {
-	for t := range f.m {
+	for t, e := range f.m {
 		if !live(t) {
 			delete(f.m, t)
+			f.pool = append(f.pool, e)
 			f.Swept++
 		}
 	}
@@ -107,9 +131,12 @@ func (f *File) Clone() *File {
 		Allocated: f.Allocated,
 		Swept:     f.Swept,
 	}
+	arena := make([]Entry, len(f.m))
+	i := 0
 	for t, e := range f.m {
-		ne := *e
-		c.m[t] = &ne
+		arena[i] = *e
+		c.m[t] = &arena[i]
+		i++
 	}
 	return c
 }

@@ -16,6 +16,14 @@ type Config struct {
 	PathEntries   int // 2^16 per Table 1
 	SimpleEntries int // 2^16 per Table 1
 	HistLen       int // path history depth: 8 traces
+
+	// Seed, when nonzero, scrambles the initial per-entry confidence
+	// counters with a deterministic PRNG. Untrained entries never predict
+	// (they are invalid either way), but a scrambled counter delays the
+	// first installation of an entry by up to its value — a reproducible
+	// cold-start perturbation for predictor-sensitivity sweeps. 0 keeps the
+	// canonical reset, where every entry installs on first training.
+	Seed int64
 }
 
 // DefaultConfig matches Table 1.
@@ -57,12 +65,28 @@ func New(cfg Config) *Predictor {
 	if cfg.PathEntries&(cfg.PathEntries-1) != 0 || cfg.SimpleEntries&(cfg.SimpleEntries-1) != 0 {
 		panic("tpred: table sizes must be powers of two")
 	}
-	return &Predictor{
+	p := &Predictor{
 		cfg:     cfg,
 		path:    make([]entry, cfg.PathEntries),
 		simple:  make([]entry, cfg.SimpleEntries),
 		histLen: cfg.HistLen,
 	}
+	if cfg.Seed != 0 {
+		x := uint64(cfg.Seed) ^ 0xA24BAED4963EE407
+		scramble := func(es []entry) {
+			for i := range es {
+				// splitmix64: cheap, well-mixed, reproducible.
+				x += 0x9E3779B97F4A7C15
+				z := x
+				z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+				z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+				es[i].ctr = uint8((z ^ (z >> 31)) & 3)
+			}
+		}
+		scramble(p.path)
+		scramble(p.simple)
+	}
+	return p
 }
 
 // Clone returns a deep copy of the predictor: both component tables, the
@@ -188,7 +212,11 @@ func (p *Predictor) Train(pos int, actual trace.Descriptor) {
 			}
 			return
 		}
-		if e.valid && e.ctr > 0 {
+		// Replace-on-zero hysteresis. With the canonical reset this guards
+		// valid entries only (invalid entries hold ctr 0 and install
+		// immediately); a Config.Seed scrambles the initial counters so
+		// first installations are dithered too.
+		if e.ctr > 0 {
 			e.ctr--
 			return
 		}

@@ -42,21 +42,50 @@ type Constructor struct {
 	// IC models instruction-cache timing for construction; may be nil (no
 	// icache latency modelled).
 	IC *cache.ICache
+
+	// scratch is the reusable Trace that BuildTransient fills: the engine's
+	// steady state constructs many traces that are immediately discarded (the
+	// branch-predictor-driven fetch path builds a trace just to form its
+	// descriptor and then hits the trace cache), and reusing one Trace's
+	// backing storage keeps those builds allocation-free. Keep transfers
+	// ownership out of the scratch when a build must outlive the next one.
+	scratch *Trace
+	// frozenScratch backs the open-FGCI-region branch list across builds.
+	frozenScratch []int
 }
 
 // Build constructs the trace starting at startPC. The first len(forced)
 // conditional branches take the given outcomes (a trace prediction); any
 // further branches consult the branch predictor. It returns the trace and
 // the construction latency in cycles (basic-block fetches, instruction-cache
-// misses, and BIT miss handling).
+// misses, and BIT miss handling). The returned trace is persistent: it is
+// owned by the caller and survives later builds.
 func (c *Constructor) Build(startPC uint32, forced []bool) (*Trace, int) {
-	t := &Trace{Desc: Descriptor{StartPC: startPC}}
+	t, cycles := c.BuildTransient(startPC, forced)
+	return c.Keep(t), cycles
+}
+
+// BuildTransient constructs like Build but returns a trace backed by the
+// constructor's reusable scratch storage: it is valid only until the next
+// Build/BuildTransient call. Callers that decide to keep the trace (dispatch
+// it, insert it into the trace cache) must call Keep first; callers that
+// discard it (descriptor formed, trace cache hit) simply drop it and the
+// storage is reused. Construction side effects (instruction-cache fills, BIT
+// lookups) are identical to Build's.
+func (c *Constructor) BuildTransient(startPC uint32, forced []bool) (*Trace, int) {
+	t := c.scratch
+	if t == nil {
+		t = &Trace{}
+		c.scratch = t
+	}
+	t.reset()
+	t.Desc = Descriptor{StartPC: startPC}
 	cycles := 0
 	pc := startPC
 	effLen := 0 // cumulative trace length including FGCI padding
 	frozen := false
 	var freezeEnd uint32
-	var frozenBranches []int // indices into t.Branches inside the open region
+	frozenBranches := c.frozenScratch[:0] // t.Branches indices inside the open region
 	brCount := 0
 	bbStart := true
 	var lastFetchPC uint32
@@ -174,7 +203,19 @@ func (c *Constructor) Build(startPC uint32, forced []bool) (*Trace, int) {
 	t.Desc.Len = uint8(len(t.Insts))
 	t.Desc.NumBr = uint8(brCount)
 	t.prerename()
+	c.frozenScratch = frozenBranches[:0]
 	return t, cycles
+}
+
+// Keep transfers ownership of a transient trace out of the constructor's
+// scratch storage, making it persistent; the next build allocates fresh
+// scratch. Keep on an already persistent trace is a no-op, so callers may
+// Keep unconditionally once they decide a trace survives.
+func (c *Constructor) Keep(t *Trace) *Trace {
+	if t == c.scratch {
+		c.scratch = nil
+	}
+	return t
 }
 
 // SuffixCycles estimates the trace-buffer repair latency for re-fetching tr

@@ -130,10 +130,70 @@ type Trace struct {
 	// constraint (a predicted not-taken backward branch), exposing a
 	// loop-exit global re-convergent point at NextPC.
 	EndsNTB bool
+
+	// consumerArena backs every LocalConsumers list: prerename counts the
+	// consumer fan-out first and carves exactly-sized segments from one
+	// allocation instead of growing each list separately.
+	consumerArena []int16
 }
 
 // Len returns the trace's physical instruction count.
 func (t *Trace) Len() int { return len(t.Insts) }
+
+// reset empties the trace for reuse, keeping every slice's backing storage
+// (including the per-instruction consumer lists) so a Constructor can build
+// into the same Trace repeatedly without allocating. See Constructor.Build.
+func (t *Trace) reset() {
+	for i := range t.LocalConsumers {
+		t.LocalConsumers[i] = t.LocalConsumers[i][:0]
+	}
+	t.Desc = Descriptor{}
+	t.PCs = t.PCs[:0]
+	t.Insts = t.Insts[:0]
+	t.Branches = t.Branches[:0]
+	t.Srcs = t.Srcs[:0]
+	t.DestArch = t.DestArch[:0]
+	t.LiveIns = t.LiveIns[:0]
+	t.LiveOuts = t.LiveOuts[:0]
+	t.NextPC = 0
+	t.EndsIndirect = false
+	t.EndsInRet = false
+	t.EndsHalt = false
+	t.EndsNTB = false
+}
+
+// grow2 extends s to length n, reusing its backing array when possible.
+func grow2(s [][2]SrcRef, n int) [][2]SrcRef {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([][2]SrcRef, n)
+}
+
+// growRegs extends s to length n, reusing its backing array when possible.
+func growRegs(s []isa.Reg, n int) []isa.Reg {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]isa.Reg, n)
+}
+
+// growConsumers extends s to length n with every element an empty (but
+// possibly capacious) list, reusing both the outer and the inner backing
+// arrays.
+func growConsumers(s [][]int16, n int) [][]int16 {
+	if cap(s) >= n {
+		s = s[:n]
+	} else {
+		ns := make([][]int16, n)
+		copy(ns, s)
+		s = ns
+	}
+	for i := range s {
+		s[i] = s[i][:0]
+	}
+	return s
+}
 
 // BranchAt returns the BranchInfo for the instruction at intra-trace index
 // idx, if that instruction is a conditional branch.
@@ -153,13 +213,14 @@ func (t *Trace) BranchAt(idx int) (*BranchInfo, bool) {
 // the trace cache").
 func (t *Trace) prerename() {
 	n := len(t.Insts)
-	t.Srcs = make([][2]SrcRef, n)
-	t.DestArch = make([]isa.Reg, n)
-	t.LocalConsumers = make([][]int16, n)
+	t.Srcs = grow2(t.Srcs, n)
+	t.DestArch = growRegs(t.DestArch, n)
+	t.LocalConsumers = growConsumers(t.LocalConsumers, n)
 	for r := range t.LastWriter {
 		t.LastWriter[r] = -1
 	}
 	seenLiveIn := [isa.NumRegs]bool{}
+	totalConsumers := 0
 	for i, in := range t.Insts {
 		s1, u1, s2, u2 := in.SrcRegs()
 		srcs := [2]struct {
@@ -173,7 +234,7 @@ func (t *Trace) prerename() {
 			}
 			if w := t.LastWriter[s.r]; w >= 0 {
 				t.Srcs[i][k] = SrcRef{Kind: SrcLocal, Local: w}
-				t.LocalConsumers[w] = append(t.LocalConsumers[w], int16(i))
+				totalConsumers++
 			} else {
 				t.Srcs[i][k] = SrcRef{Kind: SrcLiveIn, Arch: s.r}
 				if !seenLiveIn[s.r] {
@@ -185,11 +246,46 @@ func (t *Trace) prerename() {
 		if rd, ok := in.WritesReg(); ok {
 			t.DestArch[i] = rd
 			t.LastWriter[rd] = int16(i)
+		} else {
+			t.DestArch[i] = 0 // storage may be reused; clear explicitly
 		}
 	}
 	for r := 1; r < isa.NumRegs; r++ {
 		if t.LastWriter[r] >= 0 {
 			t.LiveOuts = append(t.LiveOuts, isa.Reg(r))
+		}
+	}
+
+	// Second pass: count each producer's consumer fan-out, carve an
+	// exactly-sized segment per producer from one arena, then fill. One
+	// allocation (amortised to zero on reused traces) replaces a grown
+	// slice per producing instruction.
+	if cap(t.consumerArena) < totalConsumers+n {
+		t.consumerArena = make([]int16, totalConsumers+n)
+	}
+	counts := t.consumerArena[totalConsumers : totalConsumers+n]
+	for i := range counts {
+		counts[i] = 0
+	}
+	for i := 0; i < n; i++ {
+		for k := 0; k < 2; k++ {
+			if sr := t.Srcs[i][k]; sr.Kind == SrcLocal {
+				counts[sr.Local]++
+			}
+		}
+	}
+	off := 0
+	for w := 0; w < n; w++ {
+		c := int(counts[w])
+		t.LocalConsumers[w] = t.consumerArena[off : off : off+c]
+		off += c
+	}
+	for i := 0; i < n; i++ {
+		for k := 0; k < 2; k++ {
+			if sr := t.Srcs[i][k]; sr.Kind == SrcLocal {
+				w := sr.Local
+				t.LocalConsumers[w] = append(t.LocalConsumers[w], int16(i))
+			}
 		}
 	}
 }

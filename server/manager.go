@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"expvar"
 	"fmt"
 	"net/http"
 	"runtime"
@@ -43,6 +44,13 @@ type Manager struct {
 	cfg  Config
 	gate *tracep.Gate
 
+	// metrics and the counters beneath it back GET /metrics; see metrics.go.
+	metrics        *expvar.Map
+	jobsSubmitted  *expvar.Int
+	cellsCompleted *expvar.Int
+	cellsFailed    *expvar.Int
+	streamCells    *expvar.Int
+
 	mu     sync.Mutex
 	jobs   map[string]*job
 	order  []string // submission order, for retention eviction
@@ -63,7 +71,9 @@ func NewManager(cfg Config) *Manager {
 	if pool <= 0 {
 		pool = runtime.GOMAXPROCS(0)
 	}
-	return &Manager{cfg: cfg, jobs: make(map[string]*job), gate: tracep.NewGate(pool)}
+	m := &Manager{cfg: cfg, jobs: make(map[string]*job), gate: tracep.NewGate(pool)}
+	m.initMetrics()
+	return m
 }
 
 // job is one submitted sweep: its resolved grid, the append-only cell log
@@ -77,6 +87,7 @@ type job struct {
 	targetInsts uint64
 	seed        int64
 	warmup      uint64
+	warmupFor   map[string]uint64
 	total       int
 	createdAt   time.Time
 	cancel      context.CancelFunc
@@ -108,6 +119,7 @@ func (j *job) snapshot(withResults bool) Status {
 		TargetInsts: j.targetInsts,
 		Seed:        j.seed,
 		Warmup:      j.warmup,
+		WarmupFor:   j.warmupFor,
 		Total:       j.total,
 		Completed:   len(j.cells),
 		Failed:      j.failed,
@@ -145,14 +157,16 @@ func (j *job) await(ctx context.Context, i int) (cell *tracep.Result, terminal b
 
 // collect drains the sweep's stream into the job. It is the only writer of
 // cells/rs/state, runs on its own goroutine, and closes finished last.
-func (j *job) collect(ctx context.Context, stream <-chan *tracep.Result) {
+func (j *job) collect(m *Manager, stream <-chan *tracep.Result) {
 	for res := range stream {
 		j.mu.Lock()
 		j.cells = append(j.cells, res)
 		j.rs.Add(res)
 		if res.Err() != nil {
 			j.failed++
+			m.cellsFailed.Add(1)
 		}
+		m.cellsCompleted.Add(1)
 		j.broadcastLocked()
 		j.mu.Unlock()
 	}
@@ -218,6 +232,19 @@ func (m *Manager) Submit(req SweepRequest) (Status, error) {
 	for i, md := range models {
 		modelNames[i] = md.Name
 	}
+	for name := range req.WarmupFor {
+		found := false
+		for _, bn := range benchNames {
+			if bn == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return Status{}, &Error{StatusCode: http.StatusBadRequest,
+				Message: fmt.Sprintf("warmup_for names %q, which is not in the requested grid", name)}
+		}
+	}
 
 	ctx, cancel := context.WithCancel(context.Background())
 	j := &job{
@@ -226,6 +253,7 @@ func (m *Manager) Submit(req SweepRequest) (Status, error) {
 		targetInsts: target,
 		seed:        req.Seed,
 		warmup:      req.Warmup,
+		warmupFor:   req.WarmupFor,
 		total:       len(benches) * len(models),
 		createdAt:   time.Now().UTC(),
 		cancel:      cancel,
@@ -254,10 +282,12 @@ func (m *Manager) Submit(req SweepRequest) (Status, error) {
 		TargetInsts: target,
 		Seed:        req.Seed,
 		Warmup:      req.Warmup,
+		WarmupFor:   req.WarmupFor,
 		Parallelism: m.cfg.Parallelism,
 		Gate:        m.gate,
 	}
-	go j.collect(ctx, sw.Stream(ctx))
+	m.jobsSubmitted.Add(1)
+	go j.collect(m, sw.Stream(ctx))
 	return j.snapshot(false), nil
 }
 

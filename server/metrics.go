@@ -1,0 +1,67 @@
+package server
+
+import (
+	"expvar"
+	"io"
+	"net/http"
+)
+
+// Observability: GET /metrics serves an expvar-style JSON document of the
+// manager's operational state. The map is private to the Manager (nothing is
+// registered in expvar's process-global registry, so many Managers — and
+// many tests — coexist), but every value is an expvar.Var, so the document
+// renders exactly like /debug/vars and existing expvar scrapers parse it.
+//
+// Cumulative counters:
+//
+//	jobs_submitted_total    sweeps accepted by Submit
+//	cells_completed_total   cells collected from sweep streams
+//	cells_failed_total      completed cells carrying an error
+//	stream_cells_sent_total cells written to /v1/sweeps/{id}/stream clients
+//
+// Gauges (computed at scrape time):
+//
+//	jobs_running      jobs whose grid is still completing
+//	jobs_done         retained jobs that finished their grid
+//	jobs_cancelled    retained jobs cancelled before completion
+//	jobs_retained     all retained jobs (running + terminal)
+//	gate_capacity     the shared simulation pool's slot count
+//	gate_in_use       slots currently held by running simulations
+func (m *Manager) initMetrics() {
+	m.metrics = new(expvar.Map).Init()
+	m.jobsSubmitted = new(expvar.Int)
+	m.cellsCompleted = new(expvar.Int)
+	m.cellsFailed = new(expvar.Int)
+	m.streamCells = new(expvar.Int)
+	m.metrics.Set("jobs_submitted_total", m.jobsSubmitted)
+	m.metrics.Set("cells_completed_total", m.cellsCompleted)
+	m.metrics.Set("cells_failed_total", m.cellsFailed)
+	m.metrics.Set("stream_cells_sent_total", m.streamCells)
+	counts := func(pick func(State) bool) expvar.Func {
+		return func() any {
+			n := 0
+			for _, st := range m.List() {
+				if pick(st.State) {
+					n++
+				}
+			}
+			return n
+		}
+	}
+	m.metrics.Set("jobs_running", counts(func(s State) bool { return !s.Terminal() }))
+	m.metrics.Set("jobs_done", counts(func(s State) bool { return s == StateDone }))
+	m.metrics.Set("jobs_cancelled", counts(func(s State) bool { return s == StateCancelled }))
+	m.metrics.Set("jobs_retained", counts(func(State) bool { return true }))
+	m.metrics.Set("gate_capacity", expvar.Func(func() any { return m.gate.Cap() }))
+	m.metrics.Set("gate_in_use", expvar.Func(func() any { return m.gate.InUse() }))
+}
+
+// Metrics returns the manager's expvar map, for embedding into a process
+// that also publishes its own variables.
+func (m *Manager) Metrics() *expvar.Map { return m.metrics }
+
+func (m *Manager) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = io.WriteString(w, m.metrics.String())
+}

@@ -1,0 +1,148 @@
+package server_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"tracep"
+	"tracep/client"
+	"tracep/server"
+)
+
+// TestMetricsEndpoint drives a sweep through the HTTP stack and checks that
+// GET /metrics reports it: counters advance, terminal-state gauges settle,
+// and the gate occupancy returns to zero once the grid drains.
+func TestMetricsEndpoint(t *testing.T) {
+	mgr := server.NewManager(server.Config{Parallelism: 2})
+	ts := httptest.NewServer(mgr.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		mgr.Close()
+	})
+	c := client.New(ts.URL)
+
+	scrape := func() map[string]float64 {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /metrics: %d", resp.StatusCode)
+		}
+		var m map[string]float64
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+
+	before := scrape()
+	if before["jobs_submitted_total"] != 0 || before["cells_completed_total"] != 0 {
+		t.Fatalf("fresh manager reports prior work: %v", before)
+	}
+	if before["gate_capacity"] != 2 {
+		t.Fatalf("gate_capacity = %v, want 2", before["gate_capacity"])
+	}
+
+	streamed := 0
+	_, err := c.Run(context.Background(), server.SweepRequest{
+		Benchmarks:  []string{"compress"},
+		Models:      []string{"base", "FG+MLB-RET"},
+		TargetInsts: 3_000,
+	}, func(*tracep.Result) error { streamed++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The collector goroutine marks the job terminal asynchronously after
+	// the last cell; poll briefly.
+	deadline := time.Now().Add(10 * time.Second)
+	var after map[string]float64
+	for {
+		after = scrape()
+		if after["jobs_done"] == 1 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	checks := map[string]float64{
+		"jobs_submitted_total":  1,
+		"jobs_done":             1,
+		"jobs_running":          0,
+		"jobs_cancelled":        0,
+		"jobs_retained":         1,
+		"cells_completed_total": 2,
+		"cells_failed_total":    0,
+		"gate_in_use":           0,
+	}
+	for k, want := range checks {
+		if got, ok := after[k]; !ok || got != want {
+			t.Errorf("%s = %v (present %v), want %v", k, got, ok, want)
+		}
+	}
+	if after["stream_cells_sent_total"] < float64(streamed) {
+		t.Errorf("stream_cells_sent_total = %v, want >= %d", after["stream_cells_sent_total"], streamed)
+	}
+}
+
+// TestWarmupForOverWire checks the per-benchmark warm-up override riding
+// the tracepd wire: each row's cells carry its effective warm-up, the
+// status echoes the request, and an override naming an out-of-grid
+// benchmark is rejected with a 400.
+func TestWarmupForOverWire(t *testing.T) {
+	mgr := server.NewManager(server.Config{Parallelism: 2})
+	ts := httptest.NewServer(mgr.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		mgr.Close()
+	})
+	c := client.New(ts.URL)
+
+	req := server.SweepRequest{
+		Benchmarks:  []string{"compress", "vortex"},
+		Models:      []string{"base"},
+		TargetInsts: 20_000,
+		Warmup:      5_000,
+		WarmupFor:   map[string]uint64{"vortex": 8_000},
+	}
+	rs, err := c.Run(context.Background(), req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.Err(); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]uint64{"compress": 5_000, "vortex": 8_000}
+	for _, res := range rs.Results() {
+		if got := res.Stats.WarmupInsts; got != want[res.Benchmark] {
+			t.Errorf("%s: WarmupInsts = %d over the wire, want %d", res.Benchmark, got, want[res.Benchmark])
+		}
+	}
+
+	// Status must echo the override for replay/inspection.
+	sts, err := c.List(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sts) != 1 || sts[0].WarmupFor["vortex"] != 8_000 || sts[0].Warmup != 5_000 {
+		t.Fatalf("status does not echo warm-up configuration: %+v", sts)
+	}
+
+	// Unknown benchmark in the override: 400, no job started.
+	_, err = c.Submit(context.Background(), server.SweepRequest{
+		Benchmarks: []string{"compress"},
+		WarmupFor:  map[string]uint64{"vortex": 1},
+	})
+	var apiErr *server.Error
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusBadRequest {
+		t.Fatalf("out-of-grid warmup_for: got %v, want HTTP 400", err)
+	}
+}

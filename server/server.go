@@ -16,6 +16,8 @@
 //	                              reconnection), then a terminal "done" event
 //	DELETE /v1/sweeps/{id}        cancel the job's context; in-flight cells abort
 //	                              and land as failed cells, unstarted cells never run
+//	GET    /metrics               expvar-style JSON: job/cell counters and
+//	                              shared-pool (Gate) occupancy; see metrics.go
 //
 // Errors are JSON Error bodies with matching HTTP status codes.
 //
@@ -45,6 +47,7 @@ func (m *Manager) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sweeps/{id}", m.handleStatus)
 	mux.HandleFunc("GET /v1/sweeps/{id}/stream", m.handleStream)
 	mux.HandleFunc("DELETE /v1/sweeps/{id}", m.handleCancel)
+	mux.HandleFunc("GET /metrics", m.handleMetrics)
 	return mux
 }
 
@@ -141,6 +144,7 @@ func (m *Manager) handleStream(w http.ResponseWriter, r *http.Request) {
 		if err := enc.Encode(StreamEvent{Cell: cell}); err != nil {
 			return
 		}
+		m.streamCells.Add(1)
 		if flusher != nil {
 			flusher.Flush()
 		}

@@ -34,6 +34,11 @@ type SweepRequest struct {
 	// cell's measured region; one warm-up snapshot per benchmark is shared
 	// across the row's model cells (tracep.Sweep.Warmup).
 	Warmup uint64 `json:"warmup,omitempty"`
+	// WarmupFor overrides Warmup per benchmark row, keyed by benchmark
+	// name (tracep.Sweep.WarmupFor). A missing key falls back to Warmup;
+	// an explicit zero forces that row to run cold. Names must resolve
+	// against the requested grid.
+	WarmupFor map[string]uint64 `json:"warmup_for,omitempty"`
 }
 
 // State is a sweep job's lifecycle phase.
@@ -64,11 +69,12 @@ type Status struct {
 	// clients rebuild deterministic ResultSet ordering from them
 	// (tracep.NewResultSetFor), which is what makes a remotely collected
 	// set byte-identical to an in-process one.
-	Benchmarks  []string `json:"benchmarks"`
-	Models      []string `json:"models"`
-	TargetInsts uint64   `json:"target_insts"`
-	Seed        int64    `json:"seed,omitempty"`
-	Warmup      uint64   `json:"warmup,omitempty"`
+	Benchmarks  []string          `json:"benchmarks"`
+	Models      []string          `json:"models"`
+	TargetInsts uint64            `json:"target_insts"`
+	Seed        int64             `json:"seed,omitempty"`
+	Warmup      uint64            `json:"warmup,omitempty"`
+	WarmupFor   map[string]uint64 `json:"warmup_for,omitempty"`
 
 	// Total and Completed count grid cells; Failed counts completed cells
 	// that carry an error.

@@ -50,6 +50,15 @@ type Sweep struct {
 	// fails every cell of the row, like a failed build.
 	Warmup uint64
 
+	// WarmupFor overrides Warmup per benchmark row, keyed by Benchmark.Name:
+	// workloads reach steady state at different depths (a tight kernel warms
+	// in thousands of instructions, a call-heavy workload in hundreds of
+	// thousands), so a sweep can give each row its own warm-up length. A
+	// missing key falls back to Warmup; an explicit zero entry forces that
+	// row to run cold. Stats.WarmupInsts records each cell's effective
+	// warm-up, so baseline diffs remain like-for-like per cell.
+	WarmupFor map[string]uint64
+
 	// Parallelism bounds the worker pool (<= 0 = GOMAXPROCS).
 	Parallelism int
 
@@ -78,6 +87,9 @@ type sweepRow struct {
 	bench    string
 	prog     *Program
 	buildErr error
+	// warmup is the row's effective warm-up length (WarmupFor override or
+	// the sweep-wide Warmup), resolved once at feed time.
+	warmup uint64
 
 	capture sync.Once
 	snap    *Snapshot
@@ -93,7 +105,7 @@ type sweepRow struct {
 // restore-side state is always cloned, so handing it to every cell is
 // race-free.
 func (r *sweepRow) snapshot(ctx context.Context, gate *Gate) (*Snapshot, error) {
-	if r.sw.Warmup == 0 {
+	if r.warmup == 0 {
 		return nil, nil
 	}
 	r.capture.Do(func() {
@@ -102,9 +114,18 @@ func (r *sweepRow) snapshot(ctx context.Context, gate *Gate) (*Snapshot, error) 
 			return
 		}
 		defer gate.release()
-		r.snap, r.snapErr = proc.CaptureSnapshot(ctx, r.prog, r.sw.cellConfig(), r.sw.Warmup)
+		r.snap, r.snapErr = proc.CaptureSnapshot(ctx, r.prog, r.sw.cellConfig(), r.warmup)
 	})
 	return r.snap, r.snapErr
+}
+
+// warmupFor resolves the effective warm-up length for a benchmark row: the
+// per-benchmark override when present, the sweep-wide default otherwise.
+func (sw *Sweep) warmupFor(bench string) uint64 {
+	if n, ok := sw.WarmupFor[bench]; ok {
+		return n
+	}
+	return sw.Warmup
 }
 
 // sweepJob is one cell: the shared row plus the model to run it under.
@@ -186,7 +207,7 @@ func (sw *Sweep) Stream(ctx context.Context) <-chan *Result {
 			// immutable program (and, when warming up, the row's snapshot,
 			// captured worker-side on first need).
 			prog, err := buildProgram(bm, sw.TargetInsts)
-			row := &sweepRow{sw: sw, bench: bm.Name, prog: prog, buildErr: err}
+			row := &sweepRow{sw: sw, bench: bm.Name, prog: prog, buildErr: err, warmup: sw.warmupFor(bm.Name)}
 			for _, m := range sw.Models {
 				select {
 				case jobCh <- sweepJob{row: row, model: m}:

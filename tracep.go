@@ -134,6 +134,32 @@ type Builder = asm.Builder
 // Benchmark is one synthetic SPEC95int-analogue workload.
 type Benchmark = bench.Benchmark
 
+// GenConfig parameterises the synthetic workload generator: one knob per
+// control-flow property the paper's evaluation exercises (hammock count and
+// predictability, guarded calls, inner-loop variance, memory chains), plus
+// the Seed that drives both program structure and the embedded LCG data.
+type GenConfig = bench.GenConfig
+
+// DefaultGenConfig returns a moderate mixed workload configuration for the
+// given seed.
+func DefaultGenConfig(seed int64) GenConfig { return bench.DefaultGenConfig(seed) }
+
+// Generated wraps a generator configuration as a Benchmark, named
+// "gen-<seed>", with its instruction-budget scaling calibrated by emulating
+// the generated program. Sweeping GenConfig.Seed varies program randomness;
+// combined with WithSeed (microarchitectural randomness) it spans both axes
+// of an error-bar study:
+//
+//	sw := tracep.Sweep{
+//		Benchmarks: []tracep.Benchmark{
+//			tracep.Generated(tracep.DefaultGenConfig(1)),
+//			tracep.Generated(tracep.DefaultGenConfig(2)),
+//		},
+//		Models: tracep.Models(),
+//		Seed:   7, // scrambles predictor cold-start state
+//	}
+func Generated(cfg GenConfig) Benchmark { return bench.Generated(cfg) }
+
 // The paper's eight experimental models (§6).
 var (
 	ModelBase      = proc.ModelBase
