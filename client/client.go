@@ -135,6 +135,17 @@ func (c *Client) List(ctx context.Context) ([]server.Status, error) {
 	return sts, nil
 }
 
+// Corpus lists the server's recorded-trace workloads (GET /v1/corpus) —
+// the names SweepRequest.Corpus resolves against.
+func (c *Client) Corpus(ctx context.Context) ([]server.CorpusEntry, error) {
+	var entries []server.CorpusEntry
+	url := strings.TrimRight(c.BaseURL, "/") + "/v1/corpus"
+	if err := c.do(ctx, http.MethodGet, url, nil, &entries); err != nil {
+		return nil, err
+	}
+	return entries, nil
+}
+
 // Cancel stops a job (the server cancels the sweep's context) and returns
 // its terminal status.
 func (c *Client) Cancel(ctx context.Context, id string) (*server.Status, error) {

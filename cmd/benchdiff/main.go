@@ -1,0 +1,234 @@
+// Command benchdiff turns CI's per-commit benchmark artifact into a trend
+// gate: it compares two `go test -json -bench` outputs (the previous
+// commit's BENCH_ci.json artifact vs the current run's) and exits non-zero
+// when any benchmark's ns/op or allocs/op regressed by more than the
+// tolerance.
+//
+// Usage:
+//
+//	benchdiff -old prev/BENCH_ci.json -new BENCH_ci.json -tol 10
+//
+// Semantics are tuned for CI rather than for microbenchmark rigor:
+//
+//   - A missing -old file is a clean skip (exit 0) — the first run of the
+//     gate, or an expired artifact, must not fail the build.
+//   - Benchmarks present on only one side are reported but never fail the
+//     gate: adding or renaming a benchmark is not a regression.
+//   - ns/op uses the percent tolerance (-tol); allocs/op is compared with
+//     the same percentage but tiny counts (old < 10 allocs/op) must also
+//     rise by at least one whole allocation — a 0→1 jump on a noisy metric
+//     should fail only when it is a real new allocation, and 2→3 on a
+//     deliberately tiny count is flagged because the engine's steady state
+//     is supposed to be allocation-free.
+//
+// Exit codes: 0 ok (or skipped), 1 bad input, 2 regression.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result is one benchmark's parsed metrics. allocs is -1 when the run was
+// not benchmem-instrumented.
+type result struct {
+	nsPerOp float64
+	allocs  float64
+}
+
+// parseBench extracts benchmark result lines from `go test -json` output.
+// The testing package splits one logical result line across Output events
+// (the padded name first, the metrics after the timing run finishes):
+//
+//	{"Action":"output","Output":"BenchmarkCycleLoop \t"}
+//	{"Action":"output","Output":"   20000\t  2650 ns/op\t  4 B/op\t  0 allocs/op\n"}
+//
+// so events are concatenated per package and split on newlines before
+// matching. Plain (non -json) bench output is tolerated too.
+func parseBench(r io.Reader) (map[string]result, error) {
+	type event struct {
+		Action  string `json:"Action"`
+		Package string `json:"Package"`
+		Output  string `json:"Output"`
+	}
+	text := make(map[string]*strings.Builder)
+	appendOut := func(pkg, s string) {
+		b := text[pkg]
+		if b == nil {
+			b = new(strings.Builder)
+			text[pkg] = b
+		}
+		b.WriteString(s)
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			appendOut("", string(line)+"\n")
+			continue
+		}
+		if ev.Action == "output" {
+			appendOut(ev.Package, ev.Output)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]result)
+	for _, b := range text {
+		for _, line := range strings.Split(b.String(), "\n") {
+			if name, res, ok := parseLine(line); ok {
+				out[name] = res
+			}
+		}
+	}
+	return out, nil
+}
+
+// parseLine parses one benchmark result line into (name, metrics). The
+// testing package formats them as name, iteration count, then value/unit
+// pairs.
+func parseLine(line string) (string, result, bool) {
+	if !strings.HasPrefix(line, "Benchmark") || !strings.Contains(line, "ns/op") {
+		return "", result{}, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return "", result{}, false
+	}
+	res := result{allocs: -1}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", result{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			res.nsPerOp = v
+		case "allocs/op":
+			res.allocs = v
+		}
+	}
+	return fields[0], res, true
+}
+
+// regressions compares new against old and returns human-readable failure
+// lines, one per out-of-tolerance metric.
+func regressions(old, cur map[string]result, tolPct float64) []string {
+	var fails []string
+	names := make([]string, 0, len(old))
+	for name := range old {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		o := old[name]
+		n, ok := cur[name]
+		if !ok {
+			fmt.Printf("skip %-50s not in the new run\n", name)
+			continue
+		}
+		nsDelta := pctRise(o.nsPerOp, n.nsPerOp)
+		status := "ok  "
+		if nsDelta > tolPct {
+			status = "FAIL"
+			fails = append(fails, fmt.Sprintf("%s: ns/op %.0f -> %.0f (+%.1f%%, tolerance %.0f%%)",
+				name, o.nsPerOp, n.nsPerOp, nsDelta, tolPct))
+		}
+		fmt.Printf("%s %-50s ns/op %12.0f -> %12.0f (%+.1f%%)\n", status, name, o.nsPerOp, n.nsPerOp, nsDelta)
+		if o.allocs >= 0 && n.allocs >= 0 {
+			aDelta := pctRise(o.allocs, n.allocs)
+			// Tiny counts: a percentage on a near-zero base is meaningless
+			// in both directions, so demand a whole-allocation rise too.
+			if aDelta > tolPct && (o.allocs >= 10 || n.allocs-o.allocs >= 1) {
+				fails = append(fails, fmt.Sprintf("%s: allocs/op %.0f -> %.0f (+%.1f%%, tolerance %.0f%%)",
+					name, o.allocs, n.allocs, aDelta, tolPct))
+			}
+		}
+	}
+	for name := range cur {
+		if _, ok := old[name]; !ok {
+			fmt.Printf("new  %-50s (no previous measurement)\n", name)
+		}
+	}
+	return fails
+}
+
+func pctRise(old, cur float64) float64 {
+	if old <= 0 {
+		if cur <= 0 {
+			return 0
+		}
+		return 100
+	}
+	return (cur - old) / old * 100
+}
+
+func main() {
+	oldPath := flag.String("old", "", "previous run's go test -json bench output; missing file = clean skip")
+	newPath := flag.String("new", "", "current run's go test -json bench output")
+	tol := flag.Float64("tol", 10, "allowed rise in ns/op and allocs/op, percent")
+	flag.Parse()
+
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -old and -new are required")
+		os.Exit(1)
+	}
+	oldFile, err := os.Open(*oldPath)
+	if err != nil {
+		if os.IsNotExist(err) {
+			fmt.Printf("benchdiff: no previous results at %s; skipping trend gate\n", *oldPath)
+			return
+		}
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	defer oldFile.Close()
+	newFile, err := os.Open(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	defer newFile.Close()
+
+	old, err := parseBench(oldFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: parsing %s: %v\n", *oldPath, err)
+		os.Exit(1)
+	}
+	cur, err := parseBench(newFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: parsing %s: %v\n", *newPath, err)
+		os.Exit(1)
+	}
+	if len(old) == 0 {
+		fmt.Printf("benchdiff: %s holds no benchmark results; skipping trend gate\n", *oldPath)
+		return
+	}
+	if len(cur) == 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %s holds no benchmark results\n", *newPath)
+		os.Exit(1)
+	}
+
+	fails := regressions(old, cur, *tol)
+	if len(fails) > 0 {
+		fmt.Fprintf(os.Stderr, "\nbenchdiff: %d regression(s) beyond %.0f%%:\n", len(fails), *tol)
+		for _, f := range fails {
+			fmt.Fprintln(os.Stderr, "  "+f)
+		}
+		os.Exit(2)
+	}
+	fmt.Printf("benchdiff: %d benchmark(s) within %.0f%% of the previous run\n", len(cur), *tol)
+}

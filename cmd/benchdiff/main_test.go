@@ -1,0 +1,76 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// oldRun mimics real `go test -json` bench output: the name and the
+// metrics of a result line arrive as separate Output events.
+const oldRun = `{"Action":"output","Package":"tracep","Output":"BenchmarkSweepParallelism/j=1-4 \t"}
+{"Action":"output","Package":"tracep","Output":"       1\t1000000 ns/op\t2048 B/op\t10 allocs/op\n"}
+{"Action":"output","Package":"tracep/internal/proc","Output":"BenchmarkCycleLoop-4 \t  200000\t5000 ns/op\t0 B/op\t0 allocs/op\n"}
+{"Action":"run","Test":"ignored"}
+`
+
+func parseString(t *testing.T, s string) map[string]result {
+	t.Helper()
+	m, err := parseBench(strings.NewReader(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestParseBench(t *testing.T) {
+	m := parseString(t, oldRun)
+	if len(m) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %v", len(m), m)
+	}
+	sw := m["BenchmarkSweepParallelism/j=1-4"]
+	if sw.nsPerOp != 1_000_000 || sw.allocs != 10 {
+		t.Errorf("sweep = %+v, want ns/op 1000000 allocs 10", sw)
+	}
+	cl := m["BenchmarkCycleLoop-4"]
+	if cl.nsPerOp != 5000 || cl.allocs != 0 {
+		t.Errorf("cycle loop = %+v, want ns/op 5000 allocs 0", cl)
+	}
+
+	// Plain (non -json) bench output parses too.
+	plain := parseString(t, "BenchmarkCycleLoop-4 \t 200000\t5000 ns/op\n")
+	if plain["BenchmarkCycleLoop-4"].nsPerOp != 5000 {
+		t.Errorf("plain line: %+v", plain)
+	}
+	if plain["BenchmarkCycleLoop-4"].allocs != -1 {
+		t.Errorf("plain line without -benchmem should carry no alloc count: %+v", plain)
+	}
+}
+
+func TestRegressions(t *testing.T) {
+	old := parseString(t, oldRun)
+
+	within := `{"Action":"output","Output":"BenchmarkSweepParallelism/j=1-4 \t1\t1050000 ns/op\t2048 B/op\t10 allocs/op\n"}
+{"Action":"output","Output":"BenchmarkCycleLoop-4 \t200000\t5200 ns/op\t0 B/op\t0 allocs/op\n"}`
+	if fails := regressions(old, parseString(t, within), 10); len(fails) != 0 {
+		t.Errorf("+5%% ns/op failed the 10%% gate: %v", fails)
+	}
+
+	slow := `{"Action":"output","Output":"BenchmarkSweepParallelism/j=1-4 \t1\t1200000 ns/op\t2048 B/op\t10 allocs/op\n"}
+{"Action":"output","Output":"BenchmarkCycleLoop-4 \t200000\t5000 ns/op\t0 B/op\t0 allocs/op\n"}`
+	if fails := regressions(old, parseString(t, slow), 10); len(fails) != 1 {
+		t.Errorf("+20%% ns/op passed the 10%% gate: %v", fails)
+	}
+
+	// A new allocation on a zero-alloc benchmark regresses even though the
+	// percentage is degenerate.
+	leak := `{"Action":"output","Output":"BenchmarkSweepParallelism/j=1-4 \t1\t1000000 ns/op\t2048 B/op\t10 allocs/op\n"}
+{"Action":"output","Output":"BenchmarkCycleLoop-4 \t200000\t5000 ns/op\t64 B/op\t2 allocs/op\n"}`
+	if fails := regressions(old, parseString(t, leak), 10); len(fails) != 1 {
+		t.Errorf("0 -> 2 allocs/op passed the gate: %v", fails)
+	}
+
+	// Disappearing or new benchmarks never fail the gate.
+	if fails := regressions(old, parseString(t, `{"Action":"output","Output":"BenchmarkNew-4 \t1\t10 ns/op\n"}`), 10); len(fails) != 0 {
+		t.Errorf("renamed benchmarks failed the gate: %v", fails)
+	}
+}

@@ -25,6 +25,9 @@
 //	                                   # snapshot per benchmark, shared by all models
 //	experiments -j 4                   # four simulations in flight
 //	experiments -bench compress,vortex # benchmark subset
+//	experiments -corpus traces/        # sweep the directory's .tptrace
+//	                                   # recordings instead of (or, with
+//	                                   # -bench, alongside) the generated suite
 //	experiments -json > rs.json        # machine-readable ResultSet
 //	experiments -results rs.json       # re-render tables from saved JSON (no simulation)
 //	experiments -results rs.json -baseline old.json -diff-tolerance 2
@@ -38,6 +41,10 @@
 // collected ResultSet is byte-identical to a local run, so -json, -baseline
 // and the tables behave the same either way. -j then has no effect — the
 // server's own pool bounds parallelism. Ctrl-C cancels the remote sweep.
+// Combining -server with -corpus submits the recordings by name
+// (SweepRequest.Corpus): the server resolves them against its own corpus
+// directory (tracepd -corpus), so it must hold recordings with the same
+// names — GET /v1/corpus lists what it serves.
 //
 // The -baseline gate checks IPC (-diff-tolerance, percent drop), trace
 // mispredictions (-diff-tolerance-tmisp, rise per 1000 insts), recovery
@@ -80,6 +87,7 @@ func main() {
 		"per-benchmark warm-up overrides as name=insts[,name=insts...] (e.g. gcc=200000,compress=50000); unlisted benchmarks use -warmup")
 	j := flag.Int("j", 0, "simulations to run in parallel (0 = GOMAXPROCS)")
 	benchList := flag.String("bench", "", "comma-separated benchmark subset (default: all eight)")
+	corpusDir := flag.String("corpus", "", "directory of .tptrace recordings to sweep; replaces the suite unless -bench also selects workloads")
 	jsonOut := flag.Bool("json", false, "emit the ResultSet as JSON instead of formatted tables")
 	progress := flag.Bool("progress", false, "log per-run completion to stderr")
 	resultsFile := flag.String("results", "", "load the ResultSet from this saved JSON file instead of simulating")
@@ -127,7 +135,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		rs, ctxErr = runSweep(ctx, *serverURL, *benchList, *n, *warmup, warmFor, *j, *progress, *jsonOut, wantTable, wantFigure)
+		rs, ctxErr = runSweep(ctx, *serverURL, *benchList, *corpusDir, *n, *warmup, warmFor, *j, *progress, *jsonOut, wantTable, wantFigure)
 	}
 
 	runErr := rs.Err()
@@ -197,13 +205,26 @@ func main() {
 // tables/figures need — in-process, or on a remote tracepd when serverURL
 // is set — and returns the (possibly partial) set plus the context error,
 // mirroring Sweep.Run.
-func runSweep(ctx context.Context, serverURL, benchList string, n, warmup uint64, warmupFor map[string]uint64,
+func runSweep(ctx context.Context, serverURL, benchList, corpusDir string, n, warmup uint64, warmupFor map[string]uint64,
 	j int, progress, jsonOut bool, wantTable, wantFigure func(int) bool) (*tracep.ResultSet, error) {
-	benches, err := selectBenchmarks(benchList)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	var suite []tracep.Benchmark
+	var err error
+	// -corpus without -bench sweeps the recordings alone — mirroring the
+	// server's "empty Benchmarks + Corpus = corpus only" request semantics.
+	if benchList != "" || corpusDir == "" {
+		if suite, err = selectBenchmarks(benchList); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
+	var corpus []tracep.Benchmark
+	if corpusDir != "" {
+		if corpus, err = tracep.Corpus(corpusDir); err != nil {
+			fmt.Fprintf(os.Stderr, "loading -corpus: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	benches := append(append([]tracep.Benchmark(nil), suite...), corpus...)
 	// Match the server's contract: an override naming a benchmark outside
 	// the requested grid is an error, not a silent no-op.
 	for name := range warmupFor {
@@ -240,7 +261,7 @@ func runSweep(ctx context.Context, serverURL, benchList string, n, warmup uint64
 	}
 
 	if serverURL != "" {
-		return runRemote(ctx, serverURL, benches, models, n, warmup, warmupFor, progress)
+		return runRemote(ctx, serverURL, suite, benchNames(corpus), models, n, warmup, warmupFor, progress)
 	}
 
 	sw := tracep.Sweep{
@@ -263,16 +284,18 @@ func runSweep(ctx context.Context, serverURL, benchList string, n, warmup uint64
 }
 
 // runRemote submits the grid to a tracepd instance and streams the cells
-// back; the collected ResultSet is byte-identical to a local run. Remote
-// failures other than cancellation are fatal (exit 1) — there is no
+// back; the collected ResultSet is byte-identical to a local run. Corpus
+// workloads travel by name only — the server replays its own recordings.
+// Remote failures other than cancellation are fatal (exit 1) — there is no
 // partial set worth rendering when the server is unreachable.
-func runRemote(ctx context.Context, serverURL string, benches []tracep.Benchmark,
+func runRemote(ctx context.Context, serverURL string, benches []tracep.Benchmark, corpus []string,
 	models []tracep.Model, n, warmup uint64, warmupFor map[string]uint64, progress bool) (*tracep.ResultSet, error) {
-	if len(benches) == 0 || len(models) == 0 {
+	if (len(benches) == 0 && len(corpus) == 0) || len(models) == 0 {
 		return tracep.NewResultSet(), nil
 	}
 	req := server.SweepRequest{
 		Benchmarks:  benchNames(benches),
+		Corpus:      corpus,
 		Models:      modelNames(models),
 		TargetInsts: n,
 		Warmup:      warmup,

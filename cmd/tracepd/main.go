@@ -11,6 +11,8 @@
 //	tracepd -addr :9000 -j 4     # custom listen address, 4 simulations at once
 //	tracepd -retain 100          # keep the last 100 finished sweeps
 //	tracepd -target-insts 500000 # default workload size for requests that omit it
+//	tracepd -corpus traces/      # serve the directory's .tptrace recordings
+//	                             # as workloads requestable by name (corpus)
 //
 // The -j pool is shared across every concurrent sweep: N clients cannot
 // oversubscribe the host. SIGINT/SIGTERM shut down gracefully — live
@@ -29,6 +31,7 @@ import (
 	"syscall"
 	"time"
 
+	"tracep"
 	"tracep/server"
 )
 
@@ -38,12 +41,24 @@ func main() {
 	retain := flag.Int("retain", server.DefaultRetain, "finished sweeps retained for replay/diff")
 	targetInsts := flag.Uint64("target-insts", server.DefaultTargetInsts,
 		"default dynamic instruction target for requests that omit target_insts")
+	corpusDir := flag.String("corpus", "", "directory of .tptrace recordings served as corpus workloads")
 	flag.Parse()
+
+	var corpus []tracep.Benchmark
+	if *corpusDir != "" {
+		var err error
+		if corpus, err = tracep.Corpus(*corpusDir); err != nil {
+			fmt.Fprintf(os.Stderr, "tracepd: loading corpus: %v\n", err)
+			os.Exit(1)
+		}
+		log.Printf("tracepd: corpus %s: %d recording(s)", *corpusDir, len(corpus))
+	}
 
 	mgr := server.NewManager(server.Config{
 		Parallelism:        *j,
 		Retain:             *retain,
 		DefaultTargetInsts: *targetInsts,
+		Corpus:             corpus,
 	})
 	srv := &http.Server{Addr: *addr, Handler: logRequests(mgr.Handler())}
 

@@ -1,0 +1,100 @@
+// Command tracerec captures workloads to .tptrace recordings: it emulates
+// each benchmark's committed execution path to architectural halt and
+// serialises it (program image plus delta-encoded branch outcomes, memory
+// addresses and indirect targets) into the recorded-trace format defined by
+// internal/tracefile. The resulting files replay through tracep.FromTraceFile
+// and tracep.Corpus — and a directory of them is a corpus for
+// `experiments -corpus` or a tracepd started with -corpus.
+//
+// Usage:
+//
+//	tracerec -o traces/                      # capture the full 8-workload suite
+//	tracerec -o traces/ -bench compress,gcc  # a subset
+//	tracerec -o traces/ -n 500000            # sized to ~500k dynamic insts
+//	tracerec -o traces/ -gen-seeds 1,2,3     # synthetic generator workloads too
+//
+// Each workload lands in <out>/<name>.tptrace; a capture that fails leaves
+// no partial file behind.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"tracep"
+)
+
+func main() {
+	out := flag.String("o", ".", "output directory for .tptrace files")
+	benches := flag.String("bench", "", "comma-separated workload names (default: the full suite)")
+	n := flag.Uint64("n", 300_000, "dynamic instruction target each workload is sized for")
+	genSeeds := flag.String("gen-seeds", "", "comma-separated seeds; each adds a synthetic gen-<seed> workload")
+	quiet := flag.Bool("q", false, "suppress per-capture progress lines")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	bms, err := selectWorkloads(*benches, *genSeeds)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracerec:", err)
+		os.Exit(2)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "tracerec:", err)
+		os.Exit(1)
+	}
+
+	for _, bm := range bms {
+		path := filepath.Join(*out, bm.Name+tracep.TraceExt)
+		recs, err := tracep.CaptureTraceFile(ctx, bm, *n, path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracerec:", err)
+			os.Exit(1)
+		}
+		if !*quiet {
+			fi, _ := os.Stat(path)
+			var size int64
+			if fi != nil {
+				size = fi.Size()
+			}
+			fmt.Printf("%s: %d insts, %d bytes (%.2f bits/inst)\n",
+				path, recs, size, float64(size*8)/float64(recs))
+		}
+	}
+}
+
+// selectWorkloads resolves the -bench and -gen-seeds flags into benchmarks,
+// defaulting to the full suite when neither selects anything.
+func selectWorkloads(names, genSeeds string) ([]tracep.Benchmark, error) {
+	var bms []tracep.Benchmark
+	if names != "" {
+		for _, name := range strings.Split(names, ",") {
+			bm, err := tracep.BenchmarkByName(strings.TrimSpace(name))
+			if err != nil {
+				return nil, err
+			}
+			bms = append(bms, bm)
+		}
+	}
+	if genSeeds != "" {
+		for _, s := range strings.Split(genSeeds, ",") {
+			seed, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad -gen-seeds entry %q: %v", s, err)
+			}
+			bms = append(bms, tracep.Generated(tracep.DefaultGenConfig(seed)))
+		}
+	}
+	if len(bms) == 0 {
+		bms = tracep.Benchmarks()
+	}
+	return bms, nil
+}

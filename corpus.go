@@ -1,0 +1,87 @@
+package tracep
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+
+	"tracep/internal/bench"
+	"tracep/internal/tracefile"
+)
+
+// ErrCorruptTrace is the sentinel wrapped by errors reporting a structurally
+// invalid .tptrace file — bad magic, checksum mismatch, truncated tail;
+// test with errors.Is. FromTraceFile and Corpus validate files at load, so
+// corruption surfaces there rather than mid-simulation.
+var ErrCorruptTrace = tracefile.ErrCorruptTrace
+
+// TraceExt is the conventional file extension of recorded traces.
+const TraceExt = tracefile.Ext
+
+// FromTraceFile loads a .tptrace recording as a Benchmark: the program
+// image embedded in the file replaces the in-process generator, and every
+// simulation of it verifies retirement against the recorded committed path
+// (streamed, so recordings larger than memory replay fine). The benchmark
+// keeps the recording's workload name, so it slots into Sweep grids,
+// baselines and warm-up overrides exactly like the generated suite:
+//
+//	bm, err := tracep.FromTraceFile("traces/compress.tptrace")
+//	...
+//	res, err := tracep.NewBenchmark(bm, 300_000).Run(ctx)
+//
+// Empty and truncated recordings fail here with errors wrapping
+// ErrInvalidBenchmark and ErrCorruptTrace respectively.
+func FromTraceFile(path string) (Benchmark, error) {
+	return bench.FromTraceFile(path)
+}
+
+// Corpus loads every .tptrace file in dir as a Benchmark, sorted by
+// filename — a directory of recordings becomes a sweepable suite:
+//
+//	bms, err := tracep.Corpus("traces/")
+//	...
+//	sw := tracep.Sweep{Benchmarks: bms, Models: tracep.Models(), TargetInsts: 300_000}
+//
+// An empty directory or two recordings claiming the same workload name are
+// errors (a silently empty sweep would masquerade as success).
+func Corpus(dir string) ([]Benchmark, error) {
+	return bench.Corpus(dir)
+}
+
+// CaptureTrace records bm's committed execution path to w as a .tptrace
+// stream: the workload is built for targetInsts (exactly like NewBenchmark)
+// and emulated to its architectural halt, so a later replay at the same
+// TargetInsts retires the identical instruction sequence. It returns the
+// number of instructions captured. Cancelling ctx abandons the capture.
+func CaptureTrace(ctx context.Context, bm Benchmark, targetInsts uint64, w io.Writer) (uint64, error) {
+	prog, err := buildProgram(bm, targetInsts)
+	if err != nil {
+		return 0, fmt.Errorf("tracep: %s: %w", bm.Name, err)
+	}
+	meta := tracefile.Meta{Name: bm.Name, InstsPerIter: bm.InstsPerIter, TargetInsts: targetInsts}
+	n, err := tracefile.Capture(ctx, w, prog, meta, 0)
+	if err != nil {
+		return n, fmt.Errorf("tracep: %s: %w", bm.Name, err)
+	}
+	return n, nil
+}
+
+// CaptureTraceFile captures bm (see CaptureTrace) to path, creating or
+// truncating it. On error the partial file is removed — a .tptrace on disk
+// is always a complete, trailer-terminated capture.
+func CaptureTraceFile(ctx context.Context, bm Benchmark, targetInsts uint64, path string) (uint64, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, fmt.Errorf("tracep: %s: %w", bm.Name, err)
+	}
+	n, err := CaptureTrace(ctx, bm, targetInsts, f)
+	if cerr := f.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("tracep: %s: %w", bm.Name, cerr)
+	}
+	if err != nil {
+		os.Remove(path)
+		return n, err
+	}
+	return n, nil
+}

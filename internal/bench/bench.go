@@ -40,6 +40,11 @@ type Benchmark struct {
 	// InstsPerIter is the approximate dynamic instruction count per outer
 	// iteration, used to derive scale from an instruction budget.
 	InstsPerIter int64
+	// Recorded is set on benchmarks loaded from a .tptrace recording
+	// (FromTraceFile/Corpus): the simulator replays the recording as its
+	// retirement oracle instead of running the emulator in-process. Nil for
+	// generated workloads.
+	Recorded *RecordedTrace
 }
 
 // Suite returns the eight benchmarks in the paper's order.

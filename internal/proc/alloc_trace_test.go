@@ -1,0 +1,57 @@
+package proc
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tracep/internal/tracefile"
+)
+
+// TestSteadyStateAllocsTraceBacked re-runs the zero-allocation gate with
+// the recorded-trace frontend in place of the in-process oracle — and with
+// verification ON: every retired instruction pulls a record out of the
+// streaming .tptrace reader. The reader refills one block at a time into
+// reused buffers, so once warm the verify path must be as heap-quiet as the
+// unverified engine; a per-record or per-refill allocation would show up as
+// hundreds per window.
+func TestSteadyStateAllocsTraceBacked(t *testing.T) {
+	prog := loopProgram(1_000_000)
+	path := filepath.Join(t.TempDir(), "steady-loop.tptrace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tracefile.Capture(context.Background(), f, prog, tracefile.Meta{Name: "steady-loop"}, 0); err != nil {
+		f.Close()
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, model := range []Model{ModelBase, ModelFGMLBRET} {
+		t.Run(model.Name, func(t *testing.T) {
+			cfg := testConfig()
+			cfg.Verify = true // the gate covers the trace-backed verify path itself
+			p := New(prog, model, cfg)
+			src, err := tracefile.OpenFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer src.Close()
+			p.SetCommitSource(src)
+			warmed(t, p, 50_000)
+			const window = 1000
+			avg := measureWindow(t, p, 20, window)
+			t.Logf("%s: %.2f allocs per %d-cycle window (trace-backed verify)", model.Name, avg, window)
+			if avg > 25 {
+				t.Fatalf("trace-backed steady state allocates: %.1f allocs per %d cycles (want <= 25)", avg, window)
+			}
+			if err := p.Err(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -143,8 +143,9 @@ type Processor struct {
 	model Model
 	prog  *isa.Program
 
-	mem    *isa.Memory // committed architectural memory
-	oracle *emu.Emulator
+	mem     *isa.Memory // committed architectural memory
+	oracle  *emu.Emulator
+	commits CommitSource // recorded-trace oracle; replaces the emulator when set
 
 	regs    *rename.File
 	specMap rename.Map // rename map at the dispatch frontier

@@ -116,41 +116,6 @@ func (p *Processor) retireStep() {
 	p.unlinkPE(pe)
 }
 
-// verifyRetired checks one retired instruction against the architectural
-// oracle.
-func (p *Processor) verifyRetired(st *instState) error {
-	rec := p.oracle.Step()
-	if rec.PC != st.pc {
-		return fmt.Errorf("oracle divergence at cycle %d: retired pc %d, oracle pc %d",
-			p.cycle, st.pc, rec.PC)
-	}
-	if rec.HasDest {
-		if st.destArch != rec.Dest {
-			return fmt.Errorf("pc %d: retired dest r%d, oracle r%d", st.pc, st.destArch, rec.Dest)
-		}
-		if st.localVal != rec.Value {
-			return fmt.Errorf("pc %d (%v): retired value %d, oracle %d",
-				st.pc, st.inst, st.localVal, rec.Value)
-		}
-	}
-	if st.isStore {
-		if st.lastAddr != rec.Addr || st.lastStoreVal != rec.StoreVal {
-			return fmt.Errorf("pc %d: retired store [%d]=%d, oracle [%d]=%d",
-				st.pc, st.lastAddr, st.lastStoreVal, rec.Addr, rec.StoreVal)
-		}
-	}
-	if st.isLoad && st.lastAddr != rec.Addr {
-		return fmt.Errorf("pc %d: retired load addr %d, oracle %d", st.pc, st.lastAddr, rec.Addr)
-	}
-	if st.isBr && st.resolvedTaken != rec.Taken {
-		return fmt.Errorf("pc %d: retired branch taken=%v, oracle %v", st.pc, st.resolvedTaken, rec.Taken)
-	}
-	if st.isIndirect && st.actualTarget != rec.NextPC {
-		return fmt.Errorf("pc %d: retired indirect target %d, oracle %d", st.pc, st.actualTarget, rec.NextPC)
-	}
-	return nil
-}
-
 // accountRetired updates branch statistics and trains the branch predictor
 // on the retired (correct-path) outcome.
 func (p *Processor) accountRetired(st *instState) {

@@ -1,0 +1,482 @@
+package tracefile
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"tracep/internal/emu"
+	"tracep/internal/isa"
+)
+
+// Reader streams committed records out of a .tptrace file. It decodes one
+// sync block at a time into a reusable chunk, so traces far larger than
+// memory replay with zero steady-state allocations: the cycle loop calls
+// Next, and only one block boundary in every BlockRecords calls touches the
+// underlying reader.
+//
+// Reader implements the simulator's commit-source contract: Next returns
+// io.EOF after the last record, and every structural problem wraps
+// ErrCorruptTrace.
+type Reader struct {
+	br     *bufio.Reader
+	closer io.Closer
+
+	hdr  Header
+	prog *isa.Program
+
+	// Decoded-chunk state.
+	recs []emu.Record
+	pos  int
+
+	// Walk state across blocks.
+	nextIndex uint64 // absolute index of the next record to decode
+	walkPC    uint32
+	prevAddr  uint32
+	halted    bool
+	resync    bool // after a block-granular skip: adopt the next header's walk state
+	done      bool
+	err       error
+
+	// Reusable decode scratch.
+	payload []byte
+	deltas  []int64
+	targets []uint32
+}
+
+// OpenFile opens path for streaming decode. Before returning it validates
+// the trailer at the end of the file, so a truncated or corrupt-tailed
+// capture is rejected at open rather than midway through a simulation; the
+// returned Reader's Header reports the total record count.
+func OpenFile(path string) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	total, err := validateTrailer(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	r, err := NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	r.hdr.Records = total
+	r.closer = f
+	return r, nil
+}
+
+// validateTrailer checks the fixed trailer at the end of f and returns the
+// total record count it declares.
+func validateTrailer(f *os.File) (uint64, error) {
+	fi, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	if fi.Size() < trailerSize {
+		return 0, corrupt("file of %d bytes is shorter than the trailer", fi.Size())
+	}
+	var trailer [trailerSize]byte
+	if _, err := f.ReadAt(trailer[:], fi.Size()-trailerSize); err != nil {
+		return 0, err
+	}
+	return parseTrailer(trailer)
+}
+
+func parseTrailer(trailer [trailerSize]byte) (uint64, error) {
+	if [4]byte(trailer[:4]) != endMagic {
+		return 0, corrupt("missing end-of-stream trailer (truncated capture?)")
+	}
+	if crc32.Checksum(trailer[4:12], crcTable) != binary.LittleEndian.Uint32(trailer[12:16]) {
+		return 0, corrupt("trailer checksum mismatch")
+	}
+	return binary.LittleEndian.Uint64(trailer[4:12]), nil
+}
+
+// NewReader decodes a trace from a pure byte stream (no seeking): the
+// header is parsed immediately; the trailer is verified when the stream
+// reaches it. Prefer OpenFile for files — it detects truncation at open.
+func NewReader(rd io.Reader) (*Reader, error) {
+	r := &Reader{br: bufio.NewReaderSize(rd, 1<<16)}
+	if err := r.readHeader(); err != nil {
+		return nil, err
+	}
+	r.walkPC = r.prog.Entry
+	return r, nil
+}
+
+func (r *Reader) readHeader() error {
+	var magic [8]byte
+	if _, err := io.ReadFull(r.br, magic[:]); err != nil {
+		return corrupt("reading magic: %v", err)
+	}
+	if magic != fileMagic {
+		return corrupt("bad magic %q", magic[:])
+	}
+	hdrLen, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		return corrupt("reading header length: %v", err)
+	}
+	if hdrLen > maxHeaderBytes {
+		return corrupt("header claims %d bytes", hdrLen)
+	}
+	hdrBytes := make([]byte, hdrLen)
+	if _, err := io.ReadFull(r.br, hdrBytes); err != nil {
+		return corrupt("reading header: %v", err)
+	}
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(r.br, crcBuf[:]); err != nil {
+		return corrupt("reading header checksum: %v", err)
+	}
+	if crc32.Checksum(hdrBytes, crcTable) != binary.LittleEndian.Uint32(crcBuf[:]) {
+		return corrupt("header checksum mismatch")
+	}
+
+	br := &byteReader{buf: hdrBytes}
+	version, err := br.uvarint()
+	if err != nil {
+		return err
+	}
+	if version == 0 || version > Version {
+		return corrupt("unsupported format version %d (reader supports up to %d)", version, Version)
+	}
+	flags, err := br.uvarint()
+	if err != nil {
+		return err
+	}
+	if flags != 0 {
+		return corrupt("unknown header flags %#x", flags)
+	}
+	nameLen, err := br.uvarint()
+	if err != nil {
+		return err
+	}
+	if nameLen > maxNameLen {
+		return corrupt("name claims %d bytes", nameLen)
+	}
+	if int(nameLen) > br.len() {
+		return corrupt("name of %d bytes overruns the header", nameLen)
+	}
+	name := string(hdrBytes[br.pos : br.pos+int(nameLen)])
+	br.pos += int(nameLen)
+	ipi, err := br.varint()
+	if err != nil {
+		return err
+	}
+	target, err := br.uvarint()
+	if err != nil {
+		return err
+	}
+	prog, err := decodeProgram(br, name)
+	if err != nil {
+		return err
+	}
+	if br.len() != 0 {
+		return corrupt("%d bytes of trailing garbage in header", br.len())
+	}
+	r.hdr = Header{
+		Meta:          Meta{Name: name, InstsPerIter: ipi, TargetInsts: target},
+		FormatVersion: uint32(version),
+	}
+	r.prog = prog
+	return nil
+}
+
+// Header returns the file's metadata. Records is populated at open by
+// OpenFile; for a pure-stream NewReader it becomes valid once Next has
+// returned io.EOF.
+func (r *Reader) Header() Header { return r.hdr }
+
+// Program returns the embedded program image. It is shared, not copied:
+// callers must treat it as immutable (the simulator already does).
+func (r *Reader) Program() *isa.Program { return r.prog }
+
+// Close releases the underlying file, if the Reader owns one.
+func (r *Reader) Close() error {
+	if r.closer != nil {
+		c := r.closer
+		r.closer = nil
+		return c.Close()
+	}
+	return nil
+}
+
+// Next returns the next committed record, io.EOF at the verified end of the
+// trace, or an error wrapping ErrCorruptTrace. Errors are sticky.
+func (r *Reader) Next() (emu.Record, error) {
+	if r.pos < len(r.recs) {
+		rec := r.recs[r.pos]
+		r.pos++
+		return rec, nil
+	}
+	var zero uint64
+	if err := r.refill(&zero); err != nil {
+		return emu.Record{}, err
+	}
+	rec := r.recs[r.pos]
+	r.pos++
+	return rec, nil
+}
+
+// Skip discards the next n records without returning them, consuming fully
+// skipped blocks at header granularity (their payloads are CRC-checked but
+// not expanded). It is how a trace-backed run aligns itself past a warm-up
+// prefix that a restored snapshot already replayed.
+func (r *Reader) Skip(n uint64) error {
+	for n > 0 {
+		if buffered := uint64(len(r.recs) - r.pos); buffered > 0 {
+			take := min(buffered, n)
+			r.pos += int(take)
+			n -= take
+			continue
+		}
+		if err := r.refill(&n); err != nil {
+			if errors.Is(err, io.EOF) {
+				return corrupt("skip of %d records runs past the end of the trace", n)
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// refill loads the next block. While *skip covers whole blocks, their
+// payloads are checksummed and discarded without decoding (decrementing
+// *skip for each record dropped); the first block extending past the skip
+// window is decoded into r.recs. At the trailer it verifies the declared
+// record count and returns io.EOF. Errors are sticky.
+func (r *Reader) refill(skip *uint64) error {
+	if r.err != nil {
+		return r.err
+	}
+	if err := r.refillOnce(skip); err != nil {
+		r.err = err
+		return err
+	}
+	return nil
+}
+
+func (r *Reader) refillOnce(skip *uint64) error {
+	for {
+		var magic [4]byte
+		if _, err := io.ReadFull(r.br, magic[:]); err != nil {
+			return corrupt("reading block magic: %v", err)
+		}
+		if magic == endMagic {
+			var trailer [trailerSize]byte
+			copy(trailer[:4], magic[:])
+			if _, err := io.ReadFull(r.br, trailer[4:]); err != nil {
+				return corrupt("reading trailer: %v", err)
+			}
+			total, err := parseTrailer(trailer)
+			if err != nil {
+				return err
+			}
+			if total != r.nextIndex {
+				return corrupt("trailer declares %d records but %d were present", total, r.nextIndex)
+			}
+			r.hdr.Records = total
+			r.done = true
+			return io.EOF
+		}
+		if magic != blockMagic {
+			return corrupt("bad block magic %q", magic[:])
+		}
+
+		var fields [5 * binary.MaxVarintLen64]byte
+		nf := 0
+		readField := func() (uint64, error) {
+			start := nf
+			for {
+				c, err := r.br.ReadByte()
+				if err != nil {
+					return 0, corrupt("reading block header: %v", err)
+				}
+				if nf >= len(fields) {
+					return 0, corrupt("block header varint overflow")
+				}
+				fields[nf] = c
+				nf++
+				if c < 0x80 {
+					break
+				}
+			}
+			v, n := binary.Uvarint(fields[start:nf])
+			if n <= 0 {
+				return 0, corrupt("block header varint overflow")
+			}
+			return v, nil
+		}
+		firstIndex, err1 := readField()
+		nrec, err2 := readField()
+		startPC, err3 := readField()
+		baseAddr, err4 := readField()
+		payloadLen, err5 := readField()
+		if err := firstErr(err1, err2, err3, err4, err5); err != nil {
+			return err
+		}
+		if nrec == 0 || nrec > maxBlockRecords {
+			return corrupt("block claims %d records", nrec)
+		}
+		if payloadLen > maxPayloadBytes {
+			return corrupt("block claims %d payload bytes", payloadLen)
+		}
+		var crcBuf [4]byte
+		if _, err := io.ReadFull(r.br, crcBuf[:]); err != nil {
+			return corrupt("reading block checksum: %v", err)
+		}
+		if cap(r.payload) < int(payloadLen) {
+			r.payload = make([]byte, payloadLen)
+		}
+		r.payload = r.payload[:payloadLen]
+		if _, err := io.ReadFull(r.br, r.payload); err != nil {
+			return corrupt("reading block payload: %v", err)
+		}
+		crc := crc32.Update(0, crcTable, fields[:nf])
+		crc = crc32.Update(crc, crcTable, r.payload)
+		if crc != binary.LittleEndian.Uint32(crcBuf[:]) {
+			return corrupt("block %d checksum mismatch", firstIndex)
+		}
+		if firstIndex != r.nextIndex {
+			return corrupt("block starts at record %d, expected %d", firstIndex, r.nextIndex)
+		}
+		if r.resync {
+			r.walkPC = uint32(startPC)
+			r.prevAddr = uint32(baseAddr)
+			r.resync = false
+		} else if uint32(startPC) != r.walkPC || uint32(baseAddr) != r.prevAddr {
+			return corrupt("block %d walk state (pc %d, addr base %d) disagrees with the decoded path (pc %d, addr base %d)",
+				firstIndex, startPC, baseAddr, r.walkPC, r.prevAddr)
+		}
+
+		if *skip >= nrec {
+			// The caller is discarding this entire block: account for it
+			// and resynchronise the walk from the next block's header.
+			r.nextIndex += nrec
+			r.resync = true
+			r.recs = r.recs[:0]
+			r.pos = 0
+			*skip -= nrec
+			if *skip == 0 {
+				// The window closed exactly on a block boundary; the
+				// next Next/Skip call will load the following block.
+				return nil
+			}
+			continue
+		}
+		return r.decodeBlock(int(nrec))
+	}
+}
+
+// decodeBlock expands the current payload into r.recs by replaying the
+// embedded program from the walk PC, consuming one branch-outcome bit per
+// conditional branch, one address delta per memory access and one target
+// per indirect transfer.
+func (r *Reader) decodeBlock(nrec int) error {
+	br := &byteReader{buf: r.payload}
+
+	nBr, err := br.uvarint()
+	if err != nil {
+		return err
+	}
+	bitmapLen := int(nBr+7) / 8
+	if nBr > uint64(nrec) || br.len() < bitmapLen {
+		return corrupt("branch section claims %d outcomes", nBr)
+	}
+	bitmap := r.payload[br.pos : br.pos+bitmapLen]
+	br.pos += bitmapLen
+
+	nAddr, err := br.uvarint()
+	if err != nil {
+		return err
+	}
+	if nAddr > uint64(nrec) {
+		return corrupt("address section claims %d accesses", nAddr)
+	}
+	r.deltas = r.deltas[:0]
+	for i := uint64(0); i < nAddr; i++ {
+		d, err := br.varint()
+		if err != nil {
+			return err
+		}
+		r.deltas = append(r.deltas, d)
+	}
+
+	nTgt, err := br.uvarint()
+	if err != nil {
+		return err
+	}
+	if nTgt > uint64(nrec) {
+		return corrupt("indirect-target section claims %d targets", nTgt)
+	}
+	r.targets = r.targets[:0]
+	for i := uint64(0); i < nTgt; i++ {
+		t, err := br.uvarint()
+		if err != nil {
+			return err
+		}
+		r.targets = append(r.targets, uint32(t))
+	}
+	if br.len() != 0 {
+		return corrupt("%d bytes of trailing garbage in block payload", br.len())
+	}
+
+	if cap(r.recs) < nrec {
+		r.recs = make([]emu.Record, 0, nrec)
+	}
+	r.recs = r.recs[:0]
+	r.pos = 0
+	pc, prev := r.walkPC, r.prevAddr
+	iBr, iAddr, iTgt := 0, 0, 0
+	for k := 0; k < nrec; k++ {
+		if r.halted {
+			return corrupt("record %d follows the halt", r.nextIndex+uint64(k))
+		}
+		in := r.prog.At(pc)
+		rec := emu.Record{PC: pc, Inst: in, NextPC: pc + 1}
+		switch {
+		case in.Op == isa.OpHalt:
+			rec.Halted = true
+			rec.NextPC = pc
+			r.halted = true
+		case in.IsCondBranch():
+			if iBr >= int(nBr) {
+				return corrupt("walk consumed more branch outcomes than the block carries")
+			}
+			if bitmap[iBr>>3]>>(iBr&7)&1 == 1 {
+				rec.Taken = true
+				rec.NextPC = in.Target
+			}
+			iBr++
+		case in.IsMem():
+			if iAddr >= int(nAddr) {
+				return corrupt("walk consumed more memory addresses than the block carries")
+			}
+			prev = uint32(int64(prev) + r.deltas[iAddr])
+			rec.Addr = prev
+			iAddr++
+		case in.Op == isa.OpJump || in.Op == isa.OpCall:
+			rec.NextPC = in.Target
+		case in.IsIndirect():
+			if iTgt >= int(nTgt) {
+				return corrupt("walk consumed more indirect targets than the block carries")
+			}
+			rec.NextPC = r.targets[iTgt]
+			iTgt++
+		}
+		r.recs = append(r.recs, rec)
+		pc = rec.NextPC
+	}
+	if iBr != int(nBr) || iAddr != int(nAddr) || iTgt != int(nTgt) {
+		return corrupt("block sections oversized for its %d records (%d/%d branches, %d/%d addresses, %d/%d targets consumed)",
+			nrec, iBr, nBr, iAddr, nAddr, iTgt, nTgt)
+	}
+	r.walkPC, r.prevAddr = pc, prev
+	r.nextIndex += uint64(nrec)
+	return nil
+}

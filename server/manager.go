@@ -5,6 +5,7 @@ import (
 	"expvar"
 	"fmt"
 	"net/http"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"time"
@@ -32,6 +33,11 @@ type Config struct {
 	// DefaultTargetInsts sizes workloads for requests that leave
 	// TargetInsts zero (<= 0 = DefaultTargetInsts).
 	DefaultTargetInsts uint64
+	// Corpus is the server's recorded-trace suite (typically
+	// tracep.Corpus(dir) from tracepd -corpus): workloads clients reference
+	// by name via SweepRequest.Corpus and list via GET /v1/corpus. Entries
+	// whose Recorded handle is nil are ignored.
+	Corpus []tracep.Benchmark
 }
 
 // Manager owns the server's sweep jobs: it validates submissions, runs
@@ -43,6 +49,11 @@ type Config struct {
 type Manager struct {
 	cfg  Config
 	gate *tracep.Gate
+
+	// corpus indexes Config.Corpus by workload name; corpusNames keeps the
+	// configured order for GET /v1/corpus.
+	corpus      map[string]tracep.Benchmark
+	corpusNames []string
 
 	// metrics and the counters beneath it back GET /metrics; see metrics.go.
 	metrics        *expvar.Map
@@ -72,8 +83,33 @@ func NewManager(cfg Config) *Manager {
 		pool = runtime.GOMAXPROCS(0)
 	}
 	m := &Manager{cfg: cfg, jobs: make(map[string]*job), gate: tracep.NewGate(pool)}
+	m.corpus = make(map[string]tracep.Benchmark, len(cfg.Corpus))
+	for _, bm := range cfg.Corpus {
+		if bm.Recorded == nil {
+			continue
+		}
+		if _, dup := m.corpus[bm.Name]; dup {
+			continue // tracep.Corpus rejects duplicates; be safe under hand-built configs
+		}
+		m.corpus[bm.Name] = bm
+		m.corpusNames = append(m.corpusNames, bm.Name)
+	}
 	m.initMetrics()
 	return m
+}
+
+// Corpus lists the server's recorded-trace workloads in configured order.
+func (m *Manager) Corpus() []CorpusEntry {
+	out := make([]CorpusEntry, 0, len(m.corpusNames))
+	for _, name := range m.corpusNames {
+		bm := m.corpus[name]
+		out = append(out, CorpusEntry{
+			Name:    name,
+			Records: bm.Recorded.Records(),
+			File:    filepath.Base(bm.Recorded.Path()),
+		})
+	}
+	return out
 }
 
 // job is one submitted sweep: its resolved grid, the append-only cell log
@@ -83,6 +119,7 @@ func NewManager(cfg Config) *Manager {
 type job struct {
 	id          string
 	benches     []string
+	corpus      []string
 	models      []string
 	targetInsts uint64
 	seed        int64
@@ -115,6 +152,7 @@ func (j *job) snapshot(withResults bool) Status {
 		ID:          j.id,
 		State:       j.state,
 		Benchmarks:  j.benches,
+		Corpus:      j.corpus,
 		Models:      j.models,
 		TargetInsts: j.targetInsts,
 		Seed:        j.seed,
@@ -181,11 +219,14 @@ func (j *job) collect(m *Manager, stream <-chan *tracep.Result) {
 	close(j.finished)
 }
 
-// resolveRequest maps a wire request onto suite benchmarks and paper
-// models; unknown names are reported as 400s.
-func resolveRequest(req SweepRequest) ([]tracep.Benchmark, []tracep.Model, error) {
+// resolveRequest maps a wire request onto suite benchmarks, the server's
+// recorded-trace corpus, and paper models. Unknown suite/model names are
+// 400s; an unknown corpus name is a 404 (the resource — a recording on this
+// server — does not exist). Corpus rows follow suite rows; with only Corpus
+// set the grid is corpus-only, and with neither it is the full suite.
+func (m *Manager) resolveRequest(req SweepRequest) ([]tracep.Benchmark, []tracep.Model, error) {
 	var benches []tracep.Benchmark
-	if len(req.Benchmarks) == 0 {
+	if len(req.Benchmarks) == 0 && len(req.Corpus) == 0 {
 		benches = tracep.Benchmarks()
 	} else {
 		for _, name := range req.Benchmarks {
@@ -194,6 +235,22 @@ func resolveRequest(req SweepRequest) ([]tracep.Benchmark, []tracep.Model, error
 				return nil, nil, &Error{StatusCode: http.StatusBadRequest, Message: err.Error()}
 			}
 			benches = append(benches, bm)
+		}
+		for _, name := range req.Corpus {
+			bm, ok := m.corpus[name]
+			if !ok {
+				return nil, nil, &Error{StatusCode: http.StatusNotFound,
+					Message: fmt.Sprintf("no such corpus trace: %q (GET /v1/corpus lists available recordings)", name)}
+			}
+			benches = append(benches, bm)
+		}
+		seen := make(map[string]bool, len(benches))
+		for _, bm := range benches {
+			if seen[bm.Name] {
+				return nil, nil, &Error{StatusCode: http.StatusBadRequest,
+					Message: fmt.Sprintf("workload %q appears twice in the requested grid", bm.Name)}
+			}
+			seen[bm.Name] = true
 		}
 	}
 	var models []tracep.Model
@@ -215,7 +272,7 @@ func resolveRequest(req SweepRequest) ([]tracep.Benchmark, []tracep.Model, error
 // the new job's status. The sweep runs until its grid completes, Cancel is
 // called, or the manager closes.
 func (m *Manager) Submit(req SweepRequest) (Status, error) {
-	benches, models, err := resolveRequest(req)
+	benches, models, err := m.resolveRequest(req)
 	if err != nil {
 		return Status{}, err
 	}
@@ -249,6 +306,7 @@ func (m *Manager) Submit(req SweepRequest) (Status, error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	j := &job{
 		benches:     benchNames,
+		corpus:      append([]string(nil), req.Corpus...),
 		models:      modelNames,
 		targetInsts: target,
 		seed:        req.Seed,

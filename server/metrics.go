@@ -2,13 +2,18 @@ package server
 
 import (
 	"expvar"
+	"fmt"
 	"io"
 	"net/http"
+	"sort"
+	"strings"
 )
 
 // Observability: GET /metrics serves an expvar-style JSON document of the
-// manager's operational state. The map is private to the Manager (nothing is
-// registered in expvar's process-global registry, so many Managers — and
+// manager's operational state by default, or Prometheus text exposition
+// when the client's Accept header asks for text/plain (the format
+// Prometheus scrapers request). The map is private to the Manager (nothing
+// is registered in expvar's process-global registry, so many Managers — and
 // many tests — coexist), but every value is an expvar.Var, so the document
 // renders exactly like /debug/vars and existing expvar scrapers parse it.
 //
@@ -61,7 +66,52 @@ func (m *Manager) initMetrics() {
 func (m *Manager) Metrics() *expvar.Map { return m.metrics }
 
 func (m *Manager) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if wantsPrometheus(r.Header.Get("Accept")) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		m.writePrometheus(w)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	_, _ = io.WriteString(w, m.metrics.String())
+}
+
+// wantsPrometheus reports whether an Accept header asks for the Prometheus
+// text exposition format. Prometheus scrapers send text/plain (optionally
+// preceded by application/openmetrics-text); plain JSON consumers send
+// application/json, */*, or nothing at all — those keep the expvar
+// document, so existing scrapers see no change.
+func wantsPrometheus(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		mediaType, _, _ := strings.Cut(strings.TrimSpace(part), ";")
+		switch strings.TrimSpace(mediaType) {
+		case "text/plain", "application/openmetrics-text":
+			return true
+		case "application/json":
+			return false
+		}
+	}
+	return false
+}
+
+// writePrometheus renders the metric map in Prometheus text exposition
+// format (version 0.0.4). Every value in the map is numeric (expvar.Int or
+// an int-returning expvar.Func), so each Var's String() is already a valid
+// sample value. Names gain a tracepd_ prefix; the _total suffix convention
+// distinguishes counters from gauges, matching how initMetrics names them.
+func (m *Manager) writePrometheus(w io.Writer) {
+	type sample struct{ name, value string }
+	var samples []sample
+	m.metrics.Do(func(kv expvar.KeyValue) {
+		samples = append(samples, sample{"tracepd_" + kv.Key, kv.Value.String()})
+	})
+	sort.Slice(samples, func(i, j int) bool { return samples[i].name < samples[j].name })
+	for _, s := range samples {
+		kind := "gauge"
+		if strings.HasSuffix(s.name, "_total") {
+			kind = "counter"
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n%s %s\n", s.name, kind, s.name, s.value)
+	}
 }

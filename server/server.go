@@ -16,10 +16,16 @@
 //	                              reconnection), then a terminal "done" event
 //	DELETE /v1/sweeps/{id}        cancel the job's context; in-flight cells abort
 //	                              and land as failed cells, unstarted cells never run
+//	GET    /v1/corpus             list the server's recorded-trace workloads
+//	                              (Config.Corpus / tracepd -corpus), referenced by
+//	                              name via SweepRequest.Corpus
 //	GET    /metrics               expvar-style JSON: job/cell counters and
-//	                              shared-pool (Gate) occupancy; see metrics.go
+//	                              shared-pool (Gate) occupancy; with an Accept
+//	                              header preferring text/plain, Prometheus text
+//	                              exposition instead; see metrics.go
 //
-// Errors are JSON Error bodies with matching HTTP status codes.
+// Errors are JSON Error bodies with matching HTTP status codes; requesting
+// a corpus workload the server does not hold is a 404.
 //
 // # Concurrency model
 //
@@ -47,6 +53,7 @@ func (m *Manager) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sweeps/{id}", m.handleStatus)
 	mux.HandleFunc("GET /v1/sweeps/{id}/stream", m.handleStream)
 	mux.HandleFunc("DELETE /v1/sweeps/{id}", m.handleCancel)
+	mux.HandleFunc("GET /v1/corpus", m.handleCorpus)
 	mux.HandleFunc("GET /metrics", m.handleMetrics)
 	return mux
 }
@@ -89,6 +96,10 @@ func (m *Manager) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 func (m *Manager) handleList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, m.List())
+}
+
+func (m *Manager) handleCorpus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, m.Corpus())
 }
 
 func (m *Manager) handleStatus(w http.ResponseWriter, r *http.Request) {

@@ -20,8 +20,14 @@ import (
 // §6 cross-product.
 type SweepRequest struct {
 	// Benchmarks names suite workloads (tracep.BenchmarkByName); empty =
-	// the full eight-workload suite.
+	// the full eight-workload suite — unless Corpus selects recorded
+	// workloads, in which case empty Benchmarks means "corpus only".
 	Benchmarks []string `json:"benchmarks,omitempty"`
+	// Corpus names recorded-trace workloads from the server's corpus
+	// directory (tracepd -corpus; GET /v1/corpus lists them). Corpus rows
+	// are appended after Benchmarks rows in the grid. An unknown name is a
+	// 404 with a typed Error body.
+	Corpus []string `json:"corpus,omitempty"`
 	// Models names experimental models (tracep.ModelByName); empty = all
 	// eight models of §6.
 	Models []string `json:"models,omitempty"`
@@ -69,8 +75,11 @@ type Status struct {
 	// clients rebuild deterministic ResultSet ordering from them
 	// (tracep.NewResultSetFor), which is what makes a remotely collected
 	// set byte-identical to an in-process one.
-	Benchmarks  []string          `json:"benchmarks"`
-	Models      []string          `json:"models"`
+	Benchmarks []string `json:"benchmarks"`
+	Models     []string `json:"models"`
+	// Corpus echoes the recorded-trace workload names of the grid (a
+	// subset of Benchmarks, which always carries the full row axis).
+	Corpus      []string          `json:"corpus,omitempty"`
 	TargetInsts uint64            `json:"target_insts"`
 	Seed        int64             `json:"seed,omitempty"`
 	Warmup      uint64            `json:"warmup,omitempty"`
@@ -96,6 +105,17 @@ type Status struct {
 type StreamEvent struct {
 	Cell *tracep.Result `json:"cell,omitempty"`
 	Done *Status        `json:"done,omitempty"`
+}
+
+// CorpusEntry describes one recorded-trace workload the server can run by
+// name: an element of GET /v1/corpus.
+type CorpusEntry struct {
+	Name string `json:"name"`
+	// Records is the recording's committed-instruction count — the ceiling
+	// on target_insts a replay can verify.
+	Records uint64 `json:"records"`
+	// File is the base name of the backing .tptrace file.
+	File string `json:"file"`
 }
 
 // Error is the JSON body of every non-2xx response.

@@ -144,6 +144,13 @@ type Simulator struct {
 	bm       *Benchmark
 	bmTarget uint64
 
+	// recorded is set for sessions over a recorded-trace Benchmark
+	// (FromTraceFile/Corpus): each Run opens its own streaming reader over
+	// the .tptrace file and installs it as the retirement oracle, skipping
+	// any warmed-up prefix so verification stays aligned with the measured
+	// region.
+	recorded *bench.RecordedTrace
+
 	label    string
 	model    Model
 	cfg      Config
@@ -202,6 +209,7 @@ func New(prog *Program, opts ...Option) *Simulator {
 func NewBenchmark(bm Benchmark, targetInsts uint64, opts ...Option) *Simulator {
 	s := newSimulator(bm.Name, opts)
 	s.bm, s.bmTarget = &bm, targetInsts
+	s.recorded = bm.Recorded
 	return s
 }
 
@@ -279,6 +287,22 @@ func (s *Simulator) Run(ctx context.Context) (*Result, error) {
 	p, err := s.newProcessor(ctx, prog)
 	if err != nil {
 		return nil, fmt.Errorf("tracep: %s: %w", s.label, err)
+	}
+	if s.recorded != nil && s.cfg.Verify {
+		// Recorded workloads verify retirement against their .tptrace
+		// stream instead of an in-process emulator. Each Run gets its own
+		// cursor, advanced past the prefix a warm-up already replayed.
+		src, err := s.recorded.Open()
+		if err != nil {
+			return nil, fmt.Errorf("tracep: %s: %w", s.label, err)
+		}
+		defer src.Close()
+		if n := p.Stats.WarmupInsts; n > 0 {
+			if err := src.Skip(n); err != nil {
+				return nil, fmt.Errorf("tracep: %s: aligning recorded trace past %d warm-up insts: %w", s.label, n, err)
+			}
+		}
+		p.SetCommitSource(src)
 	}
 	var tap func(proc.Progress)
 	every := uint64(0)

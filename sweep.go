@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sync"
 
+	"tracep/internal/bench"
 	"tracep/internal/proc"
 )
 
@@ -87,6 +88,9 @@ type sweepRow struct {
 	bench    string
 	prog     *Program
 	buildErr error
+	// recorded carries the row's .tptrace stream for recorded-trace
+	// benchmarks (Benchmark.Recorded); every cell opens its own cursor.
+	recorded *bench.RecordedTrace
 	// warmup is the row's effective warm-up length (WarmupFor override or
 	// the sweep-wide Warmup), resolved once at feed time.
 	warmup uint64
@@ -207,7 +211,8 @@ func (sw *Sweep) Stream(ctx context.Context) <-chan *Result {
 			// immutable program (and, when warming up, the row's snapshot,
 			// captured worker-side on first need).
 			prog, err := buildProgram(bm, sw.TargetInsts)
-			row := &sweepRow{sw: sw, bench: bm.Name, prog: prog, buildErr: err, warmup: sw.warmupFor(bm.Name)}
+			row := &sweepRow{sw: sw, bench: bm.Name, prog: prog, buildErr: err,
+				recorded: bm.Recorded, warmup: sw.warmupFor(bm.Name)}
 			for _, m := range sw.Models {
 				select {
 				case jobCh <- sweepJob{row: row, model: m}:
@@ -293,7 +298,11 @@ func (sw *Sweep) runOne(ctx context.Context, job sweepJob, progress func(Progres
 			opts = append(opts, WithProgressInterval(sw.ProgressInterval))
 		}
 	}
-	res, err := New(row.prog, opts...).Run(ctx)
+	sim := New(row.prog, opts...)
+	// Recorded-trace rows verify against their .tptrace stream; New takes
+	// the prebuilt program, so the recording handle travels on the row.
+	sim.recorded = row.recorded
+	res, err := sim.Run(ctx)
 	if err != nil {
 		return fail(err)
 	}
