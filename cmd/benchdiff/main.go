@@ -87,6 +87,7 @@ func parseBench(r io.Reader) (map[string]result, error) {
 		return nil, err
 	}
 	out := make(map[string]result)
+	//tracep:orderinvariant keyed writes commute
 	for _, b := range text {
 		for _, line := range strings.Split(b.String(), "\n") {
 			if name, res, ok := parseLine(line); ok {
@@ -129,7 +130,7 @@ func parseLine(line string) (string, result, bool) {
 func regressions(old, cur map[string]result, tolPct float64) []string {
 	var fails []string
 	names := make([]string, 0, len(old))
-	for name := range old {
+	for name := range old { //tracep:orderinvariant sorted below
 		names = append(names, name)
 	}
 	sort.Strings(names)
@@ -158,10 +159,15 @@ func regressions(old, cur map[string]result, tolPct float64) []string {
 			}
 		}
 	}
-	for name := range cur {
+	added := make([]string, 0, len(cur))
+	for name := range cur { //tracep:orderinvariant sorted below
 		if _, ok := old[name]; !ok {
-			fmt.Printf("new  %-50s (no previous measurement)\n", name)
+			added = append(added, name)
 		}
+	}
+	sort.Strings(added)
+	for _, name := range added {
+		fmt.Printf("new  %-50s (no previous measurement)\n", name)
 	}
 	return fails
 }

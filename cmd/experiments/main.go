@@ -68,6 +68,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -226,8 +227,14 @@ func runSweep(ctx context.Context, serverURL, benchList, corpusDir string, n, wa
 	}
 	benches := append(append([]tracep.Benchmark(nil), suite...), corpus...)
 	// Match the server's contract: an override naming a benchmark outside
-	// the requested grid is an error, not a silent no-op.
-	for name := range warmupFor {
+	// the requested grid is an error, not a silent no-op. Sorted so the
+	// reported name is deterministic when several overrides are bad.
+	overrideNames := make([]string, 0, len(warmupFor))
+	for name := range warmupFor { //tracep:orderinvariant sorted below
+		overrideNames = append(overrideNames, name)
+	}
+	sort.Strings(overrideNames)
+	for _, name := range overrideNames {
 		found := false
 		for _, bm := range benches {
 			if bm.Name == name {

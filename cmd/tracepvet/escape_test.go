@@ -1,0 +1,167 @@
+package main
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"tracep/internal/analysis"
+)
+
+// escapeLine matches one compiler escape diagnostic:
+//
+//	internal/proc/pe.go:123:9: &x escapes to heap
+//	internal/trace/trace.go:45:2: moved to heap: buf
+var escapeLine = regexp.MustCompile(`^(.+\.go):(\d+):\d+: (.*(?:escapes to heap|moved to heap).*)$`)
+
+// TestNoallocEscapeAnalysis cross-checks the noalloc analyzer against the
+// compiler's own escape analysis: no line inside a //tracep:noalloc function
+// may be reported as escaping or moved to heap unless a //tracep:allow
+// covers it. The static analyzer is syntactic and conservative; this test
+// catches what it structurally cannot see (a conversion the compiler decides
+// to heap-allocate, a variable outliving its frame), completing the
+// triangle with the runtime gate proc.TestSteadyStateAllocs.
+func TestNoallocEscapeAnalysis(t *testing.T) {
+	if testing.Short() {
+		t.Skip("recompiles the module with -gcflags=-m; skipped in -short mode")
+	}
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The build cache replays compiler diagnostics on cache hits, so this is
+	// cheap after the first run. -gcflags applies to the packages named on
+	// the command line, i.e. the whole module but not the standard library.
+	// -l disables inlining so every diagnostic keeps its original position:
+	// with inlining on, an allocation inside an inlined callee is attributed
+	// to the caller's line, far from the //tracep:allow that covers it.
+	cmd := exec.Command("go", "build", "-gcflags=-m -l", "./...")
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build -gcflags=-m ./...: %v\n%s", err, out)
+	}
+
+	ranges, allowed := noallocRanges(t, root)
+	if len(ranges) < 100 {
+		t.Fatalf("found only %d //tracep:noalloc functions; expected the full cycle-loop closure", len(ranges))
+	}
+
+	escapes := 0
+	for _, line := range strings.Split(string(out), "\n") {
+		m := escapeLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		escapes++
+		file := m[1]
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(root, file)
+		}
+		ln, _ := strconv.Atoi(m[2])
+		if allowed[file][ln] {
+			continue
+		}
+		for _, r := range ranges {
+			if r.file == file && ln >= r.start && ln <= r.end {
+				t.Errorf("%s:%d: escape inside //tracep:noalloc func %s: %s", m[1], ln, r.name, m[3])
+				break
+			}
+		}
+	}
+	if escapes == 0 {
+		t.Fatal("no escape diagnostics parsed from -gcflags=-m output; did the output format change?")
+	}
+}
+
+// funcRange is the line extent of one marked function in one file.
+type funcRange struct {
+	file       string
+	name       string
+	start, end int
+}
+
+// noallocRanges parses every non-test file of the module and returns the
+// line ranges of //tracep:noalloc functions plus, per file, the set of lines
+// covered by a //tracep:allow. The directive scan is re-implemented here on
+// purpose: the test would prove nothing if it shared the analyzer's code.
+//
+// The lint analyzer scopes an allow to its own line and the next; the
+// compiler reports escapes of individual call arguments on the continuation
+// lines of a multi-line statement, so here the allowance widens to the whole
+// statement the directive targets (any statement starting on the directive's
+// line or the next).
+func noallocRanges(t *testing.T, root string) ([]funcRange, map[string]map[int]bool) {
+	t.Helper()
+	listed, err := analysis.Load(root, "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	fset := token.NewFileSet()
+	var ranges []funcRange
+	allowed := make(map[string]map[int]bool)
+	for _, pkg := range listed {
+		for _, gf := range pkg.GoFiles {
+			path := filepath.Join(pkg.Dir, gf)
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+			if err != nil {
+				t.Fatalf("parsing %s: %v", path, err)
+			}
+			// stmtEnd[l] is the last line of the widest statement starting on
+			// line l.
+			stmtEnd := make(map[int]int)
+			ast.Inspect(f, func(n ast.Node) bool {
+				if _, ok := n.(ast.Stmt); !ok {
+					return true
+				}
+				s := fset.Position(n.Pos()).Line
+				if e := fset.Position(n.End()).Line; e > stmtEnd[s] {
+					stmtEnd[s] = e
+				}
+				return true
+			})
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, "//tracep:allow") {
+						continue
+					}
+					ln := fset.Position(c.Pos()).Line
+					if allowed[path] == nil {
+						allowed[path] = make(map[int]bool)
+					}
+					for _, start := range []int{ln, ln + 1} {
+						end := max(stmtEnd[start], start)
+						for l := start; l <= end; l++ {
+							allowed[path][l] = true
+						}
+					}
+				}
+			}
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Doc == nil || fd.Body == nil {
+					continue
+				}
+				for _, c := range fd.Doc.List {
+					if strings.TrimSpace(c.Text) == "//tracep:noalloc" {
+						ranges = append(ranges, funcRange{
+							file:  path,
+							name:  fd.Name.Name,
+							start: fset.Position(fd.Pos()).Line,
+							end:   fset.Position(fd.End()).Line,
+						})
+						break
+					}
+				}
+			}
+		}
+	}
+	return ranges, allowed
+}

@@ -1,0 +1,60 @@
+// Package clonecomplete exercises the clonecomplete analyzer: a Clone method
+// must mention every receiver field unless the field is marked
+// //tracep:noclone or the method copies the whole struct.
+package clonecomplete
+
+// Good clones field by field.
+type Good struct{ a, b int }
+
+// Clone returns a deep copy.
+func (g *Good) Clone() *Good { return &Good{a: g.a, b: g.b} }
+
+// Bad forgets two of its three fields.
+type Bad struct{ a, b, c int }
+
+// Clone returns a shallow, incomplete copy.
+func (g *Bad) Clone() *Bad { // want `Bad\.Clone does not mention field\(s\) b, c`
+	return &Bad{a: g.a}
+}
+
+// Exempt excludes its scratch buffer from the clone contract.
+type Exempt struct {
+	a       int
+	scratch []int //tracep:noclone rebuilt lazily on first use
+}
+
+// Clone copies only the contractual state.
+func (e *Exempt) Clone() *Exempt { return &Exempt{a: e.a} }
+
+// Whole is cloned by a whole-struct copy, which covers every field at once.
+type Whole struct{ a, b, c int }
+
+// Clone copies the value wholesale.
+func (w *Whole) Clone() *Whole {
+	out := *w
+	return &out
+}
+
+// Assigned covers its fields through assignments rather than a literal.
+type Assigned struct{ a, b int }
+
+// Clone writes each field explicitly.
+func (s *Assigned) Clone() *Assigned {
+	out := new(Assigned)
+	out.a = s.a
+	out.b = s.b
+	return out
+}
+
+// Unkeyed uses an unkeyed literal, which the type checker already forces to
+// be exhaustive.
+type Unkeyed struct{ a, b int }
+
+// Clone relies on positional exhaustiveness.
+func (u *Unkeyed) Clone() *Unkeyed { return &Unkeyed{u.a, u.b} }
+
+// NotAClone is a same-named method on a non-struct receiver: ignored.
+type NotAClone int
+
+// Clone on a non-struct receiver is out of scope.
+func (n NotAClone) Clone() NotAClone { return n }

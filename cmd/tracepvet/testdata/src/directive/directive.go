@@ -1,0 +1,30 @@
+// Package directive seeds malformed //tracep: comments for the directive
+// analyzer. Expectations live in the driver test (TestDirectiveAnalyzer)
+// rather than in want comments: the findings are on the directive comments
+// themselves, so a same-line want comment cannot be attached.
+package directive
+
+// typo carries a misspelled directive that must not silently disable a mark.
+//
+//tracep:noaloc
+func typo() {}
+
+// bare carries an allow with no reason.
+func bare(n int) []int {
+	//tracep:allow
+	return make([]int, n)
+}
+
+// fine carries well-formed directives only.
+//
+//tracep:noalloc
+func fine() {}
+
+// sum is order-invariant; the reason on orderinvariant is optional.
+func sum(m map[int]int) int {
+	t := 0
+	for _, v := range m { //tracep:orderinvariant
+		t += v
+	}
+	return t
+}

@@ -1,0 +1,62 @@
+// Package maprange exercises the maprange analyzer: bare map iteration is an
+// error, //tracep:orderinvariant suppresses it, and iteration over every
+// other rangeable kind stays silent.
+package maprange
+
+// Sum iterates a map with no directive.
+func Sum(m map[int]int) int {
+	t := 0
+	for _, v := range m { // want `map iteration order is nondeterministic`
+		t += v
+	}
+	return t
+}
+
+// SumAllowed carries the directive as a trailing comment on the loop line.
+func SumAllowed(m map[int]int) int {
+	t := 0
+	for _, v := range m { //tracep:orderinvariant summing counters commutes
+		t += v
+	}
+	return t
+}
+
+// SumAllowedAbove carries the directive on the line above the loop.
+func SumAllowedAbove(m map[int]int) int {
+	t := 0
+	//tracep:orderinvariant summing counters commutes
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
+// Named ranges over a named map type, which must be flagged like a literal
+// map type.
+type counter map[string]int
+
+func Named(c counter) int {
+	t := 0
+	for _, v := range c { // want `map iteration order is nondeterministic`
+		t += v
+	}
+	return t
+}
+
+// Others ranges over slices, arrays, integers and channels: none are flagged.
+func Others(s []int, a [4]int, ch chan int) int {
+	t := 0
+	for _, v := range s {
+		t += v
+	}
+	for _, v := range a {
+		t += v
+	}
+	for i := range 3 {
+		t += i
+	}
+	for v := range ch {
+		t += v
+	}
+	return t
+}

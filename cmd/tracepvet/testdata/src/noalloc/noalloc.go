@@ -1,0 +1,99 @@
+// Package noalloc exercises the noalloc analyzer: every want comment is a
+// seeded violation the analyzer must report, and every unannotated line must
+// stay silent. Nothing here runs; the fixtures only need to type-check.
+package noalloc
+
+import (
+	"fmt"
+	"math"
+)
+
+// T provides methods for the method-value and bound-call cases.
+type T struct{ x int }
+
+func (t *T) inc() { t.x++ }
+
+//tracep:noalloc
+func marked() {}
+
+func unmarked() {}
+
+//tracep:noalloc
+func callDiscipline() {
+	marked()
+	_ = math.Sqrt(2)
+	unmarked()       // want `call to vettest/src/noalloc\.unmarked, which is not marked //tracep:noalloc`
+	fmt.Println("x") // want `variadic call to Println boxes its arguments` `package fmt is not on the noalloc whitelist`
+}
+
+//tracep:noalloc
+func constructs(n int, s []int) {
+	_ = make([]int, n) // want `make allocates`
+	_ = new(T)         // want `new allocates`
+	s = append(s, 1)   // want `append may grow its backing array`
+	_ = s
+	_ = []int{1, 2}       // want `slice literal allocates`
+	_ = map[int]int{1: 2} // want `map literal allocates`
+	_ = &T{x: 1}          // want `&composite literal allocates`
+	go marked()           // want `go statement allocates a goroutine`
+	defer marked()        // want `defer may allocate`
+}
+
+//tracep:noalloc
+func closures(t *T) {
+	f := func() {} // want `function literal may allocate a closure`
+	f()            // want `dynamic call through a function value cannot be verified noalloc`
+	g := t.inc     // want `method value allocates a bound-method closure`
+	g()            // want `dynamic call through a function value cannot be verified noalloc`
+}
+
+//tracep:noalloc
+func conversions(a, b string, bs []byte, v int) {
+	_ = a + b      // want `non-constant string concatenation allocates`
+	_ = "x" + "y"  // constant concatenation is materialised at compile time
+	_ = string(bs) // want `conversion \[\]byte -> string allocates`
+	_ = []byte(a)  // want `conversion string -> \[\]byte allocates`
+	_ = any(v)     // want `conversion to interface type any boxes its operand`
+}
+
+// Stepper pairs a marked interface method (trusted across dynamic calls)
+// with an unmarked one.
+type Stepper interface {
+	// Step is part of the cycle loop.
+	//
+	//tracep:noalloc
+	Step()
+	Slow()
+}
+
+//tracep:noalloc
+func dynamicCalls(s Stepper) {
+	s.Step()
+	s.Slow() // want `dynamic call to \(vettest/src/noalloc\.Stepper\)\.Slow: interface method is not marked`
+}
+
+//tracep:noalloc
+func sink(args ...any) {}
+
+//tracep:noalloc
+func boxing(vs []any) {
+	sink(1, 2) // want `variadic call to sink boxes its arguments`
+	sink()     // no arguments reach the variadic slot: nothing boxes
+	sink(vs...)
+}
+
+//tracep:noalloc
+func allowedGrow(s []int) []int {
+	//tracep:allow amortised doubling, measured zero at steady state
+	return append(s, 1)
+}
+
+//tracep:noalloc
+func allowedTrailing(n int) []int {
+	return make([]int, n) //tracep:allow one-time arena sizing at construction
+}
+
+// freely is unmarked, so the analyzer leaves its allocations alone.
+func freely(n int) []int {
+	return append(make([]int, 0, n), 1, 2)
+}

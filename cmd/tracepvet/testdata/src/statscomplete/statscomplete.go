@@ -1,0 +1,45 @@
+// Package statscomplete exercises the statscomplete analyzer: ResetStats
+// must mention every receiver field unless the field is marked
+// //tracep:nostats as model state that survives measurement intervals.
+package statscomplete
+
+// Counters resets every field.
+type Counters struct {
+	fetches int
+	retires int
+}
+
+// ResetStats zeroes the interval counters.
+func (c *Counters) ResetStats() {
+	c.fetches = 0
+	c.retires = 0
+}
+
+// Skewed forgets one counter, which would skew the measured region.
+type Skewed struct {
+	fetches int
+	retires int
+}
+
+// ResetStats misses retires.
+func (s *Skewed) ResetStats() { // want `Skewed\.ResetStats does not mention field\(s\) retires`
+	s.fetches = 0
+}
+
+// Predictor mixes model state (preserved across intervals) with counters.
+type Predictor struct {
+	// table is warmed model state, not a statistic.
+	//
+	//tracep:nostats
+	table   []int
+	lookups int
+}
+
+// ResetStats touches only the statistics.
+func (p *Predictor) ResetStats() { p.lookups = 0 }
+
+// Zeroed resets by overwriting the whole struct.
+type Zeroed struct{ a, b int }
+
+// ResetStats clears everything at once.
+func (z *Zeroed) ResetStats() { *z = Zeroed{} }

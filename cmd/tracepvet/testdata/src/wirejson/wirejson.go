@@ -1,0 +1,52 @@
+// Package wirejson exercises the wirejson analyzer: once a struct carries
+// one json tag, every exported field must carry one.
+package wirejson
+
+// Tagged tags every exported field; unexported fields are free.
+type Tagged struct {
+	Cycles int     `json:"cycles"`
+	IPC    float64 `json:"ipc"`
+	hidden int
+}
+
+// Partial lets an exported field join the wire format implicitly.
+type Partial struct {
+	Cycles int     `json:"cycles"`
+	IPC    float64 // want `exported field IPC of a json-tagged struct has no json tag`
+	hidden int
+}
+
+// Multi declares two untagged fields in one declaration: both are flagged.
+type Multi struct {
+	Cycles int `json:"cycles"`
+	A, B   int // want `exported field A of a json-tagged struct has no json tag` `exported field B of a json-tagged struct has no json tag`
+}
+
+// Base is embedded below.
+type Base struct {
+	N int `json:"n"`
+}
+
+// Embeds leaves an embedded field untagged, which still widens the format.
+type Embeds struct {
+	Base `json:"base"`
+	M    int `json:"m"`
+}
+
+// EmbedsUntagged embeds without a tag.
+type EmbedsUntagged struct {
+	Base     // want `embedded field Base of a json-tagged struct has no json tag`
+	M    int `json:"m"`
+}
+
+// Plain carries no json tags at all: it is not a wire struct.
+type Plain struct {
+	Cycles int
+	IPC    float64
+}
+
+// Other uses non-json tags only, which does not make it a wire struct.
+type Other struct {
+	Cycles int `yaml:"cycles"`
+	IPC    float64
+}

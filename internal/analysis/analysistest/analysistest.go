@@ -1,0 +1,162 @@
+// Package analysistest runs analyzers over small fixture packages and checks
+// their diagnostics against expectations written in the fixture source, in
+// the style of golang.org/x/tools/go/analysis/analysistest: a comment
+//
+//	_ = make([]int, n) // want `make allocates`
+//
+// declares that every analyzer under test must report a diagnostic on that
+// line whose message matches the regexp. Multiple expectations may follow one
+// `want` (each quoted separately); diagnostics and expectations must match
+// one-to-one per line — an unexpected diagnostic and an unmatched expectation
+// are both test failures.
+//
+// Fixture packages live in their own module (testdata is invisible to the go
+// tool, so the fixture tree carries its own go.mod) and are loaded with the
+// same offline loader the real driver uses, making the tests exercise the
+// exact Load -> NewWorld -> Run path of cmd/tracepvet.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"tracep/internal/analysis"
+)
+
+// Run loads the packages matching patterns (with dir as the go command's
+// working directory), builds analyzers from the loaded packages via build —
+// a hook rather than a fixed list because tracepvet's analyzers close over a
+// cross-package fact base (lint.NewWorld) — and compares the resulting
+// diagnostics against the fixtures' want comments.
+func Run(t *testing.T, dir string, patterns []string, build func([]*analysis.Package) []*analysis.Analyzer) {
+	t.Helper()
+	pkgs, err := analysis.Load(dir, patterns...)
+	if err != nil {
+		t.Fatalf("loading %v: %v", patterns, err)
+	}
+	findings, err := analysis.Run(pkgs, build(pkgs))
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+
+	wants := collectWants(t, pkgs)
+	for _, f := range findings {
+		if !consume(wants, f) {
+			t.Errorf("unexpected diagnostic:\n  %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re.String())
+		}
+	}
+}
+
+// want is one expectation: a diagnostic on (file, line) matching re.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// consume marks the first unmatched expectation that covers f, reporting
+// whether one existed.
+func consume(wants []*want, f analysis.Finding) bool {
+	for _, w := range wants {
+		if w.matched || w.file != f.Pos.Filename || w.line != f.Pos.Line {
+			continue
+		}
+		if w.re.MatchString(f.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants extracts every want comment from the loaded packages' syntax.
+// The comment's own line is the expected diagnostic line, so expectations sit
+// as trailing comments on the construct they describe.
+func collectWants(t *testing.T, pkgs []*analysis.Package) []*want {
+	t.Helper()
+	var out []*want
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text, ok := strings.CutPrefix(c.Text, "//")
+					if !ok {
+						continue // want comments are line comments only
+					}
+					text, ok = strings.CutPrefix(strings.TrimSpace(text), "want ")
+					if !ok {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					res, err := parseWantPatterns(text)
+					if err != nil {
+						t.Fatalf("%s:%d: malformed want comment: %v", pos.Filename, pos.Line, err)
+					}
+					for _, re := range res {
+						out = append(out, &want{file: pos.Filename, line: pos.Line, re: re})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// parseWantPatterns parses the body of a want comment: one or more Go string
+// literals (back-quoted or double-quoted), each a regexp.
+func parseWantPatterns(s string) ([]*regexp.Regexp, error) {
+	var out []*regexp.Regexp
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			break
+		}
+		lit, rest, err := cutStringLit(s)
+		if err != nil {
+			return nil, err
+		}
+		re, err := regexp.Compile(lit)
+		if err != nil {
+			return nil, fmt.Errorf("compiling %q: %v", lit, err)
+		}
+		out = append(out, re)
+		s = rest
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no pattern after 'want'")
+	}
+	return out, nil
+}
+
+// cutStringLit unquotes the Go string literal at the start of s and returns
+// it with the remainder of s.
+func cutStringLit(s string) (lit, rest string, err error) {
+	quote := s[0]
+	if quote != '`' && quote != '"' {
+		return "", "", fmt.Errorf("expected a quoted pattern, found %q", s)
+	}
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if quote == '"' {
+				i++ // skip the escaped character
+			}
+		case quote:
+			lit, err := strconv.Unquote(s[:i+1])
+			if err != nil {
+				return "", "", fmt.Errorf("unquoting %s: %v", s[:i+1], err)
+			}
+			return lit, s[i+1:], nil
+		}
+	}
+	return "", "", fmt.Errorf("unterminated pattern in %q", s)
+}

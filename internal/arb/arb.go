@@ -55,8 +55,11 @@ func New() *ARB {
 }
 
 // recycle returns an emptied version list to the pool.
+//
+//tracep:noalloc
 func (a *ARB) recycle(vs []version) {
 	if cap(vs) > 0 {
+		//tracep:allow pool return: emptied version lists are recycled; growth is amortised
 		a.pool = append(a.pool, vs[:0])
 	}
 }
@@ -64,6 +67,8 @@ func (a *ARB) recycle(vs []version) {
 // Store performs (or re-performs) a store: it installs the version for
 // (addr, seq), replacing any previous version by the same sequence number at
 // this address.
+//
+//tracep:noalloc
 func (a *ARB) Store(addr uint32, val int64, seq Seq) {
 	a.Stores++
 	vs, ok := a.byAddr[addr]
@@ -79,12 +84,15 @@ func (a *ARB) Store(addr uint32, val int64, seq Seq) {
 			return
 		}
 	}
+	//tracep:allow version lists draw on recycled capacity; growth is amortised across stores
 	a.byAddr[addr] = append(vs, version{seq, val})
 }
 
 // Undo removes the version for (addr, seq); it reports whether a version was
 // present. Used when a store is squashed or re-issues to a different
 // address.
+//
+//tracep:noalloc
 func (a *ARB) Undo(addr uint32, seq Seq) bool {
 	vs := a.byAddr[addr]
 	for i := range vs {
@@ -108,13 +116,17 @@ func (a *ARB) Undo(addr uint32, seq Seq) bool {
 // seq: the youngest speculative store older than the load, or committed
 // memory when none exists. It returns the value and the sequence number of
 // the producing store (MemSeq for memory).
+//
+//tracep:noalloc
 func (a *ARB) Load(addr uint32, seq Seq, less LessFunc, mem *isa.Memory) (val int64, src Seq) {
 	best := MemSeq
 	found := false
 	for _, v := range a.byAddr[addr] {
+		//tracep:allow less is the caller's prebuilt seqLess func value, itself //tracep:noalloc
 		if !less(v.seq, seq) {
 			continue // store not older than the load
 		}
+		//tracep:allow less is the caller's prebuilt seqLess func value, itself //tracep:noalloc
 		if !found || less(best, v.seq) {
 			best = v.seq
 			val = v.val
@@ -130,6 +142,8 @@ func (a *ARB) Load(addr uint32, seq Seq, less LessFunc, mem *isa.Memory) (val in
 // Commit writes the version for (addr, seq) to memory and removes it from
 // the buffer; it reports whether the version existed. Called at trace
 // retirement in program order.
+//
+//tracep:noalloc
 func (a *ARB) Commit(addr uint32, seq Seq, mem *isa.Memory) bool {
 	vs := a.byAddr[addr]
 	for i := range vs {
@@ -158,7 +172,7 @@ func (a *ARB) Versions(addr uint32) int { return len(a.byAddr[addr]) }
 // addresses.
 func (a *ARB) TotalVersions() int {
 	n := 0
-	for _, vs := range a.byAddr {
+	for _, vs := range a.byAddr { //tracep:orderinvariant summing counts
 		n += len(vs)
 	}
 	return n
@@ -172,16 +186,22 @@ func (a *ARB) TotalVersions() int {
 //  2. the store is logically at or after the load's data source — "after"
 //     means the load held an older, incorrect version; "at" means the same
 //     store re-performed (possibly with a new value).
+//
+//tracep:noalloc
 func NeedsReissue(loadSeq, dataSeq, storeSeq Seq, less LessFunc) bool {
+	//tracep:allow less is the caller's prebuilt seqLess func value, itself //tracep:noalloc
 	if !less(storeSeq, loadSeq) {
 		return false
 	}
 	if dataSeq == MemSeq {
 		return true // any older speculative store supersedes memory data
 	}
+	//tracep:allow less is the caller's prebuilt seqLess func value, itself //tracep:noalloc
 	return storeSeq == dataSeq || less(dataSeq, storeSeq)
 }
 
 // UndoHitsLoad is the store-undo snoop predicate: a load must reissue iff
 // the undone store produced its data.
+//
+//tracep:noalloc
 func UndoHitsLoad(dataSeq, undoSeq Seq) bool { return dataSeq == undoSeq }

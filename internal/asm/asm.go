@@ -249,7 +249,7 @@ func (b *Builder) Build() (*isa.Program, error) {
 		}
 	}
 	data := make(map[uint32]int64, len(b.data))
-	for k, v := range b.data {
+	for k, v := range b.data { //tracep:orderinvariant map-to-map copy
 		data[k] = v
 	}
 	return &isa.Program{Name: b.name, Insts: insts, Data: data}, nil

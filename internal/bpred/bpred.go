@@ -31,12 +31,12 @@ func DefaultConfig() Config { return Config{Entries: 16384, RASDepth: 16} }
 // Predictor is a tagless BTB: a direction table of 2-bit counters indexed by
 // PC, with a target field per entry for indirect-branch target prediction.
 type Predictor struct {
-	cfg    Config
-	mask   uint32
-	ctr    []uint8 // 2-bit saturating counters, initialised weakly not-taken
-	target []uint32
+	cfg    Config   //tracep:nostats configuration
+	mask   uint32   //tracep:nostats configuration
+	ctr    []uint8  //tracep:nostats model state: 2-bit saturating counters, initialised weakly not-taken
+	target []uint32 //tracep:nostats model state
 
-	ras []uint32
+	ras []uint32 //tracep:nostats model state
 
 	// Lookups counts direction predictions made.
 	Lookups uint64
@@ -102,16 +102,21 @@ func (p *Predictor) Clone() *Predictor {
 // ResetStats zeroes the lookup counter, keeping the trained state.
 func (p *Predictor) ResetStats() { p.Lookups = 0 }
 
+//tracep:noalloc
 func (p *Predictor) idx(pc uint32) uint32 { return pc & p.mask }
 
 // PredictDirection predicts a conditional branch at pc: taken when the 2-bit
 // counter's high bit is set.
+//
+//tracep:noalloc
 func (p *Predictor) PredictDirection(pc uint32) bool {
 	p.Lookups++
 	return p.ctr[p.idx(pc)] >= 2
 }
 
 // UpdateDirection trains the 2-bit counter for the branch at pc.
+//
+//tracep:noalloc
 func (p *Predictor) UpdateDirection(pc uint32, taken bool) {
 	i := p.idx(pc)
 	if taken {
@@ -128,6 +133,8 @@ func (p *Predictor) UpdateDirection(pc uint32, taken bool) {
 func (p *Predictor) PredictIndirect(pc uint32) uint32 { return p.target[p.idx(pc)] }
 
 // UpdateIndirect records the observed target of the indirect jump at pc.
+//
+//tracep:noalloc
 func (p *Predictor) UpdateIndirect(pc, target uint32) { p.target[p.idx(pc)] = target }
 
 // PushRAS records a call's return address.

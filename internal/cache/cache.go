@@ -8,16 +8,16 @@ package cache
 // opaque uint64 line key (callers shift addresses to line granularity or hash
 // trace descriptors).
 type SetAssoc struct {
-	sets  int
-	assoc int
+	sets  int //tracep:nostats configuration
+	assoc int //tracep:nostats configuration
 	// tags/valid/lru are flat sets*assoc arrays indexed by set*assoc+way —
 	// three allocations per cache instead of three per set, which makes
 	// construction and snapshot cloning cheap and keeps each set's ways on
 	// one cache line.
-	tags  []uint64
-	valid []bool
+	tags  []uint64 //tracep:nostats model state
+	valid []bool   //tracep:nostats model state
 	// lru[set*assoc+w] is the recency rank of way w in the set; 0 = MRU.
-	lru []uint8
+	lru []uint8 //tracep:nostats model state
 
 	Accesses uint64
 	Misses   uint64
@@ -72,8 +72,10 @@ func (c *SetAssoc) Sets() int { return c.sets }
 // Assoc returns the associativity.
 func (c *SetAssoc) Assoc() int { return c.assoc }
 
+//tracep:noalloc
 func (c *SetAssoc) set(key uint64) int { return int(key) & (c.sets - 1) }
 
+//tracep:noalloc
 func (c *SetAssoc) touch(si, way int) {
 	base := si * c.assoc
 	old := c.lru[base+way]
@@ -88,12 +90,16 @@ func (c *SetAssoc) touch(si, way int) {
 // Access looks key up, fills on miss (evicting the LRU way) and returns
 // whether it hit. The returned evicted key is meaningful only when evict is
 // true.
+//
+//tracep:noalloc
 func (c *SetAssoc) Access(key uint64) (hit bool) {
 	hit, _, _ = c.AccessEvict(key)
 	return hit
 }
 
 // AccessEvict is Access, also reporting any evicted valid line's key.
+//
+//tracep:noalloc
 func (c *SetAssoc) AccessEvict(key uint64) (hit bool, evicted uint64, evict bool) {
 	c.Accesses++
 	si := c.set(key)
@@ -130,6 +136,8 @@ fill:
 // Touch looks key up without filling on a miss: it updates LRU and counts
 // the access. It is the lookup primitive for caches whose contents arrive
 // later (the trace cache fills at construction completion, not at lookup).
+//
+//tracep:noalloc
 func (c *SetAssoc) Touch(key uint64) bool {
 	c.Accesses++
 	si := c.set(key)
@@ -146,6 +154,8 @@ func (c *SetAssoc) Touch(key uint64) bool {
 
 // Fill installs key (if absent), evicting the LRU way when the set is full.
 // It does not count as an access.
+//
+//tracep:noalloc
 func (c *SetAssoc) Fill(key uint64) (evicted uint64, evict bool) {
 	si := c.set(key)
 	base := si * c.assoc
@@ -210,8 +220,8 @@ func (c *SetAssoc) MissRate() float64 {
 // 12-cycle miss penalty (Table 1). Addresses are instruction indices.
 type ICache struct {
 	c           *SetAssoc
-	lineShift   uint
-	MissPenalty int
+	lineShift   uint //tracep:nostats configuration
+	MissPenalty int  //tracep:nostats configuration
 }
 
 // ICacheConfig sizes an ICache.
@@ -243,6 +253,8 @@ func NewICache(cfg ICacheConfig) *ICache {
 
 // Fetch accesses the line containing pc and returns the access latency in
 // cycles beyond the base 1-cycle fetch (0 on hit, MissPenalty on miss).
+//
+//tracep:noalloc
 func (ic *ICache) Fetch(pc uint32) int {
 	if ic.c.Access(uint64(pc) >> ic.lineShift) {
 		return 0
@@ -252,6 +264,8 @@ func (ic *ICache) Fetch(pc uint32) int {
 
 // SameLine reports whether two PCs fall in the same cache line (a basic-block
 // fetch spanning a line boundary costs an extra access).
+//
+//tracep:noalloc
 func (ic *ICache) SameLine(a, b uint32) bool {
 	return a>>ic.lineShift == b>>ic.lineShift
 }
@@ -271,9 +285,9 @@ func (ic *ICache) ResetStats() { ic.c.ResetStats() }
 // 14-cycle miss penalty (Table 1). Addresses are data-word addresses.
 type DCache struct {
 	c           *SetAssoc
-	lineShift   uint
-	MissPenalty int
-	HitLatency  int
+	lineShift   uint //tracep:nostats configuration
+	MissPenalty int  //tracep:nostats configuration
+	HitLatency  int  //tracep:nostats configuration
 }
 
 // DCacheConfig sizes a DCache.
@@ -310,6 +324,8 @@ func NewDCache(cfg DCacheConfig) *DCache {
 
 // Access touches the line containing addr and returns total access latency
 // (hit latency, plus miss penalty on a miss).
+//
+//tracep:noalloc
 func (dc *DCache) Access(addr uint32) int {
 	if dc.c.Access(uint64(addr) >> dc.lineShift) {
 		return dc.HitLatency

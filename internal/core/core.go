@@ -49,6 +49,8 @@ type Region struct {
 
 // Embeddable reports whether the region can be embedded in a trace of
 // maxLen instructions — the paper's FGCI candidacy test.
+//
+//tracep:noalloc
 func (r Region) Embeddable(maxLen int) bool { return r.Found && r.Size <= maxLen }
 
 // AnalyzeConfig bounds the FGCI-algorithm's hardware resources.
@@ -227,12 +229,12 @@ func DefaultBITConfig() BITConfig {
 // determination either way (§3.1). A miss runs the FGCI-algorithm and costs
 // its scan latency.
 type BIT struct {
-	cfg    BITConfig
+	cfg    BITConfig //tracep:nostats configuration
 	timing *cache.SetAssoc
 	// results memoises the (pure) analysis so a re-fill after eviction
 	// recomputes timing cost but not the analysis itself.
-	results map[uint32]Region
-	prog    *isa.Program
+	results map[uint32]Region //tracep:nostats memoised analysis, not a counter
+	prog    *isa.Program      //tracep:nostats shared immutable program
 
 	Lookups    uint64
 	MissCycles uint64
@@ -255,11 +257,14 @@ func NewBIT(prog *isa.Program, cfg BITConfig) *BIT {
 // Lookup returns the region information for the forward conditional branch
 // at pc plus the cycles the lookup cost (0 on a BIT hit; the FGCI-algorithm
 // scan latency on a miss).
+//
+//tracep:noalloc
 func (b *BIT) Lookup(pc uint32) (Region, int) {
 	b.Lookups++
 	hit := b.timing.Access(uint64(pc))
 	reg, known := b.results[pc]
 	if !known {
+		//tracep:allow BIT miss path: the FGCI scan runs once per static branch and is memoised
 		reg = AnalyzeRegion(b.prog, pc, b.cfg.Analyze)
 		b.results[pc] = reg
 	}
@@ -285,7 +290,7 @@ func (b *BIT) Clone() *BIT {
 		Lookups:    b.Lookups,
 		MissCycles: b.MissCycles,
 	}
-	for pc, reg := range b.results {
+	for pc, reg := range b.results { //tracep:orderinvariant map-to-map copy
 		n.results[pc] = reg
 	}
 	return n
@@ -311,6 +316,8 @@ type TraceView struct {
 // first control-independent trace. traces is ordered oldest to youngest;
 // from is the index of the first trace younger than the mispredicted one.
 // It returns the index of the assumed first control-independent trace.
+//
+//tracep:noalloc
 func FindRET(traces []TraceView, from int) (ci int, ok bool) {
 	for i := from; i < len(traces)-1; i++ {
 		if traces[i].EndsInRet {
@@ -324,6 +331,8 @@ func FindRET(traces []TraceView, from int) (ci int, ok bool) {
 // branch is a backward branch, it is assumed to be a loop branch: the
 // nearest younger trace whose start PC matches the branch's not-taken target
 // is assumed control independent (MLB). Otherwise the RET heuristic applies.
+//
+//tracep:noalloc
 func FindMLBRET(traces []TraceView, from int, isBackward bool, notTakenTarget uint32) (ci int, ok bool) {
 	if isBackward {
 		for i := from; i < len(traces); i++ {

@@ -61,8 +61,31 @@ func (e *Emulator) Clone() *Emulator {
 	}
 }
 
+// rd reads register r architecturally (R0 reads as zero).
+//
+//tracep:noalloc
+func (e *Emulator) rd(r isa.Reg) int64 {
+	if r == 0 {
+		return 0
+	}
+	return e.Regs[r]
+}
+
+// wr writes v to register r (writes to R0 are discarded) and records the
+// destination in rec.
+//
+//tracep:noalloc
+func (e *Emulator) wr(rec *Record, r isa.Reg, v int64) {
+	if r != 0 {
+		e.Regs[r] = v
+		rec.Dest, rec.Value, rec.HasDest = r, v, true
+	}
+}
+
 // Step executes the next instruction and returns its record. Stepping a
 // halted machine returns a record with Halted set and advances nothing.
+//
+//tracep:noalloc
 func (e *Emulator) Step() Record {
 	if e.Halted {
 		return Record{PC: e.PC, Halted: true}
@@ -71,19 +94,6 @@ func (e *Emulator) Step() Record {
 	in := e.Prog.At(pc)
 	rec := Record{PC: pc, Inst: in, NextPC: pc + 1}
 
-	rd := func(r isa.Reg) int64 {
-		if r == 0 {
-			return 0
-		}
-		return e.Regs[r]
-	}
-	wr := func(r isa.Reg, v int64) {
-		if r != 0 {
-			e.Regs[r] = v
-			rec.Dest, rec.Value, rec.HasDest = r, v, true
-		}
-	}
-
 	switch op := in.Op; {
 	case op == isa.OpNop:
 	case op == isa.OpHalt:
@@ -91,35 +101,36 @@ func (e *Emulator) Step() Record {
 		rec.Halted = true
 		rec.NextPC = pc
 	case op >= isa.OpAdd && op <= isa.OpLui:
-		wr(in.Rd, isa.EvalALU(op, rd(in.Rs1), rd(in.Rs2), in.Imm))
+		e.wr(&rec, in.Rd, isa.EvalALU(op, e.rd(in.Rs1), e.rd(in.Rs2), in.Imm))
 	case op == isa.OpLoad:
-		addr := uint32(rd(in.Rs1) + in.Imm)
+		addr := uint32(e.rd(in.Rs1) + in.Imm)
 		rec.Addr = addr
-		wr(in.Rd, e.Mem.Read(addr))
+		e.wr(&rec, in.Rd, e.Mem.Read(addr))
 	case op == isa.OpStore:
-		addr := uint32(rd(in.Rs1) + in.Imm)
+		addr := uint32(e.rd(in.Rs1) + in.Imm)
 		rec.Addr = addr
-		rec.StoreVal = rd(in.Rs2)
+		rec.StoreVal = e.rd(in.Rs2)
 		e.Mem.Write(addr, rec.StoreVal)
 	case in.IsCondBranch():
-		rec.Taken = isa.BranchTaken(op, rd(in.Rs1), rd(in.Rs2))
+		rec.Taken = isa.BranchTaken(op, e.rd(in.Rs1), e.rd(in.Rs2))
 		if rec.Taken {
 			rec.NextPC = in.Target
 		}
 	case op == isa.OpJump:
 		rec.NextPC = in.Target
 	case op == isa.OpCall:
-		wr(isa.RLink, int64(pc+1))
+		e.wr(&rec, isa.RLink, int64(pc+1))
 		rec.NextPC = in.Target
 	case op == isa.OpJr:
-		rec.NextPC = uint32(rd(in.Rs1))
+		rec.NextPC = uint32(e.rd(in.Rs1))
 	case op == isa.OpCallR:
-		target := uint32(rd(in.Rs1))
-		wr(isa.RLink, int64(pc+1))
+		target := uint32(e.rd(in.Rs1))
+		e.wr(&rec, isa.RLink, int64(pc+1))
 		rec.NextPC = target
 	case op == isa.OpRet:
-		rec.NextPC = uint32(rd(isa.RLink))
+		rec.NextPC = uint32(e.rd(isa.RLink))
 	default:
+		//tracep:allow unreachable on well-formed programs: the panic aborts the process
 		panic(fmt.Sprintf("emu: unknown opcode %v at pc %d", op, pc))
 	}
 

@@ -106,6 +106,8 @@ type Inst struct {
 }
 
 // IsCondBranch reports whether the instruction is a conditional branch.
+//
+//tracep:noalloc
 func (in Inst) IsCondBranch() bool {
 	switch in.Op {
 	case OpBeq, OpBne, OpBlt, OpBge:
@@ -117,6 +119,8 @@ func (in Inst) IsCondBranch() bool {
 // IsIndirect reports whether the instruction is an indirect control transfer
 // (jump indirect, call indirect, or return) — the class that terminates
 // traces under the paper's default trace selection.
+//
+//tracep:noalloc
 func (in Inst) IsIndirect() bool {
 	switch in.Op {
 	case OpJr, OpCallR, OpRet:
@@ -126,6 +130,8 @@ func (in Inst) IsIndirect() bool {
 }
 
 // IsControl reports whether the instruction redirects control flow at all.
+//
+//tracep:noalloc
 func (in Inst) IsControl() bool {
 	switch in.Op {
 	case OpBeq, OpBne, OpBlt, OpBge, OpJump, OpCall, OpJr, OpCallR, OpRet, OpHalt:
@@ -138,9 +144,13 @@ func (in Inst) IsControl() bool {
 func (in Inst) IsCall() bool { return in.Op == OpCall || in.Op == OpCallR }
 
 // IsLoad reports whether the instruction reads memory.
+//
+//tracep:noalloc
 func (in Inst) IsLoad() bool { return in.Op == OpLoad }
 
 // IsStore reports whether the instruction writes memory.
+//
+//tracep:noalloc
 func (in Inst) IsStore() bool { return in.Op == OpStore }
 
 // IsMem reports whether the instruction accesses memory.
@@ -148,18 +158,24 @@ func (in Inst) IsMem() bool { return in.Op == OpLoad || in.Op == OpStore }
 
 // IsForwardBranch reports whether the instruction at pc is a conditional
 // branch whose taken target lies forward in the static program.
+//
+//tracep:noalloc
 func (in Inst) IsForwardBranch(pc uint32) bool {
 	return in.IsCondBranch() && in.Target > pc
 }
 
 // IsBackwardBranch reports whether the instruction at pc is a conditional
 // branch whose taken target lies at or before pc.
+//
+//tracep:noalloc
 func (in Inst) IsBackwardBranch(pc uint32) bool {
 	return in.IsCondBranch() && in.Target <= pc
 }
 
 // WritesReg reports whether the instruction writes an architectural register,
 // and which one. Writes to R0 are discarded and reported as no-writes.
+//
+//tracep:noalloc
 func (in Inst) WritesReg() (Reg, bool) {
 	var r Reg
 	switch in.Op {
@@ -180,6 +196,8 @@ func (in Inst) WritesReg() (Reg, bool) {
 // SrcRegs returns the architectural source registers the instruction reads.
 // Unused slots are reported as (0,false). Reads of R0 are treated as constant
 // zero and reported as unused so dependence tracking never waits on R0.
+//
+//tracep:noalloc
 func (in Inst) SrcRegs() (s1 Reg, use1 bool, s2 Reg, use2 bool) {
 	switch in.Op {
 	case OpAdd, OpSub, OpAnd, OpOr, OpXor, OpShl, OpShr, OpMul, OpDiv, OpSlt,
@@ -207,6 +225,8 @@ func (in Inst) SrcRegs() (s1 Reg, use1 bool, s2 Reg, use2 bool) {
 // EvalALU computes the result of an ALU opcode over operand values a, b and
 // the immediate. Division by zero is defined to produce 0 so speculative
 // wrong-path execution can never fault.
+//
+//tracep:noalloc
 func EvalALU(op Op, a, b, imm int64) int64 {
 	switch op {
 	case OpAdd:
@@ -259,6 +279,8 @@ func EvalALU(op Op, a, b, imm int64) int64 {
 }
 
 // BranchTaken evaluates a conditional branch opcode over operand values.
+//
+//tracep:noalloc
 func BranchTaken(op Op, a, b int64) bool {
 	switch op {
 	case OpBeq:
@@ -277,6 +299,8 @@ func BranchTaken(op Op, a, b int64) bool {
 // Table 1: integer ALU ops 1 cycle, complex ops at MIPS R10000 latencies
 // (mul 5, div 34). Memory latency is modelled separately by the cache/ARB
 // path (address generation 1 cycle + access).
+//
+//tracep:noalloc
 func Latency(op Op) int {
 	switch op {
 	case OpMul:
@@ -300,6 +324,8 @@ type Program struct {
 
 // At returns the instruction at pc. Out-of-range PCs decode as Halt, so a
 // wrong-path walk off the end of the image stops harmlessly.
+//
+//tracep:noalloc
 func (p *Program) At(pc uint32) Inst {
 	if int(pc) >= len(p.Insts) {
 		return Inst{Op: OpHalt}

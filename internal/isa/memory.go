@@ -20,7 +20,7 @@ type page [pageWords]int64
 func NewMemory(prog *Program) *Memory {
 	m := &Memory{pages: make(map[uint32]*page)}
 	if prog != nil {
-		for addr, v := range prog.Data {
+		for addr, v := range prog.Data { //tracep:orderinvariant keyed writes commute
 			m.Write(addr, v)
 		}
 	}
@@ -28,6 +28,8 @@ func NewMemory(prog *Program) *Memory {
 }
 
 // Read returns the word at addr (zero if never written).
+//
+//tracep:noalloc
 func (m *Memory) Read(addr uint32) int64 {
 	p, ok := m.pages[addr>>pageShift]
 	if !ok {
@@ -37,10 +39,13 @@ func (m *Memory) Read(addr uint32) int64 {
 }
 
 // Write stores v at addr.
+//
+//tracep:noalloc
 func (m *Memory) Write(addr uint32, v int64) {
 	idx := addr >> pageShift
 	p, ok := m.pages[idx]
 	if !ok {
+		//tracep:allow page fault-in: one allocation per touched page, bounded by the data footprint
 		p = new(page)
 		m.pages[idx] = p
 	}
@@ -51,7 +56,7 @@ func (m *Memory) Write(addr uint32, v int64) {
 // timing model independent memories initialised from the same image.
 func (m *Memory) Clone() *Memory {
 	c := &Memory{pages: make(map[uint32]*page, len(m.pages))}
-	for idx, p := range m.pages {
+	for idx, p := range m.pages { //tracep:orderinvariant map-to-map copy
 		np := *p
 		c.pages[idx] = &np
 	}

@@ -1,0 +1,51 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"tracep/internal/analysis"
+)
+
+// MapRange returns the analyzer that forbids bare map iteration. Go
+// randomises map iteration order per run, so a range over a map anywhere on
+// a simulation or reporting path is a latent byte-identity flake against
+// testdata/ci-baseline.json — exactly the class of bug that is cheap to
+// prevent structurally and miserable to bisect after the fact.
+//
+// A loop whose effect is provably independent of visit order (marking a live
+// set, copying map to map, summing counters) is annotated
+// //tracep:orderinvariant, with an optional reason, on or above the range
+// statement. Everything else must iterate a sorted key slice or a slice kept
+// alongside the map.
+func MapRange() *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name: "maprange",
+		Doc:  "forbid map iteration unless marked //tracep:orderinvariant",
+	}
+	a.Run = func(pass *analysis.Pass) error {
+		for _, f := range pass.Files {
+			dirs := collectFileDirs(pass.Fset, f)
+			ast.Inspect(f, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				tv, ok := pass.Info.Types[rng.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if dirs.orderInvariant(rng.Pos()) {
+					return true
+				}
+				pass.Reportf(rng.Pos(), "map iteration order is nondeterministic; sort keys, or mark the loop //tracep:orderinvariant if its effect is order-independent")
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}

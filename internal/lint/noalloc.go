@@ -1,0 +1,256 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"tracep/internal/analysis"
+)
+
+// noallocStdlib lists standard-library packages whose functions are trusted
+// not to allocate. Deliberately tiny: arithmetic, bit manipulation, atomics,
+// byte-order accessors. Everything else (fmt, strings, sort, errors, ...)
+// must be suppressed per call site with //tracep:allow and a reason.
+var noallocStdlib = map[string]bool{
+	"math":            true,
+	"math/bits":       true,
+	"sync/atomic":     true,
+	"unsafe":          true,
+	"encoding/binary": true,
+}
+
+// allocFreeBuiltins are builtin calls that never touch the heap.
+var allocFreeBuiltins = map[string]bool{
+	"len": true, "cap": true, "copy": true, "delete": true, "clear": true,
+	"min": true, "max": true, "real": true, "imag": true, "print": true,
+	"println": true, "panic": true, "recover": true,
+}
+
+// NoAlloc returns the analyzer enforcing the zero-allocation discipline of
+// the warmed cycle loop. A function whose doc comment carries
+// //tracep:noalloc may not contain heap-allocating constructs — make, new,
+// append (it may grow), composite literals for maps/slices, &T{} literals,
+// closures, method values, go/defer statements, non-constant string
+// concatenation, conversions that copy (string <-> []byte/[]rune) or box
+// (conversion to interface), and variadic interface argument lists — and
+// every callee must itself be marked //tracep:noalloc, be an alloc-free
+// builtin, or live in a whitelisted leaf package. Individual sites that are
+// intentionally allowed to allocate (cold error paths, amortised pool
+// refills) carry //tracep:allow <reason> on or above the offending line.
+//
+// The check is deliberately conservative and syntactic: it cannot see that
+// an append reuses pooled capacity or that a map insert rehashes, so the
+// runtime gate (proc.TestSteadyStateAllocs) and the escape-analysis
+// cross-check (cmd/tracepvet TestNoallocEscapeAnalysis) stay in place; this
+// analyzer makes the discipline reviewable and diff-stable.
+func NoAlloc(w *World) *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name: "noalloc",
+		Doc:  "check that //tracep:noalloc functions contain no heap-allocating constructs",
+	}
+	a.Run = func(pass *analysis.Pass) error {
+		for _, f := range pass.Files {
+			dirs := collectFileDirs(pass.Fset, f)
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || !hasDirective(fd.Doc, "noalloc") || fd.Body == nil {
+					continue
+				}
+				checkNoalloc(pass, w, dirs, fd)
+			}
+		}
+		return nil
+	}
+	return a
+}
+
+func checkNoalloc(pass *analysis.Pass, w *World, dirs *fileDirs, fd *ast.FuncDecl) {
+	report := func(pos token.Pos, format string, args ...any) {
+		if dirs.allowed(pos) {
+			return
+		}
+		pass.Reportf(pos, format, args...)
+	}
+	info := pass.Info
+
+	// callFuns records expressions in call position, so a SelectorExpr that
+	// is the Fun of a call is not also flagged as a method value.
+	callFuns := map[ast.Expr]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			callFuns[ast.Unparen(call.Fun)] = true
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkCall(pass, report, w, n)
+		case *ast.FuncLit:
+			report(n.Pos(), "function literal may allocate a closure")
+			return false // its body is not part of the marked function
+		case *ast.CompositeLit:
+			switch info.Types[n].Type.Underlying().(type) {
+			case *types.Map:
+				report(n.Pos(), "map literal allocates")
+			case *types.Slice:
+				report(n.Pos(), "slice literal allocates")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					report(n.Pos(), "&composite literal allocates")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if tv := info.Types[n]; tv.Value == nil && isString(tv.Type) {
+					report(n.Pos(), "non-constant string concatenation allocates")
+				}
+			}
+		case *ast.SelectorExpr:
+			if !callFuns[ast.Expr(n)] {
+				if sel, ok := info.Selections[n]; ok && sel.Kind() == types.MethodVal {
+					report(n.Pos(), "method value allocates a bound-method closure")
+				}
+			}
+		case *ast.GoStmt:
+			report(n.Pos(), "go statement allocates a goroutine")
+		case *ast.DeferStmt:
+			report(n.Pos(), "defer may allocate (and stalls the cycle loop)")
+		}
+		return true
+	})
+}
+
+// checkCall vets one call expression inside a noalloc function: allocating
+// builtins and conversions, boxing at the call boundary, and the noalloc /
+// whitelist discipline for the callee.
+func checkCall(pass *analysis.Pass, report func(token.Pos, string, ...any), w *World, call *ast.CallExpr) {
+	info := pass.Info
+	fun := ast.Unparen(call.Fun)
+
+	// Conversions.
+	if tv, ok := info.Types[fun]; ok && tv.IsType() {
+		to := tv.Type
+		if types.IsInterface(to.Underlying()) {
+			report(call.Pos(), "conversion to interface type %s boxes its operand", types.TypeString(to, nil))
+			return
+		}
+		if len(call.Args) == 1 {
+			from := info.Types[call.Args[0]].Type
+			switch {
+			case info.Types[call.Args[0]].Value != nil:
+				// Constant conversions are materialised at compile time.
+			case isString(to) && (isByteOrRuneSlice(from) || isRune(from)):
+				report(call.Pos(), "conversion %s -> string allocates", types.TypeString(from, nil))
+			case isByteOrRuneSlice(to) && isString(from):
+				report(call.Pos(), "conversion string -> %s allocates", types.TypeString(to, nil))
+			}
+		}
+		return
+	}
+
+	// Builtins.
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				report(call.Pos(), "make allocates")
+			case "new":
+				report(call.Pos(), "new allocates")
+			case "append":
+				report(call.Pos(), "append may grow its backing array")
+			default:
+				if !allocFreeBuiltins[b.Name()] {
+					report(call.Pos(), "builtin %s may allocate", b.Name())
+				}
+			}
+			return
+		}
+	}
+
+	fn, dynamic := callee(info, fun)
+	if fn == nil {
+		report(call.Pos(), "dynamic call through a function value cannot be verified noalloc")
+		return
+	}
+
+	// Boxing at the call boundary: a variadic ...interface{} parameter heap-
+	// allocates the argument slice in the caller whenever the callee's slice
+	// escapes (fmt-style APIs), even if the call is otherwise a no-op.
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Variadic() && !call.Ellipsis.IsValid() {
+		if last := sig.Params().At(sig.Params().Len() - 1); last != nil {
+			if sl, ok := last.Type().(*types.Slice); ok && types.IsInterface(sl.Elem().Underlying()) {
+				if len(call.Args) >= sig.Params().Len() {
+					report(call.Pos(), "variadic call to %s boxes its arguments into %s", fn.Name(), types.TypeString(sl, nil))
+				}
+			}
+		}
+	}
+
+	if w.isNoalloc(fn) {
+		return
+	}
+	if dynamic {
+		report(call.Pos(), "dynamic call to %s: interface method is not marked //tracep:noalloc", fn.FullName())
+		return
+	}
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return // error.Error, unsafe builtins, and friends
+	}
+	if w.isLocal(pkg) {
+		report(call.Pos(), "call to %s, which is not marked //tracep:noalloc (declared at %s)",
+			fn.FullName(), pass.Fset.Position(fn.Pos()))
+		return
+	}
+	if !noallocStdlib[pkg.Path()] {
+		report(call.Pos(), "call to %s: package %s is not on the noalloc whitelist", fn.FullName(), pkg.Path())
+	}
+}
+
+// callee resolves the called function for static calls (package functions,
+// methods, method expressions). dynamic reports calls through an interface:
+// the returned *types.Func is then the interface method.
+func callee(info *types.Info, fun ast.Expr) (fn *types.Func, dynamic bool) {
+	switch f := fun.(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[f].(*types.Func)
+		return fn, false
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[f]; ok {
+			fn, _ := sel.Obj().(*types.Func)
+			if fn == nil {
+				return nil, false // selection of a func-typed field
+			}
+			recv := sel.Recv()
+			return fn, types.IsInterface(recv.Underlying())
+		}
+		// Package-qualified call (pkg.Func) or method expression (T.Method).
+		fn, _ := info.Uses[f.Sel].(*types.Func)
+		return fn, false
+	}
+	return nil, false
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isRune(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Rune || b.Kind() == types.Int32 || b.Kind() == types.UntypedRune)
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8 || b.Kind() == types.Rune || b.Kind() == types.Int32)
+}

@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"go/ast"
+	"reflect"
+
+	"tracep/internal/analysis"
+)
+
+// WireJSON returns the analyzer that keeps wire structs explicitly tagged:
+// in any struct that carries at least one json tag (i.e. participates in a
+// wire format — server requests and statuses, tracep.ResultSet cells,
+// benchdiff artifacts), every exported field must carry a json tag too. An
+// untagged exported field silently joins the wire format under its Go name,
+// changing the public API without review and breaking the byte-identity
+// contract between remotely and locally collected ResultSets.
+func WireJSON() *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name: "wirejson",
+		Doc:  "require json tags on every exported field of structs that use json tags",
+	}
+	a.Run = func(pass *analysis.Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				st, ok := n.(*ast.StructType)
+				if !ok || st.Fields == nil {
+					return true
+				}
+				if !anyJSONTag(st) {
+					return true
+				}
+				for _, field := range st.Fields.List {
+					if hasJSONTag(field) {
+						continue
+					}
+					for _, name := range field.Names {
+						if name.IsExported() {
+							pass.Reportf(name.Pos(), "exported field %s of a json-tagged struct has no json tag", name.Name)
+						}
+					}
+					if len(field.Names) == 0 {
+						if id := embeddedIdent(field.Type); id != nil && id.IsExported() {
+							pass.Reportf(field.Pos(), "embedded field %s of a json-tagged struct has no json tag", id.Name)
+						}
+					}
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+func anyJSONTag(st *ast.StructType) bool {
+	for _, field := range st.Fields.List {
+		if hasJSONTag(field) {
+			return true
+		}
+	}
+	return false
+}
+
+func hasJSONTag(field *ast.Field) bool {
+	if field.Tag == nil {
+		return false
+	}
+	// field.Tag.Value is the raw backquoted/quoted literal including quotes.
+	raw := field.Tag.Value
+	if len(raw) >= 2 {
+		raw = raw[1 : len(raw)-1]
+	}
+	_, ok := reflect.StructTag(raw).Lookup("json")
+	return ok
+}

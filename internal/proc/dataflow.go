@@ -11,6 +11,8 @@ import (
 // subscribed operands in other PEs. The cycle's ring bucket is drained and
 // its storage recycled; nothing delivered here schedules into the current
 // cycle (schedule clamps to cycle+1), so draining in place is safe.
+//
+//tracep:noalloc
 func (p *Processor) deliverEvents() {
 	i := p.cycle & p.evMask
 	evs := p.evBuckets[i]
@@ -35,6 +37,8 @@ func (p *Processor) deliverEvents() {
 // complete finishes one execution of an instruction: it publishes the
 // result locally (intra-PE bypass), queues a global broadcast for live-outs,
 // resolves branches, and triggers any pending reissue.
+//
+//tracep:noalloc
 func (p *Processor) complete(ev event) {
 	st := ev.st
 	st.status = stDone
@@ -83,6 +87,8 @@ func (p *Processor) complete(ev event) {
 
 // wakeLocalConsumers propagates st's new local value to intra-trace
 // consumers (same-PE bypass, no bus).
+//
+//tracep:noalloc
 func (p *Processor) wakeLocalConsumers(st *instState) {
 	pe := st.pe
 	for _, ci := range pe.tr.LocalConsumers[st.slot] {
@@ -110,6 +116,8 @@ func (p *Processor) wakeLocalConsumers(st *instState) {
 
 // reissue forces c to (re-)execute if it already ran with stale operands;
 // instructions that have not issued yet simply become ready.
+//
+//tracep:noalloc
 func (p *Processor) reissue(c *instState) {
 	switch c.status {
 	case stWaiting:
@@ -123,6 +131,8 @@ func (p *Processor) reissue(c *instState) {
 
 // unreadyOperand marks operand k of c as not ready; if c already executed it
 // must re-execute once the value arrives.
+//
+//tracep:noalloc
 func (p *Processor) unreadyOperand(c *instState, k int) {
 	c.src[k].ready = false
 	switch c.status {
@@ -137,12 +147,15 @@ func (p *Processor) unreadyOperand(c *instState, k int) {
 
 // requestBroadcast queues a live-out completion for a global result bus. A
 // pending request for the same instruction is coalesced to the newest value.
+//
+//tracep:noalloc
 func (p *Processor) requestBroadcast(st *instState, val int64) {
 	st.bcastVal = val
 	if st.bcastPending {
 		return
 	}
 	st.bcastPending = true
+	//tracep:allow broadcast queue retains capacity across cycles
 	p.bcastQueue = append(p.bcastQueue, instRef{st: st, gen: st.gen})
 }
 
@@ -152,6 +165,8 @@ func (p *Processor) requestBroadcast(st *instState, val int64) {
 // consuming PEs after BusLatency. The per-PE grant counts live in a flat
 // PE-indexed array reset here, and queue compaction reuses the queue's own
 // backing storage, so arbitration performs no allocation.
+//
+//tracep:noalloc
 func (p *Processor) grantResultBuses() {
 	if len(p.bcastQueue) == 0 {
 		return
@@ -164,6 +179,7 @@ func (p *Processor) grantResultBuses() {
 	for i, ref := range p.bcastQueue {
 		st := ref.st
 		if granted >= p.cfg.GlobalBuses {
+			//tracep:allow compaction into the queue's reused backing array
 			rest = append(rest, p.bcastQueue[i:]...)
 			break
 		}
@@ -175,6 +191,7 @@ func (p *Processor) grantResultBuses() {
 			continue
 		}
 		if p.busPerPE[st.pe.id] >= p.cfg.MaxBusPerPE {
+			//tracep:allow compaction into the queue's reused backing array
 			rest = append(rest, ref)
 			continue
 		}
@@ -192,6 +209,8 @@ func (p *Processor) grantResultBuses() {
 // deliverGlobal wakes every valid subscriber of tag with its current value.
 // Stale subscriptions (squashed instructions, reused slots, rebound
 // operands) are pruned lazily here.
+//
+//tracep:noalloc
 func (p *Processor) deliverGlobal(tag rename.Tag) {
 	subs := p.subs[tag]
 	if len(subs) == 0 {
@@ -208,6 +227,7 @@ func (p *Processor) deliverGlobal(tag rename.Tag) {
 		if st.cancelled || st.gen != s.gen || st.src[s.src].tag != tag {
 			continue // stale subscription
 		}
+		//tracep:allow subscriber-list compaction reuses the list's own backing array
 		kept = append(kept, s)
 		op := &st.src[s.src]
 		if !e.Ready {
@@ -244,6 +264,8 @@ const subArenaBlock = 2048
 // every tag has at most two subscribers — the two operand slots of a
 // dependent pair — so segments rarely grow, and a block serves ~1k tags per
 // heap allocation).
+//
+//tracep:noalloc
 func (p *Processor) addSub(tag rename.Tag, ref subRef) {
 	s, ok := p.subs[tag]
 	if !ok {
@@ -252,19 +274,24 @@ func (p *Processor) addSub(tag rename.Tag, ref subRef) {
 			p.subPool = p.subPool[:n-1]
 		} else {
 			if len(p.subArena) < 2 {
+				//tracep:allow amortised: one arena block per subArenaBlock subscriptions
 				p.subArena = make([]subRef, subArenaBlock)
 			}
 			s = p.subArena[:0:2]
 			p.subArena = p.subArena[2:]
 		}
 	}
+	//tracep:allow subscriber lists reuse pooled capacity; growth is amortised
 	p.subs[tag] = append(s, ref)
 }
 
 // dropSubs removes tag's subscriber list, recycling its storage.
+//
+//tracep:noalloc
 func (p *Processor) dropSubs(tag rename.Tag, s []subRef) {
 	delete(p.subs, tag)
 	if cap(s) > 0 {
+		//tracep:allow pool return: emptied subscriber lists are recycled
 		p.subPool = append(p.subPool, s[:0])
 	}
 }
@@ -275,6 +302,8 @@ func (p *Processor) dropSubs(tag rename.Tag, s []subRef) {
 // load migrating to a new address is moved between buckets. Buckets are
 // pooled slices of gen-stamped references, so the record churn of the load
 // stream performs no steady-state allocation.
+//
+//tracep:noalloc
 func (p *Processor) recordLoad(st *instState, addr uint32) {
 	if st.inLoadRecs && st.lastAddr != addr {
 		p.removeLoadRec(st)
@@ -289,10 +318,12 @@ func (p *Processor) recordLoad(st *instState, addr uint32) {
 				p.loadPool = p.loadPool[:n-1]
 			}
 		}
+		//tracep:allow load-record buckets reuse pooled capacity
 		p.loadRecs[addr] = append(recs, instRef{st: st, gen: st.gen})
 	}
 }
 
+//tracep:noalloc
 func (p *Processor) removeLoadRec(st *instState) {
 	recs := p.loadRecs[st.lastAddr]
 	for i, r := range recs {
@@ -305,6 +336,7 @@ func (p *Processor) removeLoadRec(st *instState) {
 	if len(recs) == 0 {
 		delete(p.loadRecs, st.lastAddr)
 		if cap(recs) > 0 {
+			//tracep:allow pool return: emptied load-record buckets are recycled
 			p.loadPool = append(p.loadPool, recs[:0])
 		}
 	} else {
@@ -315,9 +347,11 @@ func (p *Processor) removeLoadRec(st *instState) {
 
 // snoopStore applies the §2.2.2 reissue rule to loads at addr when a store
 // performs.
+//
+//tracep:noalloc
 func (p *Processor) snoopStore(addr uint32, storeSeq arb.Seq) {
 	for _, ld := range p.snapshotLoads(addr) {
-		if arb.NeedsReissue(ld.seq(), ld.dataSeq, storeSeq, p.seqLess) {
+		if arb.NeedsReissue(ld.seq(), ld.dataSeq, storeSeq, p.less) {
 			p.Stats.LoadSnoopReissues++
 			p.reissue(ld)
 		}
@@ -325,6 +359,8 @@ func (p *Processor) snoopStore(addr uint32, storeSeq arb.Seq) {
 }
 
 // snoopUndo reissues loads whose data came from the undone store.
+//
+//tracep:noalloc
 func (p *Processor) snoopUndo(addr uint32, undoSeq arb.Seq) {
 	for _, ld := range p.snapshotLoads(addr) {
 		if arb.UndoHitsLoad(ld.dataSeq, undoSeq) {
@@ -338,6 +374,8 @@ func (p *Processor) snoopUndo(addr uint32, undoSeq arb.Seq) {
 // The returned slice is the processor's reusable snoop scratch: valid until
 // the next snapshotLoads call, which is fine because snoops only reissue the
 // returned loads (never re-enter the record index).
+//
+//tracep:noalloc
 func (p *Processor) snapshotLoads(addr uint32) []*instState {
 	recs := p.loadRecs[addr]
 	if len(recs) == 0 {
@@ -353,13 +391,16 @@ func (p *Processor) snapshotLoads(addr uint32) []*instState {
 			}
 			continue
 		}
+		//tracep:allow compaction reuses the bucket's backing array
 		kept = append(kept, r)
+		//tracep:allow snoop scratch retains capacity across snoops
 		out = append(out, st)
 	}
 	p.loadScratch = out
 	if len(kept) == 0 {
 		delete(p.loadRecs, addr)
 		if cap(kept) > 0 {
+			//tracep:allow pool return: the emptied bucket is recycled
 			p.loadPool = append(p.loadPool, kept)
 		}
 		return nil
@@ -374,37 +415,38 @@ func (p *Processor) snapshotLoads(addr uint32) []*instState {
 // structures. Roots: the dispatch-frontier map and every live PE's
 // checkpoints, operand bindings and destination tags. The live set is a
 // persistent map cleared in place, so periodic collection does not allocate.
+//
+//tracep:noalloc
 func (p *Processor) collectGarbage() {
 	if p.gcLive == nil {
+		//tracep:allow one-time: the live set is allocated at the first collection, then cleared in place
 		p.gcLive = make(map[rename.Tag]struct{}, p.regs.Size())
 	}
 	clear(p.gcLive)
-	live := p.gcLive
-	mark := func(t rename.Tag) {
-		if t != 0 {
-			live[t] = struct{}{}
-		}
-	}
 	for _, t := range p.specMap {
-		mark(t)
+		p.gcMark(t)
 	}
 	for id := p.head; id >= 0; id = p.pes[id].next {
 		pe := p.pes[id]
 		for _, t := range pe.mapBefore {
-			mark(t)
+			p.gcMark(t)
 		}
 		for _, t := range pe.mapAfter {
-			mark(t)
+			p.gcMark(t)
 		}
 		for _, st := range pe.insts {
-			mark(st.destTag)
-			mark(st.src[0].tag)
-			mark(st.src[1].tag)
+			p.gcMark(st.destTag)
+			p.gcMark(st.src[0].tag)
+			p.gcMark(st.src[1].tag)
 		}
 	}
-	p.regs.Sweep(func(t rename.Tag) bool { _, ok := live[t]; return ok })
+	//tracep:allow the sweep predicate closure is created once per GC interval, amortised to noise
+	p.regs.Sweep(func(t rename.Tag) bool { _, ok := p.gcLive[t]; return ok })
+	// Per-tag drop/compact operations are independent; only subPool storage
+	// order varies, which never reaches simulation output.
+	//tracep:orderinvariant
 	for t, s := range p.subs {
-		if _, ok := live[t]; !ok {
+		if _, ok := p.gcLive[t]; !ok {
 			p.dropSubs(t, s)
 			continue
 		}
@@ -420,6 +462,7 @@ func (p *Processor) collectGarbage() {
 			if st.cancelled || st.gen != ref.gen || st.src[ref.src].tag != t {
 				continue
 			}
+			//tracep:allow subscriber compaction reuses the list's own backing array
 			kept = append(kept, ref)
 		}
 		if len(kept) == 0 {
@@ -427,5 +470,14 @@ func (p *Processor) collectGarbage() {
 		} else {
 			p.subs[t] = kept
 		}
+	}
+}
+
+// gcMark adds t to the persistent live set (tag 0 is the nil tag).
+//
+//tracep:noalloc
+func (p *Processor) gcMark(t rename.Tag) {
+	if t != 0 {
+		p.gcLive[t] = struct{}{}
 	}
 }

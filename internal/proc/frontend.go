@@ -47,6 +47,8 @@ func (fe *frontend) init(numPEs int) {
 }
 
 // getEntry takes a cleared fetch entry from the pool (or the heap).
+//
+//tracep:noalloc
 func (fe *frontend) getEntry() *fetchEntry {
 	if n := len(fe.pool); n > 0 {
 		e := fe.pool[n-1]
@@ -54,17 +56,24 @@ func (fe *frontend) getEntry() *fetchEntry {
 		*e = fetchEntry{}
 		return e
 	}
+	//tracep:allow pool miss: fetch entries are recycled via putEntry; the steady state hits the pool
 	return &fetchEntry{}
 }
 
 // putEntry recycles an entry that has left both the queue and the job list.
+//
+//tracep:noalloc
+//tracep:allow pool return: fetch entries are recycled
 func (fe *frontend) putEntry(e *fetchEntry) { fe.pool = append(fe.pool, e) }
 
 // outcomesOf expands a descriptor's embedded outcome bits into the reusable
 // scratch (valid until the next call; Build does not retain it).
+//
+//tracep:noalloc
 func (fe *frontend) outcomesOf(d trace.Descriptor) []bool {
 	out := fe.outcomes[:0]
 	for i := 0; i < int(d.NumBr); i++ {
+		//tracep:allow outcome scratch retains capacity across fetches
 		out = append(out, d.Outcomes&(1<<uint(i)) != 0)
 	}
 	fe.outcomes = out
@@ -86,12 +95,16 @@ func (r *entryRing) init(capacity int) {
 	r.head, r.n = 0, 0
 }
 
+//tracep:noalloc
 func (r *entryRing) len() int { return r.n }
 
+//tracep:noalloc
 func (r *entryRing) at(i int) *fetchEntry { return r.buf[(r.head+i)%len(r.buf)] }
 
+//tracep:noalloc
 func (r *entryRing) push(e *fetchEntry) {
 	if r.n == len(r.buf) {
+		//tracep:allow ring doubling is amortised; the entries themselves are pooled
 		buf := make([]*fetchEntry, 2*len(r.buf))
 		for i := 0; i < r.n; i++ {
 			buf[i] = r.at(i)
@@ -102,6 +115,7 @@ func (r *entryRing) push(e *fetchEntry) {
 	r.n++
 }
 
+//tracep:noalloc
 func (r *entryRing) pop() *fetchEntry {
 	e := r.buf[r.head]
 	r.buf[r.head] = nil
@@ -112,6 +126,8 @@ func (r *entryRing) pop() *fetchEntry {
 
 // frontendStep advances recovery, construction, fetch and dispatch by one
 // cycle, in that order (recovery owns the dispatch bus while active).
+//
+//tracep:noalloc
 func (p *Processor) frontendStep() {
 	p.recoveryStep()
 	p.constructionStep()
@@ -120,6 +136,8 @@ func (p *Processor) frontendStep() {
 }
 
 // constructionStep progresses the single active construction job.
+//
+//tracep:noalloc
 func (p *Processor) constructionStep() {
 	if p.fe.jobs.len() == 0 {
 		return
@@ -147,6 +165,8 @@ func (p *Processor) constructionStep() {
 // base and CGCI recoveries redirect the fetch stream at repair-install time,
 // so fetching is pointless until then. FGCI repairs preserve all trace
 // boundaries, so fetch continues unimpeded.
+//
+//tracep:noalloc
 func (p *Processor) fetchBlocked() bool {
 	return p.rec.active && p.rec.phase == recRepairing && p.rec.mode != recFGCI
 }
@@ -154,6 +174,8 @@ func (p *Processor) fetchBlocked() bool {
 // fetchStep predicts and fetches the next trace into an outstanding trace
 // buffer (frontend latency: the fetched entry is dispatchable next cycle,
 // giving the 2-cycle fetch+dispatch pipe of Table 1).
+//
+//tracep:noalloc
 func (p *Processor) fetchStep() {
 	fe := &p.fe
 	if fe.stopped || p.fetchBlocked() || fe.queue.len() >= p.cfg.NumPEs {
@@ -215,7 +237,10 @@ func (p *Processor) fetchStep() {
 
 	fe.queue.push(entry)
 	if p.debugLog != nil {
-		p.debugf("fetch: desc=%v nextPC=%d pred=%v constructing=%v qlen=%d", entry.desc, entry.tr.NextPC, entry.predicted, entry.constructing, fe.queue.len())
+		if p.debugLog != nil {
+			//tracep:allow debug-only: the argument boxing happens only with tracing enabled
+			p.debugf("fetch: desc=%v nextPC=%d pred=%v constructing=%v qlen=%d", entry.desc, entry.tr.NextPC, entry.predicted, entry.constructing, fe.queue.len())
+		}
 	}
 	fe.expectedPC = entry.tr.NextPC
 	fe.waitIndirect = entry.tr.EndsIndirect
@@ -224,6 +249,8 @@ func (p *Processor) fetchStep() {
 
 // dispatchBlocked reports whether the dispatch bus is unavailable (occupied
 // by trace repair or by the trace re-dispatch sequence).
+//
+//tracep:noalloc
 func (p *Processor) dispatchBlocked() bool {
 	return p.rec.active && p.rec.phase != recInserting
 }
@@ -231,6 +258,8 @@ func (p *Processor) dispatchBlocked() bool {
 // dispatchStep dispatches at most one ready trace: normally at the window
 // tail, or at the CGCI insertion frontier while recovery is filling in
 // correct control-dependent traces.
+//
+//tracep:noalloc
 func (p *Processor) dispatchStep() {
 	if p.dispatchBlocked() || p.fe.queue.len() == 0 {
 		return
@@ -283,6 +312,8 @@ func (p *Processor) dispatchStep() {
 // insertingDispatchTarget resolves the dispatch position during CGCI
 // insertion and detects trace-level re-convergence. It returns false when
 // dispatch must not proceed this cycle.
+//
+//tracep:noalloc
 func (p *Processor) insertingDispatchTarget(insertAfter *int, entry *fetchEntry) bool {
 	rec := &p.rec
 	ci := rec.ciPE
@@ -296,7 +327,10 @@ func (p *Processor) insertingDispatchTarget(insertAfter *int, entry *fetchEntry)
 	}
 	if entry.desc.StartPC == ci.tr.Desc.StartPC {
 		if p.debugLog != nil {
-			p.debugf("reconvergence: ci=%d(%v) inserted=%d", ci.id, ci.tr.Desc, rec.inserted)
+			if p.debugLog != nil {
+				//tracep:allow debug-only: the argument boxing happens only with tracing enabled
+				p.debugf("reconvergence: ci=%d(%v) inserted=%d", ci.id, ci.tr.Desc, rec.inserted)
+			}
 		}
 		// Re-convergence: the next trace prediction matches the first
 		// control-independent trace (§2.1). The resident CI traces are
@@ -335,6 +369,8 @@ func (p *Processor) insertingDispatchTarget(insertAfter *int, entry *fetchEntry)
 }
 
 // resumeFetchAfter points the fetch stream at the successor of trace q.
+//
+//tracep:noalloc
 func (p *Processor) resumeFetchAfter(q *peState) {
 	p.fe.stopped = q.tr.EndsHalt
 	p.fe.waitIndirect = q.tr.EndsIndirect
@@ -352,6 +388,8 @@ func (p *Processor) resumeFetchAfter(q *peState) {
 // dropFetchQueue discards all outstanding fetch entries (recycling them)
 // and rewinds the speculative predictor history to pos. Every job entry is
 // also a queue entry, so draining the queue frees everything exactly once.
+//
+//tracep:noalloc
 func (p *Processor) dropFetchQueue(pos int) {
 	for p.fe.queue.len() > 0 {
 		e := p.fe.queue.pop()
@@ -368,6 +406,8 @@ func (p *Processor) dropFetchQueue(pos int) {
 // fetchFrontierPE returns the id of the PE whose trace the fetch stream
 // continues: the CGCI insertion point while correct control-dependent traces
 // are being filled in, otherwise the window tail.
+//
+//tracep:noalloc
 func (p *Processor) fetchFrontierPE() int {
 	if p.rec.active && p.rec.phase == recInserting {
 		return p.rec.insertAfter
@@ -378,6 +418,8 @@ func (p *Processor) fetchFrontierPE() int {
 // checkIndirectTarget validates the resolved target of a trace-ending
 // indirect branch against the fetched/dispatched successor, triggering
 // misprediction recovery or steering the fetch stream.
+//
+//tracep:noalloc
 func (p *Processor) checkIndirectTarget(st *instState) {
 	if st.cancelled || !st.targetKnown || st.checkedTarget {
 		return

@@ -18,6 +18,10 @@ import (
 // preserves (see verifyRecorded); the full-value oracle remains the
 // default for in-process programs.
 type CommitSource interface {
+	// Next returns the next committed record. Implementations are part of
+	// the retire loop and must uphold the zero-allocation discipline.
+	//
+	//tracep:noalloc
 	Next() (emu.Record, error)
 }
 
@@ -35,37 +39,46 @@ func (p *Processor) SetCommitSource(src CommitSource) {
 // verifyRetired checks one retired instruction against the architectural
 // oracle — the in-process emulator when available, otherwise the installed
 // commit source.
+//
+//tracep:noalloc
 func (p *Processor) verifyRetired(st *instState) error {
 	if p.commits != nil {
 		return p.verifyRecorded(st)
 	}
 	rec := p.oracle.Step()
 	if rec.PC != st.pc {
+		//tracep:allow verification mismatch is terminal: the run aborts
 		return fmt.Errorf("oracle divergence at cycle %d: retired pc %d, oracle pc %d",
 			p.cycle, st.pc, rec.PC)
 	}
 	if rec.HasDest {
 		if st.destArch != rec.Dest {
+			//tracep:allow verification mismatch is terminal: the run aborts
 			return fmt.Errorf("pc %d: retired dest r%d, oracle r%d", st.pc, st.destArch, rec.Dest)
 		}
 		if st.localVal != rec.Value {
+			//tracep:allow verification mismatch is terminal: the run aborts
 			return fmt.Errorf("pc %d (%v): retired value %d, oracle %d",
 				st.pc, st.inst, st.localVal, rec.Value)
 		}
 	}
 	if st.isStore {
 		if st.lastAddr != rec.Addr || st.lastStoreVal != rec.StoreVal {
+			//tracep:allow verification mismatch is terminal: the run aborts
 			return fmt.Errorf("pc %d: retired store [%d]=%d, oracle [%d]=%d",
 				st.pc, st.lastAddr, st.lastStoreVal, rec.Addr, rec.StoreVal)
 		}
 	}
 	if st.isLoad && st.lastAddr != rec.Addr {
+		//tracep:allow verification mismatch is terminal: the run aborts
 		return fmt.Errorf("pc %d: retired load addr %d, oracle %d", st.pc, st.lastAddr, rec.Addr)
 	}
 	if st.isBr && st.resolvedTaken != rec.Taken {
+		//tracep:allow verification mismatch is terminal: the run aborts
 		return fmt.Errorf("pc %d: retired branch taken=%v, oracle %v", st.pc, st.resolvedTaken, rec.Taken)
 	}
 	if st.isIndirect && st.actualTarget != rec.NextPC {
+		//tracep:allow verification mismatch is terminal: the run aborts
 		return fmt.Errorf("pc %d: retired indirect target %d, oracle %d", st.pc, st.actualTarget, rec.NextPC)
 	}
 	return nil
@@ -77,25 +90,34 @@ func (p *Processor) verifyRetired(st *instState) error {
 // store values are not in the recording, so they go unchecked here; the
 // full ci-baseline byte-identity gate covers them indirectly (a value bug
 // would diverge control flow or addresses within a few records).
+//
+//tracep:noalloc
 func (p *Processor) verifyRecorded(st *instState) error {
 	rec, err := p.commits.Next()
 	if err != nil {
+		//tracep:allow alloc-free sentinel comparison on the end-of-trace path
 		if errors.Is(err, io.EOF) {
+			//tracep:allow verification mismatch is terminal: the run aborts
 			return fmt.Errorf("recorded trace ended at cycle %d but pc %d retired beyond it", p.cycle, st.pc)
 		}
+		//tracep:allow verification mismatch is terminal: the run aborts
 		return fmt.Errorf("reading recorded trace at cycle %d: %w", p.cycle, err)
 	}
 	if rec.PC != st.pc {
+		//tracep:allow verification mismatch is terminal: the run aborts
 		return fmt.Errorf("recorded-trace divergence at cycle %d: retired pc %d, trace pc %d",
 			p.cycle, st.pc, rec.PC)
 	}
 	if (st.isLoad || st.isStore) && st.lastAddr != rec.Addr {
+		//tracep:allow verification mismatch is terminal: the run aborts
 		return fmt.Errorf("pc %d: retired %v addr %d, trace %d", st.pc, st.inst.Op, st.lastAddr, rec.Addr)
 	}
 	if st.isBr && st.resolvedTaken != rec.Taken {
+		//tracep:allow verification mismatch is terminal: the run aborts
 		return fmt.Errorf("pc %d: retired branch taken=%v, trace %v", st.pc, st.resolvedTaken, rec.Taken)
 	}
 	if st.isIndirect && st.actualTarget != rec.NextPC {
+		//tracep:allow verification mismatch is terminal: the run aborts
 		return fmt.Errorf("pc %d: retired indirect target %d, trace %d", st.pc, st.actualTarget, rec.NextPC)
 	}
 	return nil

@@ -97,12 +97,15 @@ type instState struct {
 	bcastVal     int64
 }
 
+//tracep:noalloc
 func (st *instState) seq() arb.Seq {
 	return arb.Seq{PE: int16(st.pe.id), Slot: int16(st.slot)}
 }
 
 // final reports whether the instruction's execution is complete with no
 // pending re-execution or broadcast.
+//
+//tracep:noalloc
 func (st *instState) final() bool {
 	return st.status == stDone && !st.pendingReissue && !st.bcastPending
 }
@@ -162,9 +165,13 @@ func (pe *peState) initPool(maxLen int) {
 // bounded by Config.MaxTraceLen, so this only ever grows on configurations
 // whose trace selection admits longer traces than the arena was sized for;
 // growth allocates individual slots so existing slot pointers stay valid.
+//
+//tracep:noalloc
 func (pe *peState) ensureSlots(n int) {
 	for len(pe.ptrs) < n {
+		//tracep:allow slot-pool growth: instruction state is allocated once per PE slot, then reinitialised in place
 		st := &instState{pe: pe, slot: len(pe.ptrs)}
+		//tracep:allow slot-pointer list grows once per PE slot, then is reused
 		pe.ptrs = append(pe.ptrs, st)
 	}
 }
@@ -172,6 +179,8 @@ func (pe *peState) ensureSlots(n int) {
 // reinit prepares the slot for a new dynamic instruction: the generation
 // advances (invalidating every stale reference to the previous occupant)
 // and all per-instruction state clears.
+//
+//tracep:noalloc
 func (st *instState) reinit() {
 	*st = instState{pe: st.pe, slot: st.slot, gen: st.gen + 1}
 }
@@ -180,6 +189,8 @@ func (st *instState) reinit() {
 // instruction, so stale references fail their gen check. Used when a PE
 // leaves the window (retirement or squash) while queue entries, events or
 // subscriptions may still point at its slots.
+//
+//tracep:noalloc
 func (st *instState) invalidate() { st.gen++ }
 
 // subRef is a subscription of an operand to a global tag; gen is the
@@ -223,6 +234,8 @@ func (p *Processor) initEventRing() {
 
 // growEventRing doubles the ring until the delta at-cycle fits, re-homing
 // pending buckets by their absolute cycle.
+//
+//tracep:noalloc
 func (p *Processor) growEventRing(at int64) {
 	old := p.evBuckets
 	oldLen := int64(len(old))
@@ -230,6 +243,7 @@ func (p *Processor) growEventRing(at int64) {
 	for int64(n) <= at-p.cycle {
 		n *= 2
 	}
+	//tracep:allow event-ring doubling is amortised over the run
 	p.evBuckets = make([][]event, n)
 	p.evMask = int64(n - 1)
 	// Pending events live at absolute cycles (cycle, cycle+oldLen).
@@ -241,6 +255,7 @@ func (p *Processor) growEventRing(at int64) {
 	}
 }
 
+//tracep:noalloc
 func (p *Processor) schedule(at int64, ev event) {
 	if at <= p.cycle {
 		at = p.cycle + 1
@@ -252,6 +267,7 @@ func (p *Processor) schedule(at int64, ev event) {
 		p.growEventRing(at)
 	}
 	i := at & p.evMask
+	//tracep:allow per-cycle buckets retain capacity across ring wraps
 	p.evBuckets[i] = append(p.evBuckets[i], ev)
 }
 
@@ -260,11 +276,14 @@ func (p *Processor) schedule(at int64, ev event) {
 // allocPE takes a free PE and links it after prevID (or at the head when
 // prevID is -1 and the list is empty, or strictly as the new tail when
 // prevID is the tail).
+//
+//tracep:noalloc
 func (p *Processor) allocPE(prevID int) *peState {
 	id := p.free[len(p.free)-1]
 	p.free = p.free[:len(p.free)-1]
 	pe := p.pes[id]
 	if pe.active {
+		//tracep:allow terminal: free-list corruption aborts the run
 		p.fail(fmt.Errorf("allocPE: PE %d is already active (free-list corruption)", id))
 	}
 	pe.active = true
@@ -304,8 +323,11 @@ func (p *Processor) allocPE(prevID int) *peState {
 // generation of every resident instruction slot advances so stale
 // references (subscriptions, events, queue entries) to the departing trace's
 // instructions are recognisably dead once the arena is reused.
+//
+//tracep:noalloc
 func (p *Processor) unlinkPE(pe *peState) {
 	if !pe.active {
+		//tracep:allow terminal: double unlink aborts the run
 		p.fail(fmt.Errorf("unlinkPE: PE %d is not active (double unlink)", pe.id))
 		return
 	}
@@ -325,12 +347,15 @@ func (p *Processor) unlinkPE(pe *peState) {
 	for _, st := range pe.insts {
 		st.invalidate()
 	}
+	//tracep:allow free-list capacity is fixed at NumPEs
 	p.free = append(p.free, pe.id)
 	p.renumber()
 }
 
 // renumber recomputes logical positions from the list (the physical→logical
 // translation of §2.2.2).
+//
+//tracep:noalloc
 func (p *Processor) renumber() {
 	n := 0
 	for id := p.head; id >= 0; id = p.pes[id].next {
@@ -353,6 +378,8 @@ func (p *Processor) seqLess(a, b arb.Seq) bool {
 }
 
 // olderThan orders two window locations (PE, slot) in program order.
+//
+//tracep:noalloc
 func (p *Processor) olderThan(aPE *peState, aSlot int, bPE *peState, bSlot int) bool {
 	if aPE.logical != bPE.logical {
 		return aPE.logical < bPE.logical
@@ -366,6 +393,8 @@ func (p *Processor) olderThan(aPE *peState, aSlot int, bPE *peState, bSlot int) 
 // global maps and installs its instructions. specMap must be the map at this
 // trace's position (the caller guarantees it — normal dispatch appends at
 // the tail, CGCI refill dispatches at the insertion frontier).
+//
+//tracep:noalloc
 func (p *Processor) dispatchTrace(tr *trace.Trace, prevID int, histPos int, predicted bool) *peState {
 	pe := p.allocPE(prevID)
 	pe.tr = tr
@@ -396,12 +425,18 @@ func (p *Processor) dispatchTrace(tr *trace.Trace, prevID int, histPos int, pred
 	pe.mapAfter = p.specMap
 	p.Stats.DispatchedTraces++
 	if p.debugLog != nil {
-		p.debugf("dispatch: pe=%d after=%d desc=%v nextPC=%d", pe.id, prevID, tr.Desc, tr.NextPC)
+		if p.debugLog != nil {
+			//tracep:allow debug-only: the argument boxing happens only with tracing enabled
+			p.debugf("dispatch: pe=%d after=%d desc=%v nextPC=%d", pe.id, prevID, tr.Desc, tr.NextPC)
+		}
 	}
 	if p.debugLog != nil && prevID >= 0 {
 		prev := p.pes[prevID]
 		if prev.tr != nil && !prev.tr.EndsIndirect && !prev.tr.EndsHalt && prev.tr.NextPC != tr.Desc.StartPC {
-			p.debugf("ORDER VIOLATION: prev pe=%d nextPC=%d but dispatched start=%d", prevID, prev.tr.NextPC, tr.Desc.StartPC)
+			if p.debugLog != nil {
+				//tracep:allow debug-only: the argument boxing happens only with tracing enabled
+				p.debugf("ORDER VIOLATION: prev pe=%d nextPC=%d but dispatched start=%d", prevID, prev.tr.NextPC, tr.Desc.StartPC)
+			}
 		}
 	}
 	return pe
@@ -410,6 +445,8 @@ func (p *Processor) dispatchTrace(tr *trace.Trace, prevID int, histPos int, pred
 // initInstState reinitialises st (a pooled slot) as the dynamic instruction
 // for slot i of tr, binding its live-in operands through the map before the
 // trace.
+//
+//tracep:noalloc
 func (p *Processor) initInstState(st *instState, i int, tr *trace.Trace) {
 	pe := st.pe
 	in := tr.Insts[i]
@@ -435,6 +472,8 @@ func (p *Processor) initInstState(st *instState, i int, tr *trace.Trace) {
 // bindOperands binds st's sources per the trace's pre-renaming: local
 // operands wait on their intra-trace producer, live-ins read the supplied
 // map (subscribing to not-yet-ready tags).
+//
+//tracep:noalloc
 func (p *Processor) bindOperands(st *instState, tr *trace.Trace, mapBefore rename.Map) {
 	for k := 0; k < 2; k++ {
 		sr := tr.Srcs[st.slot][k]
@@ -456,6 +495,8 @@ func (p *Processor) bindOperands(st *instState, tr *trace.Trace, mapBefore renam
 
 // vpKey builds the value-predictor context for a live-in: the consuming
 // trace's start PC and the architectural register.
+//
+//tracep:noalloc
 func vpKey(st *instState, arch isa.Reg) uint64 {
 	return uint64(st.pe.tr.Desc.StartPC)<<6 | uint64(arch)
 }
@@ -464,6 +505,8 @@ func vpKey(st *instState, arch isa.Reg) uint64 {
 // subscribing for (re)broadcasts. When the value predictor is enabled, a
 // not-yet-ready live-in may be supplied speculatively; the arrival of the
 // real value repairs it through the normal reissue path.
+//
+//tracep:noalloc
 func (p *Processor) bindLiveIn(st *instState, k int, tag rename.Tag) {
 	op := &st.src[k]
 	op.tag = tag
@@ -492,6 +535,7 @@ func (p *Processor) bindLiveIn(st *instState, k int, tag rename.Tag) {
 
 // ---- issue and execution ----
 
+//tracep:noalloc
 func (p *Processor) issueAll() {
 	cacheBusesUsed := 0
 	for id := p.head; id >= 0; id = p.pes[id].next {
@@ -525,6 +569,8 @@ func (p *Processor) issueAll() {
 
 // execute performs st's operation with its current operand values and
 // schedules completion.
+//
+//tracep:noalloc
 func (p *Processor) execute(st *instState) {
 	st.status = stExecuting
 	st.pendingReissue = false
@@ -533,6 +579,7 @@ func (p *Processor) execute(st *instState) {
 		p.Stats.Reissues++
 	}
 	if st.execCount > 100000 {
+		//tracep:allow terminal: livelock detection aborts the run
 		p.fail(fmt.Errorf("livelock: instruction at pc %d reissued %d times", st.pc, st.execCount))
 		return
 	}
@@ -565,7 +612,7 @@ func (p *Processor) execute(st *instState) {
 	case in.Op == isa.OpLoad:
 		addr := uint32(a + in.Imm)
 		p.recordLoad(st, addr)
-		val, src := p.arbuf.Load(addr, st.seq(), p.seqLess, p.mem)
+		val, src := p.arbuf.Load(addr, st.seq(), p.less, p.mem)
 		st.dataSeq = src
 		st.performed = true
 		lat := int64(1 + p.dcache.Access(addr))

@@ -187,6 +187,10 @@ type Processor struct {
 	bcastQueue []instRef
 	busPerPE   []int
 
+	// less is p.seqLess as a prebuilt func value: creating the method value
+	// once at construction keeps the hot ARB calls free of per-call closures.
+	less arb.LessFunc
+
 	fe  frontend
 	rec recovery
 	// mispQueue holds resolved branches whose outcome disagrees with the
@@ -330,6 +334,7 @@ func build(prog *isa.Program, model Model, cfg Config, snap *Snapshot) *Processo
 		p.free = append(p.free, i)
 	}
 	p.fe.init(cfg.NumPEs)
+	p.less = p.seqLess
 	p.classifyBranches()
 	return p
 }
@@ -411,6 +416,8 @@ func (p *Processor) RunContext(ctx context.Context, maxInsts uint64, every uint6
 }
 
 // Step advances the processor one cycle.
+//
+//tracep:noalloc
 func (p *Processor) Step() {
 	p.cycle++
 	p.deliverEvents()
@@ -423,11 +430,13 @@ func (p *Processor) Step() {
 		p.collectGarbage()
 	}
 	if p.cfg.WatchdogCycles > 0 && p.cycle-p.lastRetire > p.cfg.WatchdogCycles {
+		//tracep:allow watchdog trip is terminal: the run is abandoned, so the error construction is off the measured path
 		p.fail(fmt.Errorf("watchdog: no retirement for %d cycles at cycle %d (head=%d recovery=%v)",
 			p.cfg.WatchdogCycles, p.cycle, p.head, p.rec.active))
 	}
 }
 
+//tracep:noalloc
 func (p *Processor) fail(err error) {
 	if p.err == nil {
 		p.err = err

@@ -62,15 +62,20 @@ type recovery struct {
 }
 
 // enqueueMisp records a resolved-vs-assumed disagreement for recovery.
+//
+//tracep:noalloc
 func (p *Processor) enqueueMisp(st *instState) {
 	if st.inMispQueue || st.cancelled {
 		return
 	}
 	st.inMispQueue = true
+	//tracep:allow misprediction queue retains capacity across recoveries
 	p.mispQueue = append(p.mispQueue, instRef{st: st, gen: st.gen})
 }
 
 // mispValid re-derives whether a queued misprediction still needs recovery.
+//
+//tracep:noalloc
 func (p *Processor) mispValid(st *instState) bool {
 	if st.cancelled || !st.pe.active {
 		return false
@@ -95,6 +100,8 @@ func (p *Processor) mispValid(st *instState) bool {
 // misprediction, when no recovery is in flight. Queue compaction reuses the
 // queue's backing storage; entries whose instruction slot was reused since
 // enqueueing (gen mismatch) are dropped without touching the new occupant.
+//
+//tracep:noalloc
 func (p *Processor) processMispredictions() {
 	if p.rec.active || len(p.mispQueue) == 0 {
 		return
@@ -110,6 +117,7 @@ func (p *Processor) processMispredictions() {
 			st.inMispQueue = false
 			continue
 		}
+		//tracep:allow queue compaction reuses the backing array
 		kept = append(kept, ref)
 		if oldest == nil || p.olderThan(st.pe, st.slot, oldest.pe, oldest.slot) {
 			oldest = st
@@ -121,6 +129,7 @@ func (p *Processor) processMispredictions() {
 	}
 	for i, ref := range p.mispQueue {
 		if ref.st == oldest {
+			//tracep:allow in-place removal cannot grow the queue
 			p.mispQueue = append(p.mispQueue[:i], p.mispQueue[i+1:]...)
 			break
 		}
@@ -131,6 +140,8 @@ func (p *Processor) processMispredictions() {
 
 // startRecovery classifies the misprediction (FGCI / CGCI / base), applies
 // the mode's squash actions, and launches the trace repair.
+//
+//tracep:noalloc
 func (p *Processor) startRecovery(st *instState) {
 	pe := st.pe
 	slot := st.slot
@@ -161,14 +172,20 @@ func (p *Processor) startRecovery(st *instState) {
 			rec.ciPE = ci
 			rec.ciGen = ci.gen
 			if p.debugLog != nil {
-				p.debugf("CI point: pe=%d(log %d) desc=%v", ci.id, ci.logical, ci.tr.Desc)
+				if p.debugLog != nil {
+					//tracep:allow debug-only: the argument boxing happens only with tracing enabled
+					p.debugf("CI point: pe=%d(log %d) desc=%v", ci.id, ci.logical, ci.tr.Desc)
+				}
 			}
 		}
 	}
 	rec.mode = mode
 	if p.debugLog != nil {
-		p.debugf("recovery start: mode=%d pe=%d(log %d) slot=%d pc=%d isBr=%v resolved=%v indirect=%v oldDesc=%v oldNextPC=%d tail=%d fetchQ=%d",
-			mode, pe.id, pe.logical, slot, st.pc, st.isBr, st.resolvedTaken, st.isIndirect, pe.tr.Desc, pe.tr.NextPC, p.tail, p.fe.queue.len())
+		if p.debugLog != nil {
+			//tracep:allow debug-only: the argument boxing happens only with tracing enabled
+			p.debugf("recovery start: mode=%d pe=%d(log %d) slot=%d pc=%d isBr=%v resolved=%v indirect=%v oldDesc=%v oldNextPC=%d tail=%d fetchQ=%d",
+				mode, pe.id, pe.logical, slot, st.pc, st.isBr, st.resolvedTaken, st.isIndirect, pe.tr.Desc, pe.tr.NextPC, p.tail, p.fe.queue.len())
+		}
 	}
 	switch mode {
 	case recFGCI:
@@ -191,7 +208,10 @@ func (p *Processor) startRecovery(st *instState) {
 		rec.correctedTarget = st.actualTarget
 		st.checkedTarget = true
 		if p.debugLog != nil {
-			p.debugf("indirect misp: correctedTarget=%d", rec.correctedTarget)
+			if p.debugLog != nil {
+				//tracep:allow debug-only: the argument boxing happens only with tracing enabled
+				p.debugf("indirect misp: correctedTarget=%d", rec.correctedTarget)
+			}
 		}
 	}
 
@@ -227,10 +247,12 @@ func (p *Processor) startRecovery(st *instState) {
 	forced := p.forcedScratch[:0]
 	for _, bi := range pe.tr.Branches {
 		if bi.Idx < slot {
+			//tracep:allow forced-outcome scratch retains capacity across recoveries
 			forced = append(forced, pe.insts[bi.Idx].assumedTaken)
 			continue
 		}
 		if bi.Idx == slot {
+			//tracep:allow forced-outcome scratch retains capacity across recoveries
 			forced = append(forced, st.assumedTaken)
 		}
 		break
@@ -244,10 +266,13 @@ func (p *Processor) startRecovery(st *instState) {
 
 // findCIPoint applies the configured CGCI heuristic over the traces younger
 // than the mispredicted one (younger/views are reusable scratch).
+//
+//tracep:noalloc
 func (p *Processor) findCIPoint(st *instState) *peState {
 	pe := st.pe
 	younger := p.ciYounger[:0]
 	for id := pe.next; id >= 0; id = p.pes[id].next {
+		//tracep:allow recovery scratch retains capacity across recoveries
 		younger = append(younger, p.pes[id])
 	}
 	p.ciYounger = younger[:0]
@@ -256,6 +281,7 @@ func (p *Processor) findCIPoint(st *instState) *peState {
 	}
 	views := p.ciViews[:0]
 	for _, q := range younger {
+		//tracep:allow recovery scratch retains capacity across recoveries
 		views = append(views, core.TraceView{StartPC: q.tr.Desc.StartPC, EndsInRet: q.tr.EndsInRet})
 	}
 	p.ciViews = views[:0]
@@ -276,6 +302,8 @@ func (p *Processor) findCIPoint(st *instState) *peState {
 
 // squashSuffix cancels the instructions of pe from slot from onward,
 // undoing their speculative stores.
+//
+//tracep:noalloc
 func (p *Processor) squashSuffix(pe *peState, from int) {
 	for i := from; i < len(pe.insts); i++ {
 		st := pe.insts[i]
@@ -295,9 +323,14 @@ func (p *Processor) squashSuffix(pe *peState, from int) {
 }
 
 // squashTrace removes a whole trace from the window.
+//
+//tracep:noalloc
 func (p *Processor) squashTrace(pe *peState) {
 	if p.debugLog != nil {
-		p.debugf("squash: pe=%d(log %d) desc=%v", pe.id, pe.logical, pe.tr.Desc)
+		if p.debugLog != nil {
+			//tracep:allow debug-only: the argument boxing happens only with tracing enabled
+			p.debugf("squash: pe=%d(log %d) desc=%v", pe.id, pe.logical, pe.tr.Desc)
+		}
 	}
 	p.squashSuffix(pe, 0)
 	p.Stats.SquashedTraces++
@@ -307,6 +340,8 @@ func (p *Processor) squashTrace(pe *peState) {
 // recoveryStep advances the active recovery: install the repaired trace when
 // the trace buffer finishes, then run the re-dispatch sequence one trace per
 // cycle.
+//
+//tracep:noalloc
 func (p *Processor) recoveryStep() {
 	rec := &p.rec
 	if !rec.active {
@@ -343,6 +378,8 @@ func (p *Processor) recoveryStep() {
 // installRepair swaps the repaired trace into the PE (keeping the prefix up
 // to and including the branch), rebuilds the rename-map frontier, and
 // transitions to the mode's next phase.
+//
+//tracep:noalloc
 func (p *Processor) installRepair() {
 	rec := &p.rec
 	pe := rec.pe
@@ -362,7 +399,10 @@ func (p *Processor) installRepair() {
 		// full squash to stay correct.
 		p.Stats.FGCIBoundaryViolations++
 		if p.debugLog != nil {
-			p.debugf("FGCI boundary violation: pe=%d old nextPC=%d new nextPC=%d", pe.id, rec.oldNextPC, newTr.NextPC)
+			if p.debugLog != nil {
+				//tracep:allow debug-only: the argument boxing happens only with tracing enabled
+				p.debugf("FGCI boundary violation: pe=%d old nextPC=%d new nextPC=%d", pe.id, rec.oldNextPC, newTr.NextPC)
+			}
 		}
 		for pe.next >= 0 {
 			p.squashTrace(p.pes[pe.next])
@@ -374,6 +414,7 @@ func (p *Processor) installRepair() {
 	if !rec.isIndirect {
 		// Sanity: the repaired trace must share the prefix up to the branch.
 		if len(newTr.Insts) <= slot || newTr.PCs[slot] != pe.tr.PCs[slot] {
+			//tracep:allow terminal: repair prefix mismatch aborts the run
 			p.fail(fmt.Errorf("repair prefix mismatch at pc %d slot %d", pe.tr.PCs[slot], slot))
 			return
 		}
@@ -428,7 +469,10 @@ func (p *Processor) installRepair() {
 	}
 
 	if p.debugLog != nil {
-		p.debugf("install: pe=%d newDesc=%v nextPC=%d mode=%d", pe.id, pe.tr.Desc, pe.tr.NextPC, rec.mode)
+		if p.debugLog != nil {
+			//tracep:allow debug-only: the argument boxing happens only with tracing enabled
+			p.debugf("install: pe=%d newDesc=%v nextPC=%d mode=%d", pe.id, pe.tr.Desc, pe.tr.NextPC, rec.mode)
+		}
 	}
 
 	// Rebuild the rename-map frontier: map before the trace plus the
@@ -472,6 +516,8 @@ func (p *Processor) installRepair() {
 }
 
 // peAfter returns the PE following pe in the list, or nil.
+//
+//tracep:noalloc
 func (p *Processor) peAfter(pe *peState) *peState {
 	if pe.next < 0 {
 		return nil
@@ -481,12 +527,16 @@ func (p *Processor) peAfter(pe *peState) *peState {
 
 // startRedispatch arms the trace re-dispatch sequence from trace q to the
 // window tail.
+//
+//tracep:noalloc
 func (p *Processor) startRedispatch(q *peState) {
 	rec := &p.rec
 	rec.redispatch = rec.redispatch[:0]
 	rec.redispatchGens = rec.redispatchGens[:0]
 	for ; q != nil; q = p.peAfter(q) {
+		//tracep:allow re-dispatch lists retain capacity across recoveries
 		rec.redispatch = append(rec.redispatch, q)
+		//tracep:allow re-dispatch lists retain capacity across recoveries
 		rec.redispatchGens = append(rec.redispatchGens, q.gen)
 	}
 	rec.redispatchIdx = 0
@@ -501,6 +551,8 @@ func (p *Processor) startRedispatch(q *peState) {
 // live-in registers are renamed through the updated maps; live-out mappings
 // are unchanged; only instructions whose source register names changed are
 // reissued (§2.2.1).
+//
+//tracep:noalloc
 func (p *Processor) redispatchStep() {
 	rec := &p.rec
 	for {
@@ -521,6 +573,8 @@ func (p *Processor) redispatchStep() {
 
 // redispatchTrace updates one resident trace's live-in bindings against the
 // current map frontier and advances the frontier over its live-outs.
+//
+//tracep:noalloc
 func (p *Processor) redispatchTrace(q *peState) {
 	q.mapBefore = p.specMap
 	for _, st := range q.insts {
@@ -549,6 +603,8 @@ func (p *Processor) redispatchTrace(q *peState) {
 
 // rebindOperand points operand k of st at newTag, reissuing st if the value
 // differs from what it previously consumed.
+//
+//tracep:noalloc
 func (p *Processor) rebindOperand(st *instState, k int, newTag rename.Tag) {
 	op := &st.src[k]
 	op.tag = newTag
@@ -575,6 +631,8 @@ func (p *Processor) rebindOperand(st *instState, k int, newTag rename.Tag) {
 // insertion the inserted traces (built for the stale target) are squashed
 // and the insertion stream redirected; after re-convergence the normal
 // misprediction path picks it up once recovery completes.
+//
+//tracep:noalloc
 func (p *Processor) retargetIndirectRecovery(st *instState) {
 	rec := &p.rec
 	if st.actualTarget == rec.correctedTarget {
@@ -582,7 +640,10 @@ func (p *Processor) retargetIndirectRecovery(st *instState) {
 		return
 	}
 	if p.debugLog != nil {
-		p.debugf("retarget indirect recovery: %d -> %d (phase %d)", rec.correctedTarget, st.actualTarget, rec.phase)
+		if p.debugLog != nil {
+			//tracep:allow debug-only: the argument boxing happens only with tracing enabled
+			p.debugf("retarget indirect recovery: %d -> %d (phase %d)", rec.correctedTarget, st.actualTarget, rec.phase)
+		}
 	}
 	switch rec.phase {
 	case recRepairing:
@@ -624,6 +685,8 @@ func (p *Processor) retargetIndirectRecovery(st *instState) {
 
 // endRecovery returns the machine to normal operation, keeping the
 // redispatch sequence's backing storage for the next recovery.
+//
+//tracep:noalloc
 func (p *Processor) endRecovery() {
 	red, gens := p.rec.redispatch[:0], p.rec.redispatchGens[:0]
 	p.rec = recovery{redispatch: red, redispatchGens: gens}

@@ -12,6 +12,8 @@ import (
 // retirement proceed in parallel", §2.1), but the trace under repair, the
 // not-yet-reconverged CI trace, and traces awaiting the re-dispatch sequence
 // must wait.
+//
+//tracep:noalloc
 func (p *Processor) retireGate(pe *peState) bool {
 	if !p.rec.active {
 		return true
@@ -36,6 +38,8 @@ func (p *Processor) retireGate(pe *peState) bool {
 // Retirement is in program order, one trace per cycle; stores commit from
 // the ARB to memory; the architectural oracle verifies every instruction
 // when enabled.
+//
+//tracep:noalloc
 func (p *Processor) retireStep() {
 	if p.head < 0 {
 		return
@@ -49,6 +53,7 @@ func (p *Processor) retireStep() {
 	}
 	for _, st := range pe.insts {
 		if st.cancelled {
+			//tracep:allow terminal: retirement invariant failure aborts the run
 			p.fail(fmt.Errorf("cancelled instruction at pc %d reached retirement", st.pc))
 			return
 		}
@@ -78,6 +83,7 @@ func (p *Processor) retireStep() {
 		p.accountRetired(st)
 		if st.isStore {
 			if !p.arbuf.Commit(st.lastAddr, st.seq(), p.mem) {
+				//tracep:allow terminal: a missing ARB version aborts the run
 				p.fail(fmt.Errorf("store at pc %d has no ARB version to commit", st.pc))
 				return
 			}
@@ -106,7 +112,10 @@ func (p *Processor) retireStep() {
 		p.done = true
 	}
 	if p.debugLog != nil {
-		p.debugf("retire: pe=%d desc=%v nextPC=%d", pe.id, pe.tr.Desc, pe.tr.NextPC)
+		if p.debugLog != nil {
+			//tracep:allow debug-only: the argument boxing happens only with tracing enabled
+			p.debugf("retire: pe=%d desc=%v nextPC=%d", pe.id, pe.tr.Desc, pe.tr.NextPC)
+		}
 	}
 	// A retiring trace that is the CGCI insertion point moves the insertion
 	// frontier to the window head.
@@ -118,6 +127,8 @@ func (p *Processor) retireStep() {
 
 // accountRetired updates branch statistics and trains the branch predictor
 // on the retired (correct-path) outcome.
+//
+//tracep:noalloc
 func (p *Processor) accountRetired(st *instState) {
 	if st.isBr {
 		p.bp.UpdateDirection(st.pc, st.resolvedTaken)

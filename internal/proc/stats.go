@@ -1,12 +1,14 @@
 package proc
 
 // ClassStats aggregates per-class conditional branch statistics (Table 5).
+// The json tags pin the wire names (tracep.Result / ci-baseline.json); see
+// Stats.
 type ClassStats struct {
-	Dynamic       uint64
-	Mispredicted  uint64
-	DynSizeSum    uint64
-	StaticSizeSum uint64
-	CondBrSum     uint64
+	Dynamic       uint64 `json:"Dynamic"`
+	Mispredicted  uint64 `json:"Mispredicted"`
+	DynSizeSum    uint64 `json:"DynSizeSum"`
+	StaticSizeSum uint64 `json:"StaticSizeSum"`
+	CondBrSum     uint64 `json:"CondBrSum"`
 }
 
 // MispRate returns the class misprediction rate.
@@ -18,63 +20,71 @@ func (c ClassStats) MispRate() float64 {
 }
 
 // Stats collects everything the paper's tables and figures report.
+//
+// Stats is a wire struct: it serialises into tracep.Result cells, travels
+// over the tracepd HTTP API, and is pinned byte-for-byte by
+// testdata/ci-baseline.json. Every exported field therefore carries an
+// explicit json tag (enforced by tracepvet's wirejson analyzer); the tag
+// names repeat the Go names because that is the wire format the baseline
+// was recorded with — renaming a tag is a wire-format break and must come
+// with a baseline refresh.
 type Stats struct {
-	Cycles       uint64
-	RetiredInsts uint64
+	Cycles       uint64 `json:"Cycles"`
+	RetiredInsts uint64 `json:"RetiredInsts"`
 
 	// WarmupInsts is the number of instructions fast-forwarded functionally
 	// before the measured region (0 for a cold run). It is metadata, not a
 	// measurement: every other counter covers the measured region only.
 	// Baseline diffs use it to refuse comparing warm against cold cells.
-	WarmupInsts uint64 `json:",omitempty"`
+	WarmupInsts uint64 `json:"WarmupInsts,omitempty"`
 
-	RetiredTraces      uint64
-	RetiredTraceLenSum uint64
-	DispatchedTraces   uint64
-	SquashedTraces     uint64
-	SquashedInsts      uint64
+	RetiredTraces      uint64 `json:"RetiredTraces"`
+	RetiredTraceLenSum uint64 `json:"RetiredTraceLenSum"`
+	DispatchedTraces   uint64 `json:"DispatchedTraces"`
+	SquashedTraces     uint64 `json:"SquashedTraces"`
+	SquashedInsts      uint64 `json:"SquashedInsts"`
 
 	// Recoveries counts trace-level mispredictions (each triggers one
 	// recovery), split by mode.
-	Recoveries     uint64
-	FGCIRecoveries uint64
-	CGCIRecoveries uint64
-	BaseRecoveries uint64
+	Recoveries     uint64 `json:"Recoveries"`
+	FGCIRecoveries uint64 `json:"FGCIRecoveries"`
+	CGCIRecoveries uint64 `json:"CGCIRecoveries"`
+	BaseRecoveries uint64 `json:"BaseRecoveries"`
 
-	Reconvergences         uint64
-	CGCIDegenerate         uint64
-	TailReclaims           uint64
-	FGCIBoundaryViolations uint64
-	FetchRedirects         uint64
+	Reconvergences         uint64 `json:"Reconvergences"`
+	CGCIDegenerate         uint64 `json:"CGCIDegenerate"`
+	TailReclaims           uint64 `json:"TailReclaims"`
+	FGCIBoundaryViolations uint64 `json:"FGCIBoundaryViolations"`
+	FetchRedirects         uint64 `json:"FetchRedirects"`
 
-	RedispatchedTraces uint64
-	RedispatchRebinds  uint64
-	RedispatchReissues uint64
+	RedispatchedTraces uint64 `json:"RedispatchedTraces"`
+	RedispatchRebinds  uint64 `json:"RedispatchRebinds"`
+	RedispatchReissues uint64 `json:"RedispatchReissues"`
 
-	Reissues          uint64
-	LoadSnoopReissues uint64
-	Broadcasts        uint64
-	Loads             uint64
-	Stores            uint64
+	Reissues          uint64 `json:"Reissues"`
+	LoadSnoopReissues uint64 `json:"LoadSnoopReissues"`
+	Broadcasts        uint64 `json:"Broadcasts"`
+	Loads             uint64 `json:"Loads"`
+	Stores            uint64 `json:"Stores"`
 
-	ValuePredictions    uint64
-	ValueMispredictions uint64
+	ValuePredictions    uint64 `json:"ValuePredictions"`
+	ValueMispredictions uint64 `json:"ValueMispredictions"`
 
 	// Frontend structures (filled by finalizeStats).
-	TCLookups    uint64
-	TCMisses     uint64
-	ICAccesses   uint64
-	ICMisses     uint64
-	DCAccesses   uint64
-	DCMisses     uint64
-	BITLookups   uint64
-	BITMisses    uint64
-	TPredictions uint64
-	TPredTrains  uint64
+	TCLookups    uint64 `json:"TCLookups"`
+	TCMisses     uint64 `json:"TCMisses"`
+	ICAccesses   uint64 `json:"ICAccesses"`
+	ICMisses     uint64 `json:"ICMisses"`
+	DCAccesses   uint64 `json:"DCAccesses"`
+	DCMisses     uint64 `json:"DCMisses"`
+	BITLookups   uint64 `json:"BITLookups"`
+	BITMisses    uint64 `json:"BITMisses"`
+	TPredictions uint64 `json:"TPredictions"`
+	TPredTrains  uint64 `json:"TPredTrains"`
 
 	// BranchClasses indexes by branchKind: FGCI<=32, FGCI>32, other
 	// forward, backward.
-	BranchClasses [4]ClassStats
+	BranchClasses [4]ClassStats `json:"BranchClasses"`
 }
 
 func (p *Processor) finalizeStats() {

@@ -38,8 +38,8 @@ const entryBlock = 512
 type File struct {
 	m     map[Tag]*Entry
 	next  Tag
-	pool  []*Entry // swept entries awaiting reuse
-	block []Entry  // current fresh-entry arena
+	pool  []*Entry //tracep:noclone recycling pool; clones start cold
+	block []Entry  //tracep:noclone fresh-entry arena; clones start cold
 
 	Allocated uint64
 	Swept     uint64
@@ -51,6 +51,8 @@ func NewFile() *File {
 }
 
 // Alloc creates a new, not-ready tag.
+//
+//tracep:noalloc
 func (f *File) Alloc() Tag {
 	t := f.next
 	f.next++
@@ -61,6 +63,7 @@ func (f *File) Alloc() Tag {
 		*e = Entry{}
 	} else {
 		if len(f.block) == 0 {
+			//tracep:allow amortised: one arena block per entryBlock allocations
 			f.block = make([]Entry, entryBlock)
 		}
 		e = &f.block[0]
@@ -81,6 +84,8 @@ func (f *File) AllocReady(v int64) Tag {
 }
 
 // Get returns the entry for t (nil for invalid/swept tags).
+//
+//tracep:noalloc
 func (f *File) Get(t Tag) *Entry {
 	return f.m[t]
 }
@@ -88,6 +93,8 @@ func (f *File) Get(t Tag) *Entry {
 // Write sets t's value and marks it ready, returning whether the value
 // changed from a previously ready value (the condition under which
 // dependent instructions must reissue).
+//
+//tracep:noalloc
 func (f *File) Write(t Tag, v int64) (changed bool) {
 	e := f.m[t]
 	if e == nil {
@@ -106,14 +113,23 @@ func (f *File) Unready(t Tag) {
 }
 
 // Size returns the number of live tags.
+//
+//tracep:noalloc
 func (f *File) Size() int { return len(f.m) }
 
 // Sweep removes every tag for which live returns false. The caller marks
 // roots (current maps, per-trace checkpoints, operand references).
+//
+//tracep:noalloc
 func (f *File) Sweep(live func(Tag) bool) {
+	// Per-tag deletions commute; only pool storage order varies, which
+	// never affects values handed back out.
+	//tracep:orderinvariant
 	for t, e := range f.m {
+		//tracep:allow the live predicate is collectGarbage's mark-set lookup, alloc-free
 		if !live(t) {
 			delete(f.m, t)
+			//tracep:allow pool return: swept entries are recycled for Alloc
 			f.pool = append(f.pool, e)
 			f.Swept++
 		}
@@ -133,7 +149,7 @@ func (f *File) Clone() *File {
 	}
 	arena := make([]Entry, len(f.m))
 	i := 0
-	for t, e := range f.m {
+	for t, e := range f.m { //tracep:orderinvariant arena slot assignment never escapes
 		arena[i] = *e
 		c.m[t] = &arena[i]
 		i++

@@ -41,14 +41,15 @@ type entry struct {
 
 // Predictor is the hybrid next-trace predictor.
 type Predictor struct {
-	cfg     Config
-	path    []entry
-	simple  []entry
-	histLen int
+	cfg     Config  //tracep:nostats configuration
+	path    []entry //tracep:nostats model state
+	simple  []entry //tracep:nostats model state
+	histLen int     //tracep:nostats model state
 
 	// hist is the speculative history of trace IDs: hist[len-1] is the most
 	// recent trace. The frontend snapshots positions into this (append-only
 	// within a run) sequence and rebuilds suffixes on recovery.
+	//tracep:nostats model state
 	hist []uint64
 
 	// Stats.
@@ -109,6 +110,8 @@ func (p *Predictor) ResetStats() { p.Predictions, p.PathPredictions, p.Trains = 
 
 // hashPath folds the most recent histLen trace IDs into a path index,
 // weighting recent traces with more bits (a DOLC-style hash).
+//
+//tracep:noalloc
 func hashPath(hist []uint64, histLen, mask int) int {
 	h := uint64(0x9E3779B97F4A7C15)
 	start := len(hist) - histLen
@@ -122,6 +125,7 @@ func hashPath(hist []uint64, histLen, mask int) int {
 	return int(h^(h>>21)) & mask
 }
 
+//tracep:noalloc
 func hashSimple(hist []uint64, mask int) int {
 	if len(hist) == 0 {
 		return 0
@@ -136,6 +140,8 @@ func hashSimple(hist []uint64, mask int) int {
 // speculative history. The path-based component is used when its entry is
 // valid and confident; otherwise the simple component; ok is false when
 // neither has an opinion.
+//
+//tracep:noalloc
 func (p *Predictor) Predict() (trace.Descriptor, bool) {
 	p.Predictions++
 	pe := &p.path[hashPath(p.hist, p.histLen, len(p.path)-1)]
@@ -157,8 +163,11 @@ func (p *Predictor) Predict() (trace.Descriptor, bool) {
 // SpecUpdate pushes a fetched trace's ID into the speculative history and
 // returns the history position before the push (the checkpoint for that
 // trace).
+//
+//tracep:noalloc
 func (p *Predictor) SpecUpdate(d trace.Descriptor) int {
 	pos := len(p.hist)
+	//tracep:allow speculative history retains capacity after Reset/Rewind
 	p.hist = append(p.hist, d.ID())
 	return pos
 }
@@ -169,6 +178,8 @@ func (p *Predictor) HistoryPos() int { return len(p.hist) }
 
 // Rewind truncates the speculative history to pos, discarding younger trace
 // IDs. Used when recovery backs the predictor up to a mispredicted trace.
+//
+//tracep:noalloc
 func (p *Predictor) Rewind(pos int) {
 	if pos < 0 {
 		pos = 0
@@ -180,6 +191,8 @@ func (p *Predictor) Rewind(pos int) {
 
 // ReplaceAt overwrites the history element at pos (the repaired trace's new
 // ID after an FGCI repair, where all younger history is preserved).
+//
+//tracep:noalloc
 func (p *Predictor) ReplaceAt(pos int, d trace.Descriptor) {
 	if pos >= 0 && pos < len(p.hist) {
 		p.hist[pos] = d.ID()
@@ -187,6 +200,8 @@ func (p *Predictor) ReplaceAt(pos int, d trace.Descriptor) {
 }
 
 // histAt returns the history prefix of length pos.
+//
+//tracep:noalloc
 func (p *Predictor) histAt(pos int) []uint64 {
 	if pos > len(p.hist) {
 		pos = len(p.hist)
@@ -202,30 +217,36 @@ func (p *Predictor) histAt(pos int) []uint64 {
 // history that existed when that trace was predicted). Standard 2-bit
 // hysteresis: matching entries gain confidence, mismatching entries lose it
 // and are replaced at zero.
+//
+//tracep:noalloc
 func (p *Predictor) Train(pos int, actual trace.Descriptor) {
 	p.Trains++
 	h := p.histAt(pos)
-	train := func(e *entry) {
-		if e.valid && e.desc == actual {
-			if e.ctr < 3 {
-				e.ctr++
-			}
-			return
+	train(&p.path[hashPath(h, p.histLen, len(p.path)-1)], actual)
+	train(&p.simple[hashSimple(h, len(p.simple)-1)], actual)
+}
+
+// train applies 2-bit replace-on-zero hysteresis to one table entry.
+//
+//tracep:noalloc
+func train(e *entry, actual trace.Descriptor) {
+	if e.valid && e.desc == actual {
+		if e.ctr < 3 {
+			e.ctr++
 		}
-		// Replace-on-zero hysteresis. With the canonical reset this guards
-		// valid entries only (invalid entries hold ctr 0 and install
-		// immediately); a Config.Seed scrambles the initial counters so
-		// first installations are dithered too.
-		if e.ctr > 0 {
-			e.ctr--
-			return
-		}
-		e.valid = true
-		e.desc = actual
-		e.ctr = 1
+		return
 	}
-	train(&p.path[hashPath(h, p.histLen, len(p.path)-1)])
-	train(&p.simple[hashSimple(h, len(p.simple)-1)])
+	// Replace-on-zero hysteresis. With the canonical reset this guards
+	// valid entries only (invalid entries hold ctr 0 and install
+	// immediately); a Config.Seed scrambles the initial counters so
+	// first installations are dithered too.
+	if e.ctr > 0 {
+		e.ctr--
+		return
+	}
+	e.valid = true
+	e.desc = actual
+	e.ctr = 1
 }
 
 // Reset clears the speculative history (not the tables); used at run start.

@@ -18,7 +18,7 @@ func DefaultCacheConfig() CacheConfig { return CacheConfig{Sets: 256, Assoc: 4} 
 // timing array.
 type Cache struct {
 	timing *cache.SetAssoc
-	store  map[uint64]*Trace
+	store  map[uint64]*Trace //tracep:nostats resident traces survive stat resets
 }
 
 // NewCache builds a trace cache.
@@ -34,6 +34,8 @@ func NewCache(cfg CacheConfig) *Cache {
 
 // Lookup searches for the trace identified by d. A miss does not allocate;
 // the line is filled when the constructed trace is Inserted.
+//
+//tracep:noalloc
 func (c *Cache) Lookup(d Descriptor) (*Trace, bool) {
 	key := d.ID()
 	if c.timing.Touch(key) {
@@ -50,6 +52,8 @@ func (c *Cache) Lookup(d Descriptor) (*Trace, bool) {
 }
 
 // Insert fills the cache with tr, evicting an LRU victim if needed.
+//
+//tracep:noalloc
 func (c *Cache) Insert(tr *Trace) {
 	key := tr.Desc.ID()
 	if evicted, evict := c.timing.Fill(key); evict {
@@ -67,7 +71,7 @@ func (c *Cache) Clone() *Cache {
 		timing: c.timing.Clone(),
 		store:  make(map[uint64]*Trace, len(c.store)),
 	}
-	for k, tr := range c.store {
+	for k, tr := range c.store { //tracep:orderinvariant map-to-map copy
 		n.store[k] = tr
 	}
 	return n

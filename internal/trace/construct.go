@@ -60,6 +60,8 @@ type Constructor struct {
 // the construction latency in cycles (basic-block fetches, instruction-cache
 // misses, and BIT miss handling). The returned trace is persistent: it is
 // owned by the caller and survives later builds.
+//
+//tracep:noalloc
 func (c *Constructor) Build(startPC uint32, forced []bool) (*Trace, int) {
 	t, cycles := c.BuildTransient(startPC, forced)
 	return c.Keep(t), cycles
@@ -72,9 +74,12 @@ func (c *Constructor) Build(startPC uint32, forced []bool) (*Trace, int) {
 // discard it (descriptor formed, trace cache hit) simply drop it and the
 // storage is reused. Construction side effects (instruction-cache fills, BIT
 // lookups) are identical to Build's.
+//
+//tracep:noalloc
 func (c *Constructor) BuildTransient(startPC uint32, forced []bool) (*Trace, int) {
 	t := c.scratch
 	if t == nil {
+		//tracep:allow one-time: the scratch trace is allocated once and reused until Keep transfers it
 		t = &Trace{}
 		c.scratch = t
 	}
@@ -138,7 +143,9 @@ func (c *Constructor) BuildTransient(startPC uint32, forced []bool) (*Trace, int
 		lastFetchPC = pc
 
 		idx := len(t.Insts)
+		//tracep:allow scratch-trace storage retains capacity across builds
 		t.PCs = append(t.PCs, pc)
+		//tracep:allow scratch-trace storage retains capacity across builds
 		t.Insts = append(t.Insts, in)
 		if !frozen {
 			effLen++
@@ -156,8 +163,10 @@ func (c *Constructor) BuildTransient(startPC uint32, forced []bool) (*Trace, int
 			bi := BranchInfo{Idx: idx, PC: pc, Taken: taken, ReconvIdx: -1}
 			if frozen {
 				bi.FGCICovered = true
+				//tracep:allow frozen-branch scratch retains capacity across builds
 				frozenBranches = append(frozenBranches, len(t.Branches))
 			}
+			//tracep:allow scratch-trace storage retains capacity across builds
 			t.Branches = append(t.Branches, bi)
 			if taken {
 				t.Desc.Outcomes |= 1 << uint(brCount)
@@ -211,6 +220,8 @@ func (c *Constructor) BuildTransient(startPC uint32, forced []bool) (*Trace, int
 // scratch storage, making it persistent; the next build allocates fresh
 // scratch. Keep on an already persistent trace is a no-op, so callers may
 // Keep unconditionally once they decide a trace survives.
+//
+//tracep:noalloc
 func (c *Constructor) Keep(t *Trace) *Trace {
 	if t == c.scratch {
 		c.scratch = nil
@@ -221,6 +232,8 @@ func (c *Constructor) Keep(t *Trace) *Trace {
 // SuffixCycles estimates the trace-buffer repair latency for re-fetching tr
 // from intra-trace index from: one cycle per basic block in the suffix plus
 // instruction-cache misses (the prefix is already resident in the buffer).
+//
+//tracep:noalloc
 func (c *Constructor) SuffixCycles(tr *Trace, from int) int {
 	cycles := 0
 	bbStart := true

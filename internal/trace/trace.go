@@ -28,6 +28,8 @@ func (d Descriptor) Valid() bool { return d.Len > 0 }
 
 // ID returns a 64-bit hash identifying the trace, used for predictor history
 // hashing and trace-cache indexing.
+//
+//tracep:noalloc
 func (d Descriptor) ID() uint64 {
 	h := uint64(d.StartPC)
 	h = h*0x9E3779B97F4A7C15 + uint64(d.Len)
@@ -143,6 +145,8 @@ func (t *Trace) Len() int { return len(t.Insts) }
 // reset empties the trace for reuse, keeping every slice's backing storage
 // (including the per-instruction consumer lists) so a Constructor can build
 // into the same Trace repeatedly without allocating. See Constructor.Build.
+//
+//tracep:noalloc
 func (t *Trace) reset() {
 	for i := range t.LocalConsumers {
 		t.LocalConsumers[i] = t.LocalConsumers[i][:0]
@@ -163,28 +167,37 @@ func (t *Trace) reset() {
 }
 
 // grow2 extends s to length n, reusing its backing array when possible.
+//
+//tracep:noalloc
 func grow2(s [][2]SrcRef, n int) [][2]SrcRef {
 	if cap(s) >= n {
 		return s[:n]
 	}
+	//tracep:allow amortised doubling of reused trace storage
 	return make([][2]SrcRef, n)
 }
 
 // growRegs extends s to length n, reusing its backing array when possible.
+//
+//tracep:noalloc
 func growRegs(s []isa.Reg, n int) []isa.Reg {
 	if cap(s) >= n {
 		return s[:n]
 	}
+	//tracep:allow amortised doubling of reused trace storage
 	return make([]isa.Reg, n)
 }
 
 // growConsumers extends s to length n with every element an empty (but
 // possibly capacious) list, reusing both the outer and the inner backing
 // arrays.
+//
+//tracep:noalloc
 func growConsumers(s [][]int16, n int) [][]int16 {
 	if cap(s) >= n {
 		s = s[:n]
 	} else {
+		//tracep:allow amortised doubling of reused trace storage
 		ns := make([][]int16, n)
 		copy(ns, s)
 		s = ns
@@ -197,6 +210,8 @@ func growConsumers(s [][]int16, n int) [][]int16 {
 
 // BranchAt returns the BranchInfo for the instruction at intra-trace index
 // idx, if that instruction is a conditional branch.
+//
+//tracep:noalloc
 func (t *Trace) BranchAt(idx int) (*BranchInfo, bool) {
 	for i := range t.Branches {
 		if t.Branches[i].Idx == idx {
@@ -211,6 +226,8 @@ func (t *Trace) BranchAt(idx int) (*BranchInfo, bool) {
 // consumer lists. It is called once at construction; the results are stored
 // with the trace in the trace cache ("intra-trace values are pre-renamed in
 // the trace cache").
+//
+//tracep:noalloc
 func (t *Trace) prerename() {
 	n := len(t.Insts)
 	t.Srcs = grow2(t.Srcs, n)
@@ -239,6 +256,7 @@ func (t *Trace) prerename() {
 				t.Srcs[i][k] = SrcRef{Kind: SrcLiveIn, Arch: s.r}
 				if !seenLiveIn[s.r] {
 					seenLiveIn[s.r] = true
+					//tracep:allow live-in list is bounded by NumRegs and reuses capacity
 					t.LiveIns = append(t.LiveIns, s.r)
 				}
 			}
@@ -252,6 +270,7 @@ func (t *Trace) prerename() {
 	}
 	for r := 1; r < isa.NumRegs; r++ {
 		if t.LastWriter[r] >= 0 {
+			//tracep:allow live-out list is bounded by NumRegs and reuses capacity
 			t.LiveOuts = append(t.LiveOuts, isa.Reg(r))
 		}
 	}
@@ -261,6 +280,7 @@ func (t *Trace) prerename() {
 	// allocation (amortised to zero on reused traces) replaces a grown
 	// slice per producing instruction.
 	if cap(t.consumerArena) < totalConsumers+n {
+		//tracep:allow consumer arena is sized to the trace shape and reused across builds
 		t.consumerArena = make([]int16, totalConsumers+n)
 	}
 	counts := t.consumerArena[totalConsumers : totalConsumers+n]
@@ -284,6 +304,7 @@ func (t *Trace) prerename() {
 		for k := 0; k < 2; k++ {
 			if sr := t.Srcs[i][k]; sr.Kind == SrcLocal {
 				w := sr.Local
+				//tracep:allow fills an exactly-sized arena segment; cannot grow
 				t.LocalConsumers[w] = append(t.LocalConsumers[w], int16(i))
 			}
 		}

@@ -176,7 +176,7 @@ func encodeProgram(buf []byte, prog *isa.Program) []byte {
 		buf = binary.AppendUvarint(buf, uint64(in.Target))
 	}
 	addrs := make([]uint32, 0, len(prog.Data))
-	for a := range prog.Data {
+	for a := range prog.Data { //tracep:orderinvariant sorted below
 		addrs = append(addrs, a)
 	}
 	// Sort addresses so encoding is deterministic and deltas stay small.

@@ -208,6 +208,8 @@ func (r *Reader) Close() error {
 
 // Next returns the next committed record, io.EOF at the verified end of the
 // trace, or an error wrapping ErrCorruptTrace. Errors are sticky.
+//
+//tracep:noalloc
 func (r *Reader) Next() (emu.Record, error) {
 	if r.pos < len(r.recs) {
 		rec := r.recs[r.pos]
@@ -215,6 +217,7 @@ func (r *Reader) Next() (emu.Record, error) {
 		return rec, nil
 	}
 	var zero uint64
+	//tracep:allow block refill is amortised over a whole block of records and decodes into reused buffers
 	if err := r.refill(&zero); err != nil {
 		return emu.Record{}, err
 	}

@@ -37,9 +37,9 @@ type entry struct {
 // Predictor predicts live-in values keyed by an opaque 64-bit context
 // (the processor uses trace start PC and architectural register).
 type Predictor struct {
-	cfg   Config
-	table []entry
-	mask  uint64
+	cfg   Config  //tracep:nostats configuration
+	table []entry //tracep:nostats model state
+	mask  uint64  //tracep:nostats configuration
 
 	Predictions uint64
 	Correct     uint64
@@ -72,6 +72,7 @@ func (p *Predictor) Clone() *Predictor {
 // ResetStats zeroes the prediction/training counters, keeping the table.
 func (p *Predictor) ResetStats() { p.Predictions, p.Correct, p.Trains = 0, 0, 0 }
 
+//tracep:noalloc
 func (p *Predictor) slot(key uint64) *entry {
 	h := key * 0x9E3779B97F4A7C15
 	h ^= h >> 29
@@ -79,6 +80,8 @@ func (p *Predictor) slot(key uint64) *entry {
 }
 
 // Predict returns a confident value prediction for key, if any.
+//
+//tracep:noalloc
 func (p *Predictor) Predict(key uint64) (int64, bool) {
 	e := p.slot(key)
 	if !e.valid || e.tag != key || e.conf < p.cfg.ConfidenceThreshold {
@@ -93,6 +96,8 @@ func (p *Predictor) Predict(key uint64) (int64, bool) {
 
 // Train observes an actual live-in value for key, updating last-value,
 // stride and confidence.
+//
+//tracep:noalloc
 func (p *Predictor) Train(key uint64, actual int64) {
 	p.Trains++
 	e := p.slot(key)

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -289,7 +290,14 @@ func (m *Manager) Submit(req SweepRequest) (Status, error) {
 	for i, md := range models {
 		modelNames[i] = md.Name
 	}
-	for name := range req.WarmupFor {
+	// Validate overrides in sorted order so the reported name is
+	// deterministic when several are bad (map iteration order is not).
+	overrides := make([]string, 0, len(req.WarmupFor))
+	for name := range req.WarmupFor { //tracep:orderinvariant sorted below
+		overrides = append(overrides, name)
+	}
+	sort.Strings(overrides)
+	for _, name := range overrides {
 		found := false
 		for _, bn := range benchNames {
 			if bn == name {
@@ -434,8 +442,10 @@ func (m *Manager) Close() {
 	m.mu.Lock()
 	m.closed = true
 	jobs := make([]*job, 0, len(m.jobs))
-	for _, j := range m.jobs {
-		jobs = append(jobs, j)
+	for _, id := range m.order { // submission order: deterministic shutdown
+		if j, ok := m.jobs[id]; ok {
+			jobs = append(jobs, j)
+		}
 	}
 	m.mu.Unlock()
 	for _, j := range jobs {
