@@ -13,10 +13,17 @@
 //	tracepd -target-insts 500000 # default workload size for requests that omit it
 //	tracepd -corpus traces/      # serve the directory's .tptrace recordings
 //	                             # as workloads requestable by name (corpus)
+//	tracepd -store /var/tracepd  # durable job store: sweeps survive restarts
+//	                             # (finished ones replay, interrupted ones resume)
+//	tracepd -coordinator -worker http://w1:8089,http://w2:8089
+//	                             # shard benchmark rows across worker tracepds
+//	                             # (work-stealing, retry, local fallback)
 //
 // The -j pool is shared across every concurrent sweep: N clients cannot
 // oversubscribe the host. SIGINT/SIGTERM shut down gracefully — live
-// sweeps are cancelled, their workers drained, then the listener closes.
+// sweeps are cancelled, their workers drained, then the listener closes;
+// with -store, interrupted sweeps resume on the next start from exactly
+// the cells that were not yet durable.
 package main
 
 import (
@@ -28,11 +35,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
 	"tracep"
 	"tracep/server"
+	"tracep/server/cluster"
 )
 
 func main() {
@@ -42,6 +52,10 @@ func main() {
 	targetInsts := flag.Uint64("target-insts", server.DefaultTargetInsts,
 		"default dynamic instruction target for requests that omit target_insts")
 	corpusDir := flag.String("corpus", "", "directory of .tptrace recordings served as corpus workloads")
+	storeDir := flag.String("store", "", "durable job-store directory (journal + snapshots); empty = memory-only")
+	coordinator := flag.Bool("coordinator", false, "shard benchmark rows across -worker tracepds instead of simulating locally")
+	workerList := flag.String("worker", "", "comma-separated worker tracepd base URLs (with -coordinator)")
+	stealAfter := flag.Duration("steal-after", cluster.DefaultStealAfter, "re-place a row still running after this long (with -coordinator)")
 	flag.Parse()
 
 	var corpus []tracep.Benchmark
@@ -54,12 +68,59 @@ func main() {
 		log.Printf("tracepd: corpus %s: %d recording(s)", *corpusDir, len(corpus))
 	}
 
-	mgr := server.NewManager(server.Config{
+	// The gate is created here (rather than letting the Manager default it)
+	// so a coordinator's local-fallback pool shares the same bound.
+	pool := *j
+	if pool <= 0 {
+		pool = runtime.GOMAXPROCS(0)
+	}
+	gate := tracep.NewGate(pool)
+
+	scfg := server.Config{
 		Parallelism:        *j,
 		Retain:             *retain,
 		DefaultTargetInsts: *targetInsts,
 		Corpus:             corpus,
-	})
+		Gate:               gate,
+		StoreDir:           *storeDir,
+	}
+	var coord *cluster.Coordinator
+	if *coordinator {
+		var workers []string
+		for _, u := range strings.Split(*workerList, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				workers = append(workers, u)
+			}
+		}
+		if len(workers) == 0 {
+			fmt.Fprintln(os.Stderr, "tracepd: -coordinator requires at least one -worker URL")
+			os.Exit(1)
+		}
+		coord = cluster.New(cluster.Config{
+			Workers:     workers,
+			Parallelism: *j,
+			Gate:        gate,
+			StealAfter:  *stealAfter,
+		})
+		scfg.Runner = coord
+		log.Printf("tracepd: coordinator over %d worker(s)", len(workers))
+	}
+
+	var mgr *server.Manager
+	if *storeDir != "" {
+		var err error
+		if mgr, err = server.OpenManager(scfg); err != nil {
+			fmt.Fprintf(os.Stderr, "tracepd: opening store %s: %v\n", *storeDir, err)
+			os.Exit(1)
+		}
+		log.Printf("tracepd: durable store at %s", *storeDir)
+	} else {
+		mgr = server.NewManager(scfg)
+	}
+	if coord != nil {
+		coord.UseSnapshots(mgr.Snapshots())
+		coord.PublishMetrics(mgr.Metrics())
+	}
 	srv := &http.Server{Addr: *addr, Handler: logRequests(mgr.Handler())}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -4,6 +4,7 @@ import (
 	"go/parser"
 	"go/token"
 	"io/fs"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -50,5 +51,46 @@ func TestEveryPackageHasDoc(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestDocsCoverCluster gates the prose documentation for the durable
+// store and the cluster coordinator: the sections (and the operational
+// surface they promise — flags, endpoints, metrics) must exist in
+// README.md and ARCHITECTURE.md. A future change that renames a flag or
+// drops a section fails here instead of silently orphaning the docs.
+func TestDocsCoverCluster(t *testing.T) {
+	checks := map[string][]string{
+		"README.md": {
+			"## Running a cluster",
+			"-store",
+			"-coordinator",
+			"-worker",
+			"/v1/snapshots/{key}",
+			"cluster_rows_stolen_total",
+			"jobs_resumed_total",
+		},
+		"ARCHITECTURE.md": {
+			"## Durability & cluster",
+			"server/store",
+			"server/cluster",
+			"clustertest",
+			"TPSTORE1",
+			"FuzzStoreLog",
+			"ErrCorruptStore",
+			"work-stealing",
+		},
+	}
+	for file, wants := range checks {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		text := string(data)
+		for _, want := range wants {
+			if !strings.Contains(text, want) {
+				t.Errorf("%s: missing %q", file, want)
+			}
+		}
 	}
 }

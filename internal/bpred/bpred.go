@@ -7,7 +7,11 @@
 // trace.
 package bpred
 
-import "tracep/internal/isa"
+import (
+	"fmt"
+
+	"tracep/internal/isa"
+)
 
 // Config sizes the predictor.
 type Config struct {
@@ -101,6 +105,36 @@ func (p *Predictor) Clone() *Predictor {
 
 // ResetStats zeroes the lookup counter, keeping the trained state.
 func (p *Predictor) ResetStats() { p.Lookups = 0 }
+
+// ExportState exposes the direction counters, BTB targets and return-address
+// stack for serialisation. The returned slices are the live arrays: callers
+// must treat them as read-only and must not hold them across predictions.
+func (p *Predictor) ExportState() (ctr []uint8, target, ras []uint32) {
+	return p.ctr, p.target, p.ras
+}
+
+// ImportState overwrites the predictor's trained state with previously
+// exported arrays (copying, not aliasing). Counter and target table lengths
+// must match the configured entry count; the RAS must fit the configured
+// depth; counters are 2-bit saturating, so values beyond 3 are invalid.
+func (p *Predictor) ImportState(ctr []uint8, target, ras []uint32) error {
+	if len(ctr) != len(p.ctr) || len(target) != len(p.target) {
+		return fmt.Errorf("bpred: state tables are %d/%d entries, configuration needs %d",
+			len(ctr), len(target), len(p.ctr))
+	}
+	if len(ras) > p.cfg.RASDepth {
+		return fmt.Errorf("bpred: RAS of %d entries exceeds configured depth %d", len(ras), p.cfg.RASDepth)
+	}
+	for i, c := range ctr {
+		if c > 3 {
+			return fmt.Errorf("bpred: entry %d has counter value %d beyond the 2-bit range", i, c)
+		}
+	}
+	copy(p.ctr, ctr)
+	copy(p.target, target)
+	p.ras = append(p.ras[:0], ras...)
+	return nil
+}
 
 //tracep:noalloc
 func (p *Predictor) idx(pc uint32) uint32 { return pc & p.mask }

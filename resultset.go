@@ -149,6 +149,33 @@ func (r *ResultSet) Models() []string {
 	return append([]string(nil), r.models...)
 }
 
+// Has reports whether the (bench, model) cell has a recorded result
+// (successful or failed). It is the cell-level presence test the cluster's
+// placement layer dedupes on: a stolen or resumed row re-delivers only the
+// cells not already present.
+func (r *ResultSet) Has(bench, model string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.byKey[cellKey{bench, model}]
+	return ok
+}
+
+// Row returns one benchmark row's recorded cells in model-column order —
+// the placement unit of a distributed sweep (rows ship whole to a worker;
+// see Sweep.Snapshots). Absent cells are skipped, so len(Row(b)) <
+// len(Models()) identifies a row with outstanding work.
+func (r *ResultSet) Row(bench string) []*Result {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Result, 0, len(r.models))
+	for _, m := range r.models {
+		if res, ok := r.byKey[cellKey{bench, m}]; ok {
+			out = append(out, res)
+		}
+	}
+	return out
+}
+
 // Len returns the number of recorded cells.
 func (r *ResultSet) Len() int {
 	r.mu.RLock()

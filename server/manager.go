@@ -7,11 +7,11 @@ import (
 	"net/http"
 	"path/filepath"
 	"runtime"
-	"sort"
 	"sync"
 	"time"
 
 	"tracep"
+	"tracep/server/store"
 )
 
 // Defaults for Config fields left zero.
@@ -39,6 +39,23 @@ type Config struct {
 	// by name via SweepRequest.Corpus and list via GET /v1/corpus. Entries
 	// whose Recorded handle is nil are ignored.
 	Corpus []tracep.Benchmark
+	// StoreDir roots the durable job store (tracepd -store). NewManager
+	// ignores it; OpenManager binds the manager to the journal there,
+	// replaying finished jobs and resuming interrupted ones. See persist.go.
+	StoreDir string
+	// Gate, when non-nil, replaces the manager's own simulation gate: every
+	// job's cells then count against this shared bound. A cluster of
+	// in-process managers handed one Gate is bounded machine-wide exactly
+	// like a single server (the coordinator race tests run this way);
+	// Parallelism still shapes per-sweep worker pools. Nil = a fresh gate of
+	// Parallelism slots.
+	Gate *tracep.Gate
+	// Runner, when non-nil, replaces local in-process simulation: the
+	// manager hands it resolved RowSpecs and collects the returned stream.
+	// This is how tracepd -coordinator mode shards rows across workers
+	// (server/cluster.Coordinator) without touching the job lifecycle. Nil =
+	// simulate locally on the shared gate.
+	Runner Runner
 }
 
 // Manager owns the server's sweep jobs: it validates submissions, runs
@@ -48,8 +65,16 @@ type Config struct {
 // re-fetched and their streams replayed. All methods are safe for
 // concurrent use; Handler exposes the manager over HTTP.
 type Manager struct {
-	cfg  Config
-	gate *tracep.Gate
+	cfg    Config
+	gate   *tracep.Gate
+	runner Runner
+
+	// store is the durable job journal (nil on a store-less manager); snaps
+	// is the content-addressed snapshot store — durable under StoreDir,
+	// memory-only otherwise, but always present so PUT /v1/snapshots works
+	// on diskless workers.
+	store *store.Store
+	snaps *store.SnapshotStore
 
 	// corpus indexes Config.Corpus by workload name; corpusNames keeps the
 	// configured order for GET /v1/corpus.
@@ -62,6 +87,11 @@ type Manager struct {
 	cellsCompleted *expvar.Int
 	cellsFailed    *expvar.Int
 	streamCells    *expvar.Int
+	jobsRecovered  *expvar.Int
+	jobsResumed    *expvar.Int
+	storeErrors    *expvar.Int
+	storeTruncated *expvar.Int
+	snapsStored    *expvar.Int
 
 	mu     sync.Mutex
 	jobs   map[string]*job
@@ -70,7 +100,8 @@ type Manager struct {
 	closed bool
 }
 
-// NewManager builds a manager; call Close to stop every live sweep and
+// NewManager builds a memory-only manager (Config.StoreDir is ignored; use
+// OpenManager for durability); call Close to stop every live sweep and
 // wait for their workers.
 func NewManager(cfg Config) *Manager {
 	if cfg.Retain <= 0 {
@@ -83,7 +114,17 @@ func NewManager(cfg Config) *Manager {
 	if pool <= 0 {
 		pool = runtime.GOMAXPROCS(0)
 	}
-	m := &Manager{cfg: cfg, jobs: make(map[string]*job), gate: tracep.NewGate(pool)}
+	gate := cfg.Gate
+	if gate == nil {
+		gate = tracep.NewGate(pool)
+	}
+	m := &Manager{cfg: cfg, jobs: make(map[string]*job), gate: gate}
+	m.runner = cfg.Runner
+	if m.runner == nil {
+		m.runner = &localRunner{parallelism: cfg.Parallelism, gate: gate}
+	}
+	// Memory-only snapshot store; OpenManager swaps in a durable one.
+	m.snaps, _ = store.NewSnapshotStore("")
 	m.corpus = make(map[string]tracep.Benchmark, len(cfg.Corpus))
 	for _, bm := range cfg.Corpus {
 		if bm.Recorded == nil {
@@ -126,10 +167,14 @@ type job struct {
 	seed        int64
 	warmup      uint64
 	warmupFor   map[string]uint64
-	total       int
-	createdAt   time.Time
-	cancel      context.CancelFunc
-	finished    chan struct{}
+	// snapKeys maps benchmark rows to content-addressed snapshot keys
+	// (SweepRequest.Snapshots): journaled with the job so a resume can
+	// re-fetch the same snapshots from the durable snapshot store.
+	snapKeys  map[string]string
+	total     int
+	createdAt time.Time
+	cancel    context.CancelFunc
+	finished  chan struct{}
 
 	mu      sync.Mutex
 	cells   []*tracep.Result
@@ -194,10 +239,15 @@ func (j *job) await(ctx context.Context, i int) (cell *tracep.Result, terminal b
 	}
 }
 
-// collect drains the sweep's stream into the job. It is the only writer of
-// cells/rs/state, runs on its own goroutine, and closes finished last.
+// collect drains the runner's stream into the job. It is the only writer
+// of cells/rs/state, runs on its own goroutine, and closes finished last.
+// Each cell is journaled before it becomes visible to streams — a cell a
+// client has seen is durable — and the terminal state is journaled for
+// completion and client cancellation, but not for shutdown: a job drained
+// by Close stays "running" on disk so a restart resumes it.
 func (j *job) collect(m *Manager, stream <-chan *tracep.Result) {
 	for res := range stream {
+		m.persistCell(j.id, res)
 		j.mu.Lock()
 		j.cells = append(j.cells, res)
 		j.rs.Add(res)
@@ -215,9 +265,19 @@ func (j *job) collect(m *Manager, stream <-chan *tracep.Result) {
 	} else {
 		j.state = StateDone
 	}
+	state := j.state
 	j.broadcastLocked()
 	j.mu.Unlock()
+	if state == StateDone || !m.isClosed() {
+		m.persistState(j.id, state)
+	}
 	close(j.finished)
+}
+
+func (m *Manager) isClosed() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.closed
 }
 
 // resolveRequest maps a wire request onto suite benchmarks, the server's
@@ -290,24 +350,35 @@ func (m *Manager) Submit(req SweepRequest) (Status, error) {
 	for i, md := range models {
 		modelNames[i] = md.Name
 	}
-	// Validate overrides in sorted order so the reported name is
+	// Validate name-keyed maps in sorted order so the reported name is
 	// deterministic when several are bad (map iteration order is not).
-	overrides := make([]string, 0, len(req.WarmupFor))
-	for name := range req.WarmupFor { //tracep:orderinvariant sorted below
-		overrides = append(overrides, name)
-	}
-	sort.Strings(overrides)
-	for _, name := range overrides {
-		found := false
+	inGrid := func(name string) bool {
 		for _, bn := range benchNames {
 			if bn == name {
-				found = true
-				break
+				return true
 			}
 		}
-		if !found {
+		return false
+	}
+	for _, name := range sortedKeys(req.WarmupFor) {
+		if !inGrid(name) {
 			return Status{}, &Error{StatusCode: http.StatusBadRequest,
 				Message: fmt.Sprintf("warmup_for names %q, which is not in the requested grid", name)}
+		}
+	}
+	for _, name := range sortedKeys(req.Snapshots) {
+		if !inGrid(name) {
+			return Status{}, &Error{StatusCode: http.StatusBadRequest,
+				Message: fmt.Sprintf("snapshots names %q, which is not in the requested grid", name)}
+		}
+		key := req.Snapshots[name]
+		if !store.ValidKey(key) {
+			return Status{}, &Error{StatusCode: http.StatusBadRequest,
+				Message: fmt.Sprintf("snapshots[%q]: malformed snapshot key %q", name, key)}
+		}
+		if !m.snaps.Has(key) {
+			return Status{}, &Error{StatusCode: http.StatusNotFound,
+				Message: fmt.Sprintf("no such snapshot: %s (PUT /v1/snapshots/{key} first)", key)}
 		}
 	}
 
@@ -320,6 +391,7 @@ func (m *Manager) Submit(req SweepRequest) (Status, error) {
 		seed:        req.Seed,
 		warmup:      req.Warmup,
 		warmupFor:   req.WarmupFor,
+		snapKeys:    req.Snapshots,
 		total:       len(benches) * len(models),
 		createdAt:   time.Now().UTC(),
 		cancel:      cancel,
@@ -327,6 +399,11 @@ func (m *Manager) Submit(req SweepRequest) (Status, error) {
 		rs:          tracep.NewResultSetFor(benchNames, modelNames),
 		state:       StateRunning,
 		changed:     make(chan struct{}),
+	}
+
+	rows := make([]RowSpec, 0, len(benches))
+	for _, bm := range benches {
+		rows = append(rows, m.rowSpec(bm, models, j))
 	}
 
 	m.mu.Lock()
@@ -342,18 +419,9 @@ func (m *Manager) Submit(req SweepRequest) (Status, error) {
 	m.evictLocked()
 	m.mu.Unlock()
 
-	sw := tracep.Sweep{
-		Benchmarks:  benches,
-		Models:      models,
-		TargetInsts: target,
-		Seed:        req.Seed,
-		Warmup:      req.Warmup,
-		WarmupFor:   req.WarmupFor,
-		Parallelism: m.cfg.Parallelism,
-		Gate:        m.gate,
-	}
+	m.persistJob(j)
 	m.jobsSubmitted.Add(1)
-	go j.collect(m, sw.Stream(ctx))
+	go j.collect(m, m.runner.Run(ctx, rows))
 	return j.snapshot(false), nil
 }
 
@@ -373,6 +441,7 @@ func (m *Manager) evictLocked() {
 		j := m.jobs[id]
 		if j != nil && terminal > m.cfg.Retain && j.snapshotTerminal() {
 			delete(m.jobs, id)
+			m.persist(store.Record{Kind: store.KindEvict, JobID: id})
 			terminal--
 			continue
 		}
@@ -380,6 +449,22 @@ func (m *Manager) evictLocked() {
 	}
 	m.order = kept
 }
+
+// inCorpus reports whether name is one of the server's recorded-trace
+// workloads.
+func (m *Manager) inCorpus(name string) bool {
+	_, ok := m.corpus[name]
+	return ok
+}
+
+// Snapshots exposes the manager's content-addressed snapshot store (durable
+// under Config.StoreDir via OpenManager, memory-only otherwise) — what the
+// HTTP snapshot endpoints and the cluster coordinator's shipping layer
+// read and write.
+func (m *Manager) Snapshots() *store.SnapshotStore { return m.snaps }
+
+// Gate returns the manager's shared simulation gate.
+func (m *Manager) Gate() *tracep.Gate { return m.gate }
 
 func (j *job) snapshotTerminal() bool {
 	j.mu.Lock()
@@ -436,8 +521,12 @@ func (m *Manager) Cancel(id string) (Status, bool) {
 	return j.snapshot(false), true
 }
 
-// Close cancels every live job and waits for all sweep workers to drain.
-// The manager rejects new submissions afterwards.
+// Close cancels every live job and waits for all sweep workers to drain,
+// then releases the job store (if any). The manager rejects new
+// submissions afterwards. Jobs interrupted by Close keep their "running"
+// journal state — no terminal record is written — so reopening the same
+// store directory resumes them; only their still-missing cells are
+// re-simulated.
 func (m *Manager) Close() {
 	m.mu.Lock()
 	m.closed = true
@@ -453,5 +542,8 @@ func (m *Manager) Close() {
 	}
 	for _, j := range jobs {
 		<-j.finished
+	}
+	if m.store != nil {
+		_ = m.store.Close()
 	}
 }

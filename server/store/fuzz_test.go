@@ -1,0 +1,71 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// fuzzSeedImages builds the seed corpus: a clean multi-record log, an
+// empty log, and characteristic damage shapes (truncated frame, bit-flipped
+// CRC, interleaved garbage between frames, oversized length claims) so the
+// fuzzer starts from every branch of the decoder.
+func fuzzSeedImages() [][]byte {
+	clean := append([]byte(nil), logMagic[:]...)
+	for _, r := range sampleRecords() {
+		clean = AppendRecord(clean, r)
+	}
+
+	flipped := append([]byte(nil), clean...)
+	flipped[len(flipped)-2] ^= 0x10 // inside the last frame's CRC
+
+	torn := clean[:len(clean)-5]
+
+	interleaved := append([]byte(nil), logMagic[:]...)
+	interleaved = AppendRecord(interleaved, Record{Kind: KindJob, JobID: "sw-9"})
+	interleaved = append(interleaved, 0xde, 0xad, 0xbe, 0xef)
+	interleaved = AppendRecord(interleaved, Record{Kind: KindCell, JobID: "sw-9", Payload: []byte("x")})
+
+	huge := append([]byte(nil), logMagic[:]...)
+	huge = append(huge, byte(KindCell))
+	// Claim a job-ID length far past maxJobIDLen.
+	huge = append(huge, 0xff, 0xff, 0xff, 0x7f)
+
+	return [][]byte{
+		clean,
+		logMagic[:],
+		{},
+		flipped,
+		torn,
+		interleaved,
+		huge,
+	}
+}
+
+// FuzzStoreLog is the job-store decoder's robustness gate: whatever bytes
+// arrive — truncated, bit-flipped, interleaved, or adversarial — DecodeAll
+// either returns records or a typed ErrCorruptStore, and never panics. On
+// a clean decode, re-encoding the records must reproduce the input exactly
+// (the decoder invents nothing), which also proves Open's repair path can
+// never change the meaning of the surviving prefix.
+func FuzzStoreLog(f *testing.F) {
+	for _, seed := range fuzzSeedImages() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := DecodeAll(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorruptStore) {
+				t.Fatalf("DecodeAll error %v does not wrap ErrCorruptStore", err)
+			}
+			return
+		}
+		reenc := append([]byte(nil), logMagic[:]...)
+		for _, r := range recs {
+			reenc = AppendRecord(reenc, r)
+		}
+		if !bytes.Equal(reenc, data) {
+			t.Fatalf("re-encoding %d decoded records did not reproduce the input", len(recs))
+		}
+	})
+}

@@ -1,0 +1,167 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"tracep"
+)
+
+// SnapshotStore is a content-addressed cache of serialised warm-up
+// snapshots (Snapshot.MarshalBinary images). Keys are derived from the
+// capture recipe — benchmark, workload size, configuration, warm-up length
+// — so the coordinator captures each row snapshot at most once and every
+// node that needs it fetches by key; snapshot marshalling is deterministic
+// (two captures of the same recipe produce identical bytes), which is what
+// makes the addressing sound.
+//
+// With a directory the store is durable (atomic tmp+rename writes, one
+// file per key); with dir == "" it is memory-only, for workers that only
+// ever receive shipped snapshots.
+type SnapshotStore struct {
+	dir string
+
+	mu    sync.Mutex
+	bytes map[string][]byte
+}
+
+// NewSnapshotStore opens a snapshot store rooted at dir ("" = memory-only;
+// under a job store's directory use Store.Dir() + "/snapshots").
+func NewSnapshotStore(dir string) (*SnapshotStore, error) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	return &SnapshotStore{dir: dir, bytes: make(map[string][]byte)}, nil
+}
+
+// SnapshotDir returns the conventional snapshot directory beneath a job
+// store directory, so server and CLI agree on the layout.
+func SnapshotDir(storeDir string) string { return filepath.Join(storeDir, snapshotsDir) }
+
+// Key derives the content address of a row snapshot from its capture
+// recipe. The configuration is canonicalised via its JSON encoding (Config
+// is a flat struct of scalars, so encoding/json's fixed field order makes
+// this deterministic).
+func Key(bench string, targetInsts uint64, cfg tracep.Config, warmup uint64) string {
+	cfgJSON, err := json.Marshal(cfg)
+	if err != nil {
+		// Config is marshal-safe by construction; a failure here is a
+		// programming error, not data-dependent.
+		panic(fmt.Sprintf("store: marshal config: %v", err))
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "tpsnap|%s|%d|%d|", bench, targetInsts, warmup)
+	h.Write(cfgJSON)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// ValidKey reports whether key has the exact shape Key produces (64
+// lowercase hex digits) — the gate that makes keys safe to embed in URL
+// paths and file names without escaping.
+func ValidKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Has reports whether the store holds key.
+func (s *SnapshotStore) Has(key string) bool {
+	if !ValidKey(key) {
+		return false
+	}
+	s.mu.Lock()
+	_, ok := s.bytes[key]
+	s.mu.Unlock()
+	if ok {
+		return true
+	}
+	if s.dir == "" {
+		return false
+	}
+	_, err := os.Stat(filepath.Join(s.dir, key+".tpsnap"))
+	return err == nil
+}
+
+// Put stores a serialised snapshot under key. The image is decoded first —
+// a store never accepts bytes it could not later restore from — and, when
+// the store is durable, written atomically so a crash mid-Put leaves no
+// partial file.
+func (s *SnapshotStore) Put(key string, data []byte) error {
+	if !ValidKey(key) {
+		return fmt.Errorf("store: invalid snapshot key %q", key)
+	}
+	if _, err := tracep.UnmarshalSnapshot(data); err != nil {
+		return fmt.Errorf("store: rejecting snapshot %s: %w", key[:12], err)
+	}
+	cp := append([]byte(nil), data...)
+	if s.dir != "" {
+		path := filepath.Join(s.dir, key+".tpsnap")
+		tmp := path + ".tmp"
+		if err := os.WriteFile(tmp, cp, 0o644); err != nil {
+			return err
+		}
+		if err := os.Rename(tmp, path); err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	s.bytes[key] = cp
+	s.mu.Unlock()
+	return nil
+}
+
+// GetBytes returns the serialised snapshot stored under key, or nil if
+// absent (or present on disk but unreadable/corrupt — a damaged snapshot
+// file behaves like a miss, and the caller recaptures).
+func (s *SnapshotStore) GetBytes(key string) []byte {
+	if !ValidKey(key) {
+		return nil
+	}
+	s.mu.Lock()
+	data, ok := s.bytes[key]
+	s.mu.Unlock()
+	if ok {
+		return data
+	}
+	if s.dir == "" {
+		return nil
+	}
+	data, err := os.ReadFile(filepath.Join(s.dir, key+".tpsnap"))
+	if err != nil {
+		return nil
+	}
+	if _, err := tracep.UnmarshalSnapshot(data); err != nil {
+		return nil
+	}
+	s.mu.Lock()
+	s.bytes[key] = data
+	s.mu.Unlock()
+	return data
+}
+
+// Get returns the decoded snapshot stored under key, or nil if absent.
+func (s *SnapshotStore) Get(key string) *tracep.Snapshot {
+	data := s.GetBytes(key)
+	if data == nil {
+		return nil
+	}
+	snap, err := tracep.UnmarshalSnapshot(data)
+	if err != nil {
+		return nil
+	}
+	return snap
+}

@@ -347,7 +347,11 @@ func (s *Simulator) newProcessor(ctx context.Context, prog *Program) (*proc.Proc
 		if s.snap.Program() == nil {
 			return nil, fmt.Errorf("%w: snapshot has no program (zero-value Snapshot?)", ErrIncompatibleSnapshot)
 		}
-		if prog != s.snap.Program() {
+		// Pointer equality is the fast path (a sweep row shares one build);
+		// structural equality admits snapshots decoded from their binary
+		// form, whose program was rebuilt in another process. Deterministic
+		// builds make the two indistinguishable at run time.
+		if !prog.Equal(s.snap.Program()) {
 			return nil, fmt.Errorf("%w: snapshot was captured from a different program (%q, session has %q)",
 				ErrIncompatibleSnapshot, s.snap.Program().Name, prog.Name)
 		}

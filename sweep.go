@@ -51,6 +51,20 @@ type Sweep struct {
 	// fails every cell of the row, like a failed build.
 	Warmup uint64
 
+	// Snapshots provides pre-captured warm-up snapshots per benchmark row,
+	// keyed by Benchmark.Name. A row with an entry forks every model cell
+	// from the provided snapshot instead of capturing its own — the
+	// row-level placement hook the sweep cluster uses: a coordinator
+	// captures (or fetches from its content-addressed store) one snapshot
+	// per row and ships it to whichever node runs the row, and the
+	// receiving node's Sweep restores from it without re-running the
+	// functional warm-up. The snapshot must have been captured from the
+	// same benchmark program and a compatible configuration (see
+	// Snapshot.CompatibleWith); mismatches fail the row's cells with errors
+	// wrapping ErrIncompatibleSnapshot. Rows without an entry fall back to
+	// Warmup/WarmupFor capture as usual.
+	Snapshots map[string]*Snapshot
+
 	// WarmupFor overrides Warmup per benchmark row, keyed by Benchmark.Name:
 	// workloads reach steady state at different depths (a tight kernel warms
 	// in thousands of instructions, a call-heavy workload in hundreds of
@@ -94,6 +108,9 @@ type sweepRow struct {
 	// warmup is the row's effective warm-up length (WarmupFor override or
 	// the sweep-wide Warmup), resolved once at feed time.
 	warmup uint64
+	// provided is the row's pre-captured snapshot (Sweep.Snapshots), which
+	// supersedes capture entirely.
+	provided *Snapshot
 
 	capture sync.Once
 	snap    *Snapshot
@@ -109,6 +126,9 @@ type sweepRow struct {
 // restore-side state is always cloned, so handing it to every cell is
 // race-free.
 func (r *sweepRow) snapshot(ctx context.Context, gate *Gate) (*Snapshot, error) {
+	if r.provided != nil {
+		return r.provided, nil
+	}
 	if r.warmup == 0 {
 		return nil, nil
 	}
@@ -212,7 +232,8 @@ func (sw *Sweep) Stream(ctx context.Context) <-chan *Result {
 			// captured worker-side on first need).
 			prog, err := buildProgram(bm, sw.TargetInsts)
 			row := &sweepRow{sw: sw, bench: bm.Name, prog: prog, buildErr: err,
-				recorded: bm.Recorded, warmup: sw.warmupFor(bm.Name)}
+				recorded: bm.Recorded, warmup: sw.warmupFor(bm.Name),
+				provided: sw.Snapshots[bm.Name]}
 			for _, m := range sw.Models {
 				select {
 				case jobCh <- sweepJob{row: row, model: m}:

@@ -125,6 +125,19 @@ type Snapshot = proc.Snapshot
 // configuration; test with errors.Is.
 var ErrIncompatibleSnapshot = proc.ErrIncompatibleSnapshot
 
+// ErrCorruptSnapshot is the sentinel wrapped by every structural error
+// UnmarshalSnapshot reports (bad magic, CRC mismatch, truncated or
+// inconsistent sections); test with errors.Is.
+var ErrCorruptSnapshot = proc.ErrCorruptSnapshot
+
+// UnmarshalSnapshot decodes a snapshot serialised with
+// Snapshot.MarshalBinary. The binary form is what lets a warm-up captured
+// on one node be restored on another (the sweep cluster ships row
+// snapshots this way) and what the server's content-addressed snapshot
+// store persists; a run restored from a decoded snapshot is byte-identical
+// to one restored from the original.
+func UnmarshalSnapshot(data []byte) (*Snapshot, error) { return proc.UnmarshalSnapshot(data) }
+
 // Program is an executable image for the simulator's ISA.
 type Program = isa.Program
 
