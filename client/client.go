@@ -269,7 +269,14 @@ func (c *Client) Collect(ctx context.Context, id string, fn func(*tracep.Result)
 	if err != nil {
 		return nil, nil, err
 	}
-	rs := tracep.NewResultSetFor(st.Benchmarks, st.Models)
+	// The status carries all three axes; a single-replicate job has no
+	// seeds axis and its one implicit seed is st.Seed — mirroring
+	// tracep.Sweep's resolution so the rebuilt set is byte-identical.
+	seeds := st.Seeds
+	if len(seeds) == 0 {
+		seeds = []int64{st.Seed}
+	}
+	rs := tracep.NewResultSetGrid(st.Benchmarks, st.Models, seeds)
 	final, err := c.Stream(ctx, id, func(res *tracep.Result) error {
 		rs.Add(res)
 		if fn != nil {

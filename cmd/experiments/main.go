@@ -28,9 +28,11 @@
 //	experiments -corpus traces/        # sweep the directory's .tptrace
 //	                                   # recordings instead of (or, with
 //	                                   # -bench, alongside) the generated suite
+//	experiments -seeds 1,2,3           # three replicates per cell; tables
+//	                                   # report mean±95% CI error bars
 //	experiments -json > rs.json        # machine-readable ResultSet
 //	experiments -results rs.json       # re-render tables from saved JSON (no simulation)
-//	experiments -results rs.json -baseline old.json -diff-tolerance 2
+//	experiments -results rs.json -baseline old.json -tolerances ipc=2
 //	                                   # regression gate: exit 2 on >2% IPC drop
 //	experiments -server http://localhost:8089
 //	                                   # run the sweep on a remote tracepd, stream
@@ -46,12 +48,16 @@
 // directory (tracepd -corpus), so it must hold recordings with the same
 // names — GET /v1/corpus lists what it serves.
 //
-// The -baseline gate checks IPC (-diff-tolerance, percent drop), trace
-// mispredictions (-diff-tolerance-tmisp, rise per 1000 insts), recovery
-// counts (-diff-tolerance-recoveries, percent rise) and I-/D-cache miss
-// rates (-diff-tolerance-miss, rise per 1000 insts); the count gates
-// default to 0 — any rise regresses — because simulations are
-// deterministic. Cells whose warm-up differs from the baseline's are
+// The -baseline gate checks IPC (percent drop), trace mispredictions
+// (rise per 1000 insts), recovery counts (percent rise) and I-/D-cache
+// miss rates (rise per 1000 insts); -tolerances sets all of them at once
+// as k=v pairs ("ipc=2,miss=0.5,allow-missing") or Tolerances JSON, and
+// the older per-metric -diff-tolerance-* flags survive as deprecated
+// aliases that override individual fields. The count gates default to 0 —
+// any rise regresses — because simulations are deterministic. With -seeds
+// replicates, the gate is interval-aware: a metric regresses only when
+// its mean drifts beyond tolerance AND the two 95% confidence intervals
+// are disjoint. Cells whose warm-up differs from the baseline's are
 // incomparable and always regress: refresh the baseline (commit label
 // [refresh-baseline] triggers the baseline-refresh workflow) or align
 // -warmup.
@@ -93,16 +99,60 @@ func main() {
 	progress := flag.Bool("progress", false, "log per-run completion to stderr")
 	resultsFile := flag.String("results", "", "load the ResultSet from this saved JSON file instead of simulating")
 	baselineFile := flag.String("baseline", "", "diff results against this saved ResultSet JSON; exit 2 on regression")
-	diffTol := flag.Float64("diff-tolerance", 2.0, "allowed per-cell IPC drop in percent for -baseline")
+	seedsList := flag.String("seeds", "",
+		"comma-separated predictor seeds (e.g. 1,2,3); each (benchmark, model) cell runs once per seed and tables report mean±95% CI")
+	tolSpec := flag.String("tolerances", "",
+		`-baseline gate tolerances as k=v pairs ("ipc=2,miss=0.5,allow-missing") or JSON ({"ipc_pct":2}); explicit -diff-tolerance-* flags override individual fields`)
+	diffTol := flag.Float64("diff-tolerance", 2.0, "deprecated alias: -tolerances ipc=<pct> (allowed per-cell IPC drop in percent for -baseline)")
 	diffTolTMisp := flag.Float64("diff-tolerance-tmisp", 0,
-		"allowed per-cell rise in trace mispredictions per 1000 insts for -baseline")
+		"deprecated alias: -tolerances tmisp=<n> (allowed per-cell rise in trace mispredictions per 1000 insts for -baseline)")
 	diffTolRecoveries := flag.Float64("diff-tolerance-recoveries", 0,
-		"allowed per-cell rise in recovery count (percent) for -baseline")
+		"deprecated alias: -tolerances recoveries=<pct> (allowed per-cell rise in recovery count (percent) for -baseline)")
 	diffTolMiss := flag.Float64("diff-tolerance-miss", 0,
-		"allowed per-cell rise in I-/D-cache misses per 1000 insts for -baseline")
-	diffAllowMissing := flag.Bool("diff-allow-missing", false, "tolerate baseline cells absent from the current results")
+		"deprecated alias: -tolerances miss=<n> (allowed per-cell rise in I-/D-cache misses per 1000 insts for -baseline)")
+	diffAllowMissing := flag.Bool("diff-allow-missing", false, "deprecated alias: -tolerances allow-missing (tolerate baseline cells absent from the current results)")
 	serverURL := flag.String("server", "", "run the sweep on this tracepd instance (e.g. http://localhost:8089) instead of in-process")
 	flag.Parse()
+
+	seeds, err := parseSeeds(*seedsList)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	// One Tolerances from the new consolidated flag, with the legacy
+	// -diff-tolerance-* flags as deprecated aliases: -tolerances parses
+	// first, then any legacy flag set explicitly on the command line
+	// overrides its field (so old invocations behave bit-for-bit, and mixed
+	// invocations do what the visible flags say).
+	tol := tracep.Tolerances{
+		IPCPct:           *diffTol,
+		TraceMispPer1000: *diffTolTMisp,
+		RecoveriesPct:    *diffTolRecoveries,
+		CacheMissPer1000: *diffTolMiss,
+		AllowMissing:     *diffAllowMissing,
+	}
+	if *tolSpec != "" {
+		parsed, err := tracep.ParseTolerances(*tolSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-tolerances: %v\n", err)
+			os.Exit(1)
+		}
+		tol = parsed
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "diff-tolerance":
+				tol.IPCPct = *diffTol
+			case "diff-tolerance-tmisp":
+				tol.TraceMispPer1000 = *diffTolTMisp
+			case "diff-tolerance-recoveries":
+				tol.RecoveriesPct = *diffTolRecoveries
+			case "diff-tolerance-miss":
+				tol.CacheMissPer1000 = *diffTolMiss
+			case "diff-allow-missing":
+				tol.AllowMissing = *diffAllowMissing
+			}
+		})
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -136,7 +186,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		rs, ctxErr = runSweep(ctx, *serverURL, *benchList, *corpusDir, *n, *warmup, warmFor, *j, *progress, *jsonOut, wantTable, wantFigure)
+		rs, ctxErr = runSweep(ctx, *serverURL, *benchList, *corpusDir, *n, *warmup, warmFor, seeds, *j, *progress, *jsonOut, wantTable, wantFigure)
 	}
 
 	runErr := rs.Err()
@@ -172,13 +222,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		diff := rs.Diff(baseline, tracep.Tolerances{
-			IPCPct:           *diffTol,
-			TraceMispPer1000: *diffTolTMisp,
-			RecoveriesPct:    *diffTolRecoveries,
-			CacheMissPer1000: *diffTolMiss,
-			AllowMissing:     *diffAllowMissing,
-		})
+		diff := rs.Diff(baseline, tol)
 		// In -json mode stdout stays a clean ResultSet; the diff verdict
 		// goes to stderr.
 		out := os.Stdout
@@ -207,7 +251,7 @@ func main() {
 // is set — and returns the (possibly partial) set plus the context error,
 // mirroring Sweep.Run.
 func runSweep(ctx context.Context, serverURL, benchList, corpusDir string, n, warmup uint64, warmupFor map[string]uint64,
-	j int, progress, jsonOut bool, wantTable, wantFigure func(int) bool) (*tracep.ResultSet, error) {
+	seeds []int64, j int, progress, jsonOut bool, wantTable, wantFigure func(int) bool) (*tracep.ResultSet, error) {
 	var suite []tracep.Benchmark
 	var err error
 	// -corpus without -bench sweeps the recordings alone — mirroring the
@@ -268,7 +312,7 @@ func runSweep(ctx context.Context, serverURL, benchList, corpusDir string, n, wa
 	}
 
 	if serverURL != "" {
-		return runRemote(ctx, serverURL, suite, benchNames(corpus), models, n, warmup, warmupFor, progress)
+		return runRemote(ctx, serverURL, suite, benchNames(corpus), models, n, warmup, warmupFor, seeds, progress)
 	}
 
 	sw := tracep.Sweep{
@@ -277,6 +321,7 @@ func runSweep(ctx context.Context, serverURL, benchList, corpusDir string, n, wa
 		TargetInsts: n,
 		Warmup:      warmup,
 		WarmupFor:   warmupFor,
+		Seeds:       seeds,
 		Parallelism: j,
 	}
 	if progress {
@@ -296,7 +341,7 @@ func runSweep(ctx context.Context, serverURL, benchList, corpusDir string, n, wa
 // Remote failures other than cancellation are fatal (exit 1) — there is no
 // partial set worth rendering when the server is unreachable.
 func runRemote(ctx context.Context, serverURL string, benches []tracep.Benchmark, corpus []string,
-	models []tracep.Model, n, warmup uint64, warmupFor map[string]uint64, progress bool) (*tracep.ResultSet, error) {
+	models []tracep.Model, n, warmup uint64, warmupFor map[string]uint64, seeds []int64, progress bool) (*tracep.ResultSet, error) {
 	if (len(benches) == 0 && len(corpus) == 0) || len(models) == 0 {
 		return tracep.NewResultSet(), nil
 	}
@@ -307,6 +352,7 @@ func runRemote(ctx context.Context, serverURL string, benches []tracep.Benchmark
 		TargetInsts: n,
 		Warmup:      warmup,
 		WarmupFor:   warmupFor,
+		Seeds:       seeds,
 	}
 	var fn func(*tracep.Result) error
 	if progress {
@@ -360,6 +406,23 @@ func renderTables(rs *tracep.ResultSet, wantTable, wantFigure func(int) bool) {
 		report.BestPerBenchmark(os.Stdout, rs, ciNames, tracep.ModelBase.Name)
 		fmt.Println()
 	}
+}
+
+// parseSeeds parses -seeds' comma-separated integer list; empty means the
+// single-replicate default.
+func parseSeeds(spec string) ([]int64, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	var out []int64
+	for _, part := range strings.Split(spec, ",") {
+		s, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("-seeds: bad seed %q: %v", part, err)
+		}
+		out = append(out, s)
+	}
+	return out, nil
 }
 
 // parseWarmupFor parses -warmup-for's name=insts[,name=insts...] syntax,

@@ -1,0 +1,265 @@
+// Command paperfigs renders the paper's tables and figures with error bars
+// from one declarative grid spec: scenario families × models × predictor
+// seeds. Where cmd/experiments reproduces §6's point-estimate evaluation
+// over the fixed SPEC95 analogues, paperfigs runs the statistical variant:
+// each (workload, model) cell is replicated across the seed axis and the
+// tables report mean±95% CI (Student-t), so figure deltas come with the
+// uncertainty the SimPoint-style methodology literature asks for.
+//
+// The grid can come from flags or from a JSON spec file:
+//
+//	paperfigs                                # all four scenario families, 3 seeds
+//	paperfigs -scenarios dense-branch,mixed  # family subset
+//	paperfigs -scenario-seeds 1,2            # two workload instances per family
+//	paperfigs -bench compress,vortex         # add fixed suite workloads
+//	paperfigs -seeds 1,2,3,4,5               # five replicates per cell
+//	paperfigs -n 200000 -j 4                 # run size and parallelism
+//	paperfigs -json > grid.json              # machine-readable ResultSet
+//	paperfigs -spec grid.json.spec           # the same grid, declaratively
+//
+// A spec file is the JSON form of the flag grid (see GridSpec); flags
+// other than -spec are ignored when it is given:
+//
+//	{
+//	  "scenarios": ["ptr-chase", "mixed"],
+//	  "scenario_seeds": [1, 2],
+//	  "benchmarks": ["compress"],
+//	  "models": ["base", "base(ntb)"],
+//	  "seeds": [1, 2, 3],
+//	  "target_insts": 200000
+//	}
+//
+// Exit codes: 0 success, 1 simulation or spec failure, 130 interrupted.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+
+	"tracep"
+	"tracep/internal/report"
+)
+
+// GridSpec is the declarative form of the paperfigs grid: which workloads
+// (scenario families instantiated per scenario seed, plus fixed suite
+// benchmarks), which models, and which predictor seeds replicate each cell.
+type GridSpec struct {
+	// Scenarios names workload families from tracep.Scenarios(); empty =
+	// all four.
+	Scenarios []string `json:"scenarios,omitempty"`
+	// ScenarioSeeds are the generator seeds each family is instantiated
+	// under (one benchmark per family × seed); empty = {1}.
+	ScenarioSeeds []int64 `json:"scenario_seeds,omitempty"`
+	// Benchmarks names fixed suite workloads to append after the scenario
+	// rows (tracep.BenchmarkByName).
+	Benchmarks []string `json:"benchmarks,omitempty"`
+	// Models names the model columns (tracep.ModelByName); empty = the
+	// selection-only models of Table 3.
+	Models []string `json:"models,omitempty"`
+	// Seeds is the predictor-seed replicate axis (tracep.Sweep.Seeds);
+	// empty = {1, 2, 3}.
+	Seeds []int64 `json:"seeds,omitempty"`
+	// TargetInsts sizes each run; 0 = 100000.
+	TargetInsts uint64 `json:"target_insts,omitempty"`
+	// Warmup fast-forwards each cell's measured region (tracep.Sweep.Warmup).
+	Warmup uint64 `json:"warmup,omitempty"`
+}
+
+func main() {
+	specFile := flag.String("spec", "", "JSON GridSpec file; other grid flags are ignored when set")
+	scenarios := flag.String("scenarios", "", "comma-separated scenario families (default: all four; see tracep.Scenarios)")
+	scenarioSeeds := flag.String("scenario-seeds", "1", "comma-separated generator seeds instantiating each family")
+	benchList := flag.String("bench", "", "comma-separated fixed suite benchmarks to append to the grid")
+	modelList := flag.String("models", "", "comma-separated model columns (default: the selection-only models)")
+	seedsList := flag.String("seeds", "1,2,3", "comma-separated predictor seeds; each cell runs once per seed")
+	n := flag.Uint64("n", 100_000, "target dynamic instruction count per run")
+	warmup := flag.Uint64("warmup", 0, "fast-forward this many instructions functionally before measuring")
+	j := flag.Int("j", 0, "simulations to run in parallel (0 = GOMAXPROCS)")
+	jsonOut := flag.Bool("json", false, "emit the ResultSet as JSON instead of formatted tables")
+	flag.Parse()
+
+	spec, err := specFromFlags(*specFile, *scenarios, *scenarioSeeds, *benchList, *modelList, *seedsList, *n, *warmup)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	benches, models, err := spec.resolve()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	sw := tracep.Sweep{
+		Benchmarks:  benches,
+		Models:      models,
+		TargetInsts: spec.TargetInsts,
+		Warmup:      spec.Warmup,
+		Seeds:       spec.Seeds,
+		Parallelism: *j,
+	}
+	rs, ctxErr := sw.Run(ctx)
+	if err := rs.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rs); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else {
+		if ctxErr != nil {
+			fmt.Fprintf(os.Stderr, "sweep interrupted (%v); tables below are partial\n", ctxErr)
+		}
+		render(rs, models)
+	}
+
+	switch {
+	case ctxErr != nil:
+		os.Exit(130)
+	case rs.Err() != nil:
+		os.Exit(1)
+	}
+}
+
+// specFromFlags loads the spec file when given, or assembles a GridSpec
+// from the individual flags.
+func specFromFlags(specFile, scenarios, scenarioSeeds, benchList, modelList, seedsList string, n, warmup uint64) (GridSpec, error) {
+	if specFile != "" {
+		data, err := os.ReadFile(specFile)
+		if err != nil {
+			return GridSpec{}, err
+		}
+		var spec GridSpec
+		dec := json.NewDecoder(strings.NewReader(string(data)))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			return GridSpec{}, fmt.Errorf("%s: %w", specFile, err)
+		}
+		return spec, nil
+	}
+	scSeeds, err := parseSeedList("-scenario-seeds", scenarioSeeds)
+	if err != nil {
+		return GridSpec{}, err
+	}
+	seeds, err := parseSeedList("-seeds", seedsList)
+	if err != nil {
+		return GridSpec{}, err
+	}
+	return GridSpec{
+		Scenarios:     splitList(scenarios),
+		ScenarioSeeds: scSeeds,
+		Benchmarks:    splitList(benchList),
+		Models:        splitList(modelList),
+		Seeds:         seeds,
+		TargetInsts:   n,
+		Warmup:        warmup,
+	}, nil
+}
+
+// resolve materialises the spec's workload and model axes, applying the
+// documented defaults.
+func (g *GridSpec) resolve() ([]tracep.Benchmark, []tracep.Model, error) {
+	families := tracep.Scenarios()
+	if len(g.Scenarios) > 0 {
+		families = families[:0]
+		for _, name := range g.Scenarios {
+			sc, err := tracep.ScenarioByName(name)
+			if err != nil {
+				return nil, nil, err
+			}
+			families = append(families, sc)
+		}
+	}
+	scSeeds := g.ScenarioSeeds
+	if len(scSeeds) == 0 {
+		scSeeds = []int64{1}
+	}
+	var benches []tracep.Benchmark
+	for _, sc := range families {
+		benches = append(benches, sc.Benchmarks(scSeeds...)...)
+	}
+	for _, name := range g.Benchmarks {
+		bm, err := tracep.BenchmarkByName(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		benches = append(benches, bm)
+	}
+
+	var models []tracep.Model
+	if len(g.Models) == 0 {
+		models = tracep.SelectionModels()
+	} else {
+		for _, name := range g.Models {
+			md, ok := tracep.ModelByName(name)
+			if !ok {
+				return nil, nil, fmt.Errorf("unknown model %q", name)
+			}
+			models = append(models, md)
+		}
+	}
+
+	if len(g.Seeds) == 0 {
+		g.Seeds = []int64{1, 2, 3}
+	}
+	if g.TargetInsts == 0 {
+		g.TargetInsts = 100_000
+	}
+	return benches, models, nil
+}
+
+// render writes the statistical variants of the paper's displays: Table 3
+// with mean±CI cells and the %-improvement figure over the grid's first
+// model as baseline.
+func render(rs *tracep.ResultSet, models []tracep.Model) {
+	names := make([]string, len(models))
+	for i, m := range models {
+		names[i] = m.Name
+	}
+	report.Table3(os.Stdout, rs, names)
+	fmt.Println()
+	if len(names) > 1 {
+		report.Figure(os.Stdout,
+			fmt.Sprintf("FIGURE: %% IPC improvement over %s (means across seed replicates).", names[0]),
+			rs, names[1:], names[0])
+	}
+}
+
+func splitList(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		out = append(out, strings.TrimSpace(part))
+	}
+	return out
+}
+
+func parseSeedList(flagName, spec string) ([]int64, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	var out []int64
+	for _, part := range strings.Split(spec, ",") {
+		s, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s: bad seed %q: %v", flagName, part, err)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

@@ -1,11 +1,20 @@
 package tracep
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
+	"strconv"
 	"strings"
 )
+
+// cellKey addresses one (benchmark, model) cell of the comparison grid.
+// Diff compares cells — a multi-seed set's replicates are aggregated into
+// their cell's distributions first — so the key carries no seed.
+type cellKey struct {
+	bench, model string
+}
 
 // Tolerances bounds the drift a Diff accepts before flagging a cell as a
 // regression. The zero value is the strictest gate: any IPC drop, any rise
@@ -47,6 +56,77 @@ type Tolerances struct {
 	AllowMissing bool `json:"allow_missing,omitempty"`
 }
 
+// ParseTolerances parses a Tolerances from one flag-friendly string, in
+// either of two encodings:
+//
+//   - JSON, when the spec starts with "{": the Tolerances JSON shape,
+//     unknown fields rejected — e.g. {"ipc_pct":2,"allow_missing":true}.
+//   - comma-separated k=v pairs otherwise, with short keys: ipc (IPCPct),
+//     tmisp (TraceMispPer1000), recoveries (RecoveriesPct), miss
+//     (CacheMissPer1000), and allow-missing (bool; bare "allow-missing"
+//     means true) — e.g. "ipc=2,miss=0.5,allow-missing".
+//
+// An empty spec returns the zero (strictest) Tolerances. cmd/experiments'
+// -tolerances flag and server.SweepRequest.Tolerances both speak this
+// encoding.
+func ParseTolerances(spec string) (Tolerances, error) {
+	var tol Tolerances
+	s := strings.TrimSpace(spec)
+	if s == "" {
+		return tol, nil
+	}
+	if strings.HasPrefix(s, "{") {
+		dec := json.NewDecoder(strings.NewReader(s))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&tol); err != nil {
+			return Tolerances{}, fmt.Errorf("tracep: parsing tolerances JSON: %w", err)
+		}
+		return tol, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, hasVal := strings.Cut(part, "=")
+		key = strings.TrimSpace(key)
+		val = strings.TrimSpace(val)
+		num := func() (float64, error) {
+			if !hasVal {
+				return 0, fmt.Errorf("tracep: tolerance %q needs a value (%s=<number>)", key, key)
+			}
+			v, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return 0, fmt.Errorf("tracep: tolerance %q: %w", key, err)
+			}
+			return v, nil
+		}
+		var err error
+		switch key {
+		case "ipc":
+			tol.IPCPct, err = num()
+		case "tmisp":
+			tol.TraceMispPer1000, err = num()
+		case "recoveries":
+			tol.RecoveriesPct, err = num()
+		case "miss":
+			tol.CacheMissPer1000, err = num()
+		case "allow-missing":
+			if !hasVal {
+				tol.AllowMissing = true
+			} else if tol.AllowMissing, err = strconv.ParseBool(val); err != nil {
+				err = fmt.Errorf("tracep: tolerance %q: %w", key, err)
+			}
+		default:
+			err = fmt.Errorf("tracep: unknown tolerance key %q (want ipc, tmisp, recoveries, miss, allow-missing)", key)
+		}
+		if err != nil {
+			return Tolerances{}, err
+		}
+	}
+	return tol, nil
+}
+
 // DiffKind classifies one cell of a Diff.
 type DiffKind string
 
@@ -78,9 +158,19 @@ type CellDelta struct {
 	Model     string   `json:"model"`
 	Kind      DiffKind `json:"kind"`
 	// BaselineIPC and CurrentIPC are 0 when the respective side has no
-	// statistics for the cell.
+	// statistics for the cell. On a multi-replicate side they are the
+	// cell's mean IPC; on a single-replicate side the point IPC exactly.
 	BaselineIPC float64 `json:"baseline_ipc,omitempty"`
 	CurrentIPC  float64 `json:"current_ipc,omitempty"`
+	// BaselineN/CurrentN count each side's successful seed replicates, and
+	// BaselineIPCCI/CurrentIPCCI carry the 95% CI half-widths on the mean
+	// IPC. Populated only on the interval-gated path (either side N > 1);
+	// single-point comparisons leave them zero, keeping pre-seeds diff JSON
+	// byte-identical.
+	BaselineN     int     `json:"baseline_n,omitempty"`
+	CurrentN      int     `json:"current_n,omitempty"`
+	BaselineIPCCI float64 `json:"baseline_ipc_ci,omitempty"`
+	CurrentIPCCI  float64 `json:"current_ipc_ci,omitempty"`
 	// DeltaPct is the relative IPC change in percent (negative = slower);
 	// meaningful only when both sides have statistics.
 	DeltaPct float64 `json:"delta_pct,omitempty"`
@@ -119,7 +209,15 @@ type Diff struct {
 	Cells      []CellDelta `json:"cells"`
 }
 
-// Diff compares r (the current results) against baseline under tol.
+// Diff compares r (the current results) against baseline under tol,
+// cell by cell — a multi-seed set's replicates are aggregated into their
+// cell's CellStats distributions first. Single-replicate cells on both
+// sides compare as exact points, the pre-seeds behaviour bit-for-bit; once
+// either side carries replicates the gate becomes interval-aware: a metric
+// regresses only when its mean drifts beyond tolerance AND the two 95%
+// confidence intervals are disjoint, so replicate noise within overlapping
+// intervals never fails the gate.
+//
 // Only cells with statistics participate as successes; failed cells count
 // as absent on their side (a baseline failure that now succeeds is
 // DiffNew, a baseline success that now fails is DiffMissing with the error
@@ -129,12 +227,11 @@ func (r *ResultSet) Diff(baseline *ResultSet, tol Tolerances) *Diff {
 	seen := make(map[cellKey]bool)
 	for _, b := range baseline.Benches() {
 		for _, m := range baseline.Models() {
-			base, ok := baseline.Get(b, m)
-			if !ok {
+			if _, ok := baseline.Get(b, m); !ok {
 				continue
 			}
 			seen[cellKey{b, m}] = true
-			d.Cells = append(d.Cells, compareCell(r, b, m, base, tol))
+			d.Cells = append(d.Cells, compareCell(r, baseline, b, m, tol))
 		}
 	}
 	for _, b := range r.Benches() {
@@ -146,18 +243,25 @@ func (r *ResultSet) Diff(baseline *ResultSet, tol Tolerances) *Diff {
 			if !ok {
 				continue
 			}
-			d.Cells = append(d.Cells, CellDelta{
+			c := CellDelta{
 				Benchmark:  b,
 				Model:      m,
 				Kind:       DiffNew,
 				CurrentIPC: cur.IPC(),
-			})
+			}
+			if cell, ok := r.Cell(b, m); ok && cell.N > 1 {
+				c.CurrentIPC = cell.IPC.Mean
+				c.CurrentN = cell.N
+				c.CurrentIPCCI = cell.IPC.CIHalf
+			}
+			d.Cells = append(d.Cells, c)
 		}
 	}
 	return d
 }
 
-func compareCell(r *ResultSet, bench, model string, base *Stats, tol Tolerances) CellDelta {
+func compareCell(r, baseline *ResultSet, bench, model string, tol Tolerances) CellDelta {
+	base, _ := baseline.Get(bench, model)
 	c := CellDelta{Benchmark: bench, Model: model, BaselineIPC: base.IPC()}
 	cur, ok := r.Get(bench, model)
 	if !ok {
@@ -180,6 +284,11 @@ func compareCell(r *ResultSet, bench, model string, base *Stats, tol Tolerances)
 		c.Detail = fmt.Sprintf("warm-up mismatch: baseline %d insts, current %d — align -warmup or refresh the baseline",
 			base.WarmupInsts, cur.WarmupInsts)
 		return c
+	}
+	baseCell, _ := baseline.Cell(bench, model)
+	curCell, _ := r.Cell(bench, model)
+	if baseCell.N > 1 || curCell.N > 1 {
+		return compareIntervals(c, baseCell, curCell, tol)
 	}
 	c.BaselineTraceMisp = base.TraceMispPer1000()
 	c.CurrentTraceMisp = cur.TraceMispPer1000()
@@ -218,6 +327,72 @@ func compareCell(r *ResultSet, bench, model string, base *Stats, tol Tolerances)
 	}
 	if rise := c.CurrentDCacheMiss - c.BaselineDCacheMiss; rise > tol.CacheMissPer1000 {
 		reasons = append(reasons, fmt.Sprintf("D-cache misses rose %.2f/1000 insts (tolerance %.2f)",
+			rise, tol.CacheMissPer1000))
+	}
+	if len(reasons) > 0 {
+		c.Kind = DiffRegression
+		c.Regression = true
+		c.Detail = strings.Join(reasons, "; ")
+	} else {
+		c.Kind = DiffOK
+	}
+	return c
+}
+
+// compareIntervals gates one cell with at least one multi-replicate side:
+// every metric regresses only when its mean drifts beyond the tolerance
+// AND the two 95% confidence intervals are disjoint in the regressing
+// direction. A single-replicate side's interval is its point (CIHalf 0),
+// so each condition reduces exactly to the legacy point comparison when
+// both sides degenerate — but that case never reaches here (compareCell
+// keeps it on the bit-identical legacy path).
+func compareIntervals(c CellDelta, base, cur CellStats, tol Tolerances) CellDelta {
+	c.BaselineN, c.CurrentN = base.N, cur.N
+	c.BaselineIPC, c.CurrentIPC = base.IPC.Mean, cur.IPC.Mean
+	c.BaselineIPCCI, c.CurrentIPCCI = base.IPC.CIHalf, cur.IPC.CIHalf
+	c.BaselineTraceMisp = base.TraceMispPer1000.Mean
+	c.CurrentTraceMisp = cur.TraceMispPer1000.Mean
+	c.BaselineRecoveries = uint64(math.Round(base.Recoveries.Mean))
+	c.CurrentRecoveries = uint64(math.Round(cur.Recoveries.Mean))
+	c.BaselineICacheMiss = base.ICMissPer1000.Mean
+	c.CurrentICacheMiss = cur.ICMissPer1000.Mean
+	c.BaselineDCacheMiss = base.DCMissPer1000.Mean
+	c.CurrentDCacheMiss = cur.DCMissPer1000.Mean
+	if c.BaselineIPC > 0 {
+		c.DeltaPct = 100 * (c.CurrentIPC - c.BaselineIPC) / c.BaselineIPC
+	}
+
+	// Current credibly below/above baseline: the intervals must be disjoint
+	// in the regressing direction, not merely the means drifted.
+	credDrop := func(b, cu Dist) bool { bLo, _ := b.Interval(); _, cHi := cu.Interval(); return bLo > cHi }
+	credRise := func(b, cu Dist) bool { _, bHi := b.Interval(); cLo, _ := cu.Interval(); return cLo > bHi }
+
+	var reasons []string
+	if c.DeltaPct < -tol.IPCPct && credDrop(base.IPC, cur.IPC) {
+		reasons = append(reasons, fmt.Sprintf("IPC dropped %.2f%% (tolerance %.2f%%, 95%% CIs disjoint)",
+			-c.DeltaPct, tol.IPCPct))
+	}
+	if rise := c.CurrentTraceMisp - c.BaselineTraceMisp; rise > tol.TraceMispPer1000 && credRise(base.TraceMispPer1000, cur.TraceMispPer1000) {
+		reasons = append(reasons, fmt.Sprintf("trace mispredictions rose %.2f/1000 insts (tolerance %.2f, 95%% CIs disjoint)",
+			rise, tol.TraceMispPer1000))
+	}
+	if cur.Recoveries.Mean > base.Recoveries.Mean && credRise(base.Recoveries, cur.Recoveries) {
+		exceeded := base.Recoveries.Mean == 0
+		if !exceeded {
+			pct := 100 * (cur.Recoveries.Mean - base.Recoveries.Mean) / base.Recoveries.Mean
+			exceeded = pct > tol.RecoveriesPct
+		}
+		if exceeded {
+			reasons = append(reasons, fmt.Sprintf("recoveries rose %d -> %d (tolerance %.2f%%, 95%% CIs disjoint)",
+				c.BaselineRecoveries, c.CurrentRecoveries, tol.RecoveriesPct))
+		}
+	}
+	if rise := c.CurrentICacheMiss - c.BaselineICacheMiss; rise > tol.CacheMissPer1000 && credRise(base.ICMissPer1000, cur.ICMissPer1000) {
+		reasons = append(reasons, fmt.Sprintf("I-cache misses rose %.2f/1000 insts (tolerance %.2f, 95%% CIs disjoint)",
+			rise, tol.CacheMissPer1000))
+	}
+	if rise := c.CurrentDCacheMiss - c.BaselineDCacheMiss; rise > tol.CacheMissPer1000 && credRise(base.DCMissPer1000, cur.DCMissPer1000) {
+		reasons = append(reasons, fmt.Sprintf("D-cache misses rose %.2f/1000 insts (tolerance %.2f, 95%% CIs disjoint)",
 			rise, tol.CacheMissPer1000))
 	}
 	if len(reasons) > 0 {
@@ -293,7 +468,10 @@ func (d *Diff) WriteText(w io.Writer) {
 			verdict += " (" + c.Detail + ")"
 		}
 		fmt.Fprintf(w, "  %-10s %-13s %10s %10s %8s  %s\n",
-			c.Benchmark, c.Model, ipcText(c.BaselineIPC), ipcText(c.CurrentIPC), deltaText(c), verdict)
+			c.Benchmark, c.Model,
+			ipcCIText(c.BaselineIPC, c.BaselineIPCCI, c.BaselineN),
+			ipcCIText(c.CurrentIPC, c.CurrentIPCCI, c.CurrentN),
+			deltaText(c), verdict)
 	}
 	switch reg := d.Regressions(); {
 	case d.Compared() == 0 && d.Incomparable() > 0:
@@ -313,6 +491,15 @@ func ipcText(ipc float64) string {
 		return "-"
 	}
 	return fmt.Sprintf("%.3f", ipc)
+}
+
+// ipcCIText renders one side's IPC, as "mean±half" error-bar notation when
+// the side aggregated replicates and the plain point otherwise.
+func ipcCIText(ipc, ci float64, n int) string {
+	if n > 1 {
+		return fmt.Sprintf("%.3f±%.3f", ipc, ci)
+	}
+	return ipcText(ipc)
 }
 
 func deltaText(c CellDelta) string {

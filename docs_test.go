@@ -94,3 +94,44 @@ func TestDocsCoverCluster(t *testing.T) {
 		}
 	}
 }
+
+// TestDocsCoverStatistics gates the prose for the seeds/CI layer the same
+// way: the statistical-sweep sections, the scenario and paperfigs surface,
+// and the consolidated tolerance flag must stay documented.
+func TestDocsCoverStatistics(t *testing.T) {
+	checks := map[string][]string{
+		"README.md": {
+			"### Seeds: replicated cells with confidence intervals",
+			"### cmd/paperfigs: tables with error bars",
+			"Sweep.Seeds",
+			"-tolerances",
+			"allow-missing",
+			"interval-aware",
+			"cmd/paperfigs",
+			"-seeds",
+			"-scenario-seeds",
+		},
+		"ARCHITECTURE.md": {
+			"## Statistical sweeps",
+			"Student-t",
+			"CellStats",
+			"Replicates(",
+			"95% confidence intervals are disjoint",
+			"tracep.Scenarios()",
+			"cmd/paperfigs",
+			"TestSeededSweepOverTheWire",
+		},
+	}
+	for file, wants := range checks {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		text := string(data)
+		for _, want := range wants {
+			if !strings.Contains(text, want) {
+				t.Errorf("%s: missing %q", file, want)
+			}
+		}
+	}
+}

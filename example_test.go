@@ -61,6 +61,36 @@ func ExampleSweep_Stream() {
 	// streamed 2 cells
 }
 
+// Seeds turns a sweep into a three-axis grid: every (benchmark, model)
+// cell runs once per seed, each replicate under different initial
+// predictor state, and the ResultSet aggregates the replicates into
+// mean±95% CI distributions (Cell). Lookup/Get keep their point semantics
+// — they return the first replicate — so single-seed callers are
+// unaffected.
+func ExampleSweep_seeds() {
+	mixed, err := tracep.ScenarioByName("mixed")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sw := tracep.Sweep{
+		Benchmarks:  []tracep.Benchmark{mixed.Benchmark(1)},
+		Models:      []tracep.Model{tracep.ModelBase},
+		TargetInsts: 20_000,
+		Seeds:       []int64{1, 2, 3},
+	}
+	rs, err := sw.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cell, _ := rs.Cell("mixed-1", "base")
+	fmt.Printf("seeds %v ran %d replicates\n", rs.Seeds(), cell.N)
+	fmt.Println("IPC interval has width:", cell.IPC.CIHalf > 0)
+	// Output:
+	// seeds [1 2 3] ran 3 replicates
+	// IPC interval has width: true
+}
+
 // Diff gates a fresh ResultSet against a saved baseline: any IPC drop,
 // trace-misprediction rise, or recovery rise beyond Tolerances regresses.
 // ResultSets round-trip through JSON, so baselines are just saved files.

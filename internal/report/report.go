@@ -31,54 +31,79 @@ type Results interface {
 }
 
 // HarmonicMeanIPC returns the harmonic mean IPC over r's benchmarks for
-// model.
-func HarmonicMeanIPC(r Results, model string) float64 {
+// model, and whether any cell contributed. Replicate-aware grids
+// (CellResults) contribute each cell's mean IPC; a single-replicate cell's
+// mean is its point IPC bit-for-bit, so the pre-replicate value is
+// preserved exactly.
+func HarmonicMeanIPC(r Results, model string) (float64, bool) {
 	sum, n := 0.0, 0
 	for _, b := range r.Benches() {
-		if s, ok := r.Get(b, model); ok && s.IPC() > 0 {
-			sum += 1 / s.IPC()
+		if ipc, _, _, ok := cellIPC(r, b, model); ok && ipc > 0 {
+			sum += 1 / ipc
 			n++
 		}
 	}
 	if n == 0 || sum == 0 {
-		return 0
-	}
-	return float64(n) / sum
-}
-
-// Improvement returns the % IPC improvement of model over base for bench.
-func Improvement(r Results, bench, model, base string) (float64, bool) {
-	s, ok1 := r.Get(bench, model)
-	b, ok2 := r.Get(bench, base)
-	if !ok1 || !ok2 || b.IPC() == 0 {
 		return 0, false
 	}
-	return 100 * (s.IPC() - b.IPC()) / b.IPC(), true
+	return float64(n) / sum, true
+}
+
+// Improvement returns the % IPC improvement of model over base for bench,
+// comparing per-cell mean IPCs on replicate-aware grids.
+func Improvement(r Results, bench, model, base string) (float64, bool) {
+	s, _, _, ok1 := cellIPC(r, bench, model)
+	b, _, _, ok2 := cellIPC(r, bench, base)
+	if !ok1 || !ok2 || b == 0 {
+		return 0, false
+	}
+	return 100 * (s - b) / b, true
+}
+
+// benchColWidth sizes the benchmark row-label column: the paper's fixed 10
+// unless a name (scenario instances like "dense-branch-1") needs more, so
+// the SPEC-analogue tables render byte-identically to before.
+func benchColWidth(r Results) int {
+	w := 10
+	for _, b := range r.Benches() {
+		if len(b)+1 > w {
+			w = len(b) + 1
+		}
+	}
+	return w
 }
 
 // Table3 renders "IPC without control independence" over the selection-only
-// models.
+// models. On replicate-aware grids, multi-seed cells render as
+// "mean±ci" error bars; single-replicate cells keep the paper's plain
+// point format.
 func Table3(w io.Writer, r Results, models []string) {
+	bw := benchColWidth(r)
 	fmt.Fprintln(w, "TABLE 3: IPC without control independence.")
-	fmt.Fprintf(w, "%-10s", "")
+	fmt.Fprintf(w, "%-*s", bw, "")
 	for _, m := range models {
 		fmt.Fprintf(w, "%14s", m)
 	}
 	fmt.Fprintln(w)
 	for _, b := range r.Benches() {
-		fmt.Fprintf(w, "%-10s", b)
+		fmt.Fprintf(w, "%-*s", bw, b)
 		for _, m := range models {
-			if s, ok := r.Get(b, m); ok {
-				fmt.Fprintf(w, "%14.2f", s.IPC())
+			if mean, half, n, ok := cellIPC(r, b, m); ok {
+				if n > 1 {
+					fmt.Fprintf(w, "%14s", fmt.Sprintf("%.2f±%.2f", mean, half))
+				} else {
+					fmt.Fprintf(w, "%14.2f", mean)
+				}
 			} else {
 				fmt.Fprintf(w, "%14s", "-")
 			}
 		}
 		fmt.Fprintln(w)
 	}
-	fmt.Fprintf(w, "%-10s", "Harm.Mean")
+	fmt.Fprintf(w, "%-*s", bw, "Harm.Mean")
 	for _, m := range models {
-		fmt.Fprintf(w, "%14.2f", HarmonicMeanIPC(r, m))
+		hm, _ := HarmonicMeanIPC(r, m)
+		fmt.Fprintf(w, "%14.2f", hm)
 	}
 	fmt.Fprintln(w)
 }
@@ -193,15 +218,16 @@ func Table5(w io.Writer, r Results, model string) {
 // Figure renders a %-improvement-over-base bar chart (Figures 9 and 10) as
 // aligned text with ASCII bars.
 func Figure(w io.Writer, title string, r Results, models []string, base string) {
+	bw := benchColWidth(r)
 	fmt.Fprintln(w, title)
-	fmt.Fprintf(w, "%-10s", "")
+	fmt.Fprintf(w, "%-*s", bw, "")
 	for _, m := range models {
 		fmt.Fprintf(w, "%14s", m)
 	}
 	fmt.Fprintln(w)
 	sums := make(map[string]float64)
 	for _, b := range r.Benches() {
-		fmt.Fprintf(w, "%-10s", b)
+		fmt.Fprintf(w, "%-*s", bw, b)
 		for _, m := range models {
 			if imp, ok := Improvement(r, b, m, base); ok {
 				fmt.Fprintf(w, "%13.1f%%", imp)
@@ -212,7 +238,7 @@ func Figure(w io.Writer, title string, r Results, models []string, base string) 
 		}
 		fmt.Fprintln(w)
 	}
-	fmt.Fprintf(w, "%-10s", "average")
+	fmt.Fprintf(w, "%-*s", bw, "average")
 	for _, m := range models {
 		fmt.Fprintf(w, "%13.1f%%", sums[m]/float64(max(len(r.Benches()), 1)))
 	}

@@ -60,11 +60,12 @@ func TestHarmonicMean(t *testing.T) {
 	rs.Add("a", "m", fakeStats(2))
 	rs.Add("b", "m", fakeStats(4))
 	// HM of 2 and 4 = 2/(1/2+1/4) = 8/3.
-	if hm := HarmonicMeanIPC(rs, "m"); math.Abs(hm-8.0/3) > 1e-9 {
-		t.Errorf("harmonic mean = %v, want %v", hm, 8.0/3)
+	hm, ok := HarmonicMeanIPC(rs, "m")
+	if !ok || math.Abs(hm-8.0/3) > 1e-9 {
+		t.Errorf("harmonic mean = %v (%v), want %v", hm, ok, 8.0/3)
 	}
-	if hm := HarmonicMeanIPC(rs, "missing"); hm != 0 {
-		t.Errorf("missing model HM = %v, want 0", hm)
+	if hm, ok := HarmonicMeanIPC(rs, "missing"); ok || hm != 0 {
+		t.Errorf("missing model HM = %v (%v), want 0, false", hm, ok)
 	}
 }
 

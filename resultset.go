@@ -8,10 +8,15 @@ import (
 	"tracep/internal/report"
 )
 
-// Result is the outcome of one simulation run: one (benchmark, model) cell.
-// Exactly one of Stats and Error is meaningful: a successful run carries
-// statistics, a failed one carries the error text (and, on a live set, the
-// original error via Err).
+// Result is the outcome of one simulation run: one (benchmark, model, seed)
+// replicate. Exactly one of Stats and Error is meaningful: a successful run
+// carries statistics, a failed one carries the error text (and, on a live
+// set, the original error via Err).
+//
+// Seed is the replicate's position on the sweep's seed axis (Sweep.Seeds);
+// a single-seed sweep stamps every cell with that one seed, and seed 0 —
+// the canonical predictor reset — is omitted from JSON, so pre-seeds
+// baselines round-trip byte-identically.
 //
 // A warmed-up run records its fast-forwarded prefix in Stats.WarmupInsts
 // (surfaced via Warmup); the metadata travels with the cell through JSON
@@ -20,6 +25,7 @@ import (
 type Result struct {
 	Benchmark string `json:"benchmark"`
 	Model     string `json:"model"`
+	Seed      int64  `json:"seed,omitempty"`
 	Stats     *Stats `json:"stats,omitempty"`
 	// Error is the failure text of an unsuccessful run ("" on success). It
 	// survives JSON round-trips, unlike the wrapped error itself.
@@ -51,44 +57,77 @@ func (r *Result) Warmup() uint64 {
 	return r.Stats.WarmupInsts
 }
 
-type cellKey struct{ bench, model string }
+// CellStats is the aggregated view of one (benchmark, model) cell across
+// its seed replicates: a Dist (mean, stddev, 95% CI half-width via
+// Student-t, min/max, N) per gated metric. See ResultSet.Cell.
+type CellStats = report.CellStats
 
-// ResultSet is a (benchmark × model) grid of simulation results with
-// deterministic row/column ordering, per-run error capture, and JSON
-// marshalling for downstream tooling. It is safe for concurrent use: the
-// Sweep runner's workers fill one set in parallel.
-//
-// ResultSet implements internal/report's Results interface, so the paper's
-// table and figure renderers consume it directly.
-type ResultSet struct {
-	mu      sync.RWMutex
-	byKey   map[cellKey]*Result
-	benches []string
-	models  []string
-	seenB   map[string]bool
-	seenM   map[string]bool
+// Dist is one metric's distribution across a cell's seed replicates. A
+// single-replicate Dist degenerates to its point: Stddev and CIHalf are
+// exactly 0.
+type Dist = report.Dist
+
+// repKey addresses one replicate of the (benchmark × model × seed) grid.
+type repKey struct {
+	bench, model string
+	seed         int64
 }
 
-// NewResultSet builds an empty result set; rows and columns appear in
-// first-Add order.
+// ResultSet is a (benchmark × model × seed) grid of simulation results
+// with deterministic axis ordering, per-run error capture, and JSON
+// marshalling for downstream tooling. Every (benchmark, model) cell holds
+// one replicate per seed; single-seed sets — the pre-replicate shape —
+// behave exactly as before, and their JSON is byte-identical. It is safe
+// for concurrent use: the Sweep runner's workers fill one set in parallel.
+//
+// Raw replicates are reached through Lookup and Replicates; Cell (and Row)
+// aggregate a cell's replicates into CellStats distributions. ResultSet
+// implements internal/report's replicate-aware CellResults interface, so
+// the paper's table and figure renderers consume it directly, error bars
+// included.
+type ResultSet struct {
+	mu      sync.RWMutex
+	byKey   map[repKey]*Result
+	benches []string
+	models  []string
+	seeds   []int64
+	seenB   map[string]bool
+	seenM   map[string]bool
+	seenS   map[int64]bool
+}
+
+// NewResultSet builds an empty result set; axes appear in first-Add order.
 func NewResultSet() *ResultSet {
 	return &ResultSet{
-		byKey: make(map[cellKey]*Result),
+		byKey: make(map[repKey]*Result),
 		seenB: make(map[string]bool),
 		seenM: make(map[string]bool),
+		seenS: make(map[int64]bool),
 	}
 }
 
 // NewResultSetFor builds an empty result set with the row and column order
 // fixed up front, so concurrent writers (e.g. Sweep workers) cannot perturb
-// the ordering however their runs interleave.
+// the ordering however their runs interleave. The seed axis builds in
+// first-Add order; use NewResultSetGrid when replicates fill in parallel.
 func NewResultSetFor(benches, models []string) *ResultSet {
+	return NewResultSetGrid(benches, models, nil)
+}
+
+// NewResultSetGrid builds an empty result set with all three axis orders —
+// benchmarks, models, seeds — fixed up front: the constructor for
+// multi-seed grids filled by concurrent writers (Sweep workers, stream
+// collectors), whose completion order must not perturb any axis.
+func NewResultSetGrid(benches, models []string, seeds []int64) *ResultSet {
 	r := NewResultSet()
 	for _, b := range benches {
 		r.noteBench(b)
 	}
 	for _, m := range models {
 		r.noteModel(m)
+	}
+	for _, s := range seeds {
+		r.noteSeed(s)
 	}
 	return r
 }
@@ -107,32 +146,88 @@ func (r *ResultSet) noteModel(m string) {
 	}
 }
 
+func (r *ResultSet) noteSeed(s int64) {
+	if !r.seenS[s] {
+		r.seenS[s] = true
+		r.seeds = append(r.seeds, s)
+	}
+}
+
 // Add records one run result, overwriting any previous result for the same
-// (benchmark, model) cell.
+// (benchmark, model, seed) replicate.
 func (r *ResultSet) Add(res *Result) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.noteBench(res.Benchmark)
 	r.noteModel(res.Model)
-	r.byKey[cellKey{res.Benchmark, res.Model}] = res
+	r.noteSeed(res.Seed)
+	r.byKey[repKey{res.Benchmark, res.Model, res.Seed}] = res
 }
 
-// Lookup returns the full result for one cell (including failed runs).
+// Lookup returns the cell's first recorded replicate in seed-axis order
+// (including failed runs) — on a single-seed set, the cell itself. Use
+// Replicates for the full replicate list.
 func (r *ResultSet) Lookup(bench, model string) (*Result, bool) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	res, ok := r.byKey[cellKey{bench, model}]
-	return res, ok
+	for _, s := range r.seeds {
+		if res, ok := r.byKey[repKey{bench, model, s}]; ok {
+			return res, true
+		}
+	}
+	return nil, false
 }
 
-// Get returns the statistics for one successful cell; failed or absent
-// cells report false. This is the report.Results accessor.
-func (r *ResultSet) Get(bench, model string) (*Stats, bool) {
-	res, ok := r.Lookup(bench, model)
-	if !ok || res.Stats == nil {
-		return nil, false
+// Replicates returns every recorded replicate of one cell in seed-axis
+// order (including failed runs). Empty when the cell is absent.
+func (r *ResultSet) Replicates(bench, model string) []*Result {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []*Result
+	for _, s := range r.seeds {
+		if res, ok := r.byKey[repKey{bench, model, s}]; ok {
+			out = append(out, res)
+		}
 	}
-	return res.Stats, true
+	return out
+}
+
+// Get returns the statistics of the cell's first successful replicate in
+// seed-axis order; cells with no successful replicate report false. This
+// is the report.Results point accessor — exact on single-seed sets; use
+// Cell for the aggregated distribution of a multi-seed cell.
+func (r *ResultSet) Get(bench, model string) (*Stats, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, s := range r.seeds {
+		if res, ok := r.byKey[repKey{bench, model, s}]; ok && res.Stats != nil {
+			return res.Stats, true
+		}
+	}
+	return nil, false
+}
+
+// Cell aggregates one cell's successful replicates into per-metric
+// distributions (mean, stddev, 95% CI half-width, min/max); false when the
+// cell has no successful replicate. On a single-seed set the distributions
+// degenerate to the cell's exact point values with zero half-widths.
+func (r *ResultSet) Cell(bench, model string) (CellStats, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.cellLocked(bench, model)
+}
+
+func (r *ResultSet) cellLocked(bench, model string) (CellStats, bool) {
+	var stats []*Stats
+	for _, s := range r.seeds {
+		if res, ok := r.byKey[repKey{bench, model, s}]; ok && res.Stats != nil {
+			stats = append(stats, res.Stats)
+		}
+	}
+	if len(stats) == 0 {
+		return CellStats{}, false
+	}
+	return report.CellOf(bench, model, stats), true
 }
 
 // Benches returns the benchmark row order.
@@ -149,51 +244,73 @@ func (r *ResultSet) Models() []string {
 	return append([]string(nil), r.models...)
 }
 
-// Has reports whether the (bench, model) cell has a recorded result
-// (successful or failed). It is the cell-level presence test the cluster's
-// placement layer dedupes on: a stolen or resumed row re-delivers only the
-// cells not already present.
+// Seeds returns the seed axis order. A pre-seeds set has the single seed
+// its cells were added with (typically 0).
+func (r *ResultSet) Seeds() []int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]int64(nil), r.seeds...)
+}
+
+// Has reports whether the (bench, model) cell has at least one recorded
+// replicate (successful or failed).
 func (r *ResultSet) Has(bench, model string) bool {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	_, ok := r.byKey[cellKey{bench, model}]
+	for _, s := range r.seeds {
+		if _, ok := r.byKey[repKey{bench, model, s}]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// HasReplicate reports whether the exact (bench, model, seed) replicate has
+// a recorded result (successful or failed). It is the replicate-level
+// presence test the cluster's placement layer dedupes on: a stolen or
+// resumed row re-delivers only the replicates not already present.
+func (r *ResultSet) HasReplicate(bench, model string, seed int64) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.byKey[repKey{bench, model, seed}]
 	return ok
 }
 
-// Row returns one benchmark row's recorded cells in model-column order —
-// the placement unit of a distributed sweep (rows ship whole to a worker;
-// see Sweep.Snapshots). Absent cells are skipped, so len(Row(b)) <
-// len(Models()) identifies a row with outstanding work.
-func (r *ResultSet) Row(bench string) []*Result {
+// Row returns one benchmark row's aggregated cells in model-column order.
+// Cells without a successful replicate are skipped, so len(Row(b)) <
+// len(Models()) identifies a row with outstanding or failed work.
+func (r *ResultSet) Row(bench string) []CellStats {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	out := make([]*Result, 0, len(r.models))
+	out := make([]CellStats, 0, len(r.models))
 	for _, m := range r.models {
-		if res, ok := r.byKey[cellKey{bench, m}]; ok {
-			out = append(out, res)
+		if c, ok := r.cellLocked(bench, m); ok {
+			out = append(out, c)
 		}
 	}
 	return out
 }
 
-// Len returns the number of recorded cells.
+// Len returns the number of recorded replicates.
 func (r *ResultSet) Len() int {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	return len(r.byKey)
 }
 
-// Results returns every recorded result in deterministic benchmark-major
-// order (rows in bench order, columns in model order), regardless of the
-// order runs completed in.
+// Results returns every recorded replicate in deterministic grid order —
+// benchmark-major, then model, then seed — regardless of the order runs
+// completed in. A cell's replicates are therefore adjacent.
 func (r *ResultSet) Results() []*Result {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	out := make([]*Result, 0, len(r.byKey))
 	for _, b := range r.benches {
 		for _, m := range r.models {
-			if res, ok := r.byKey[cellKey{b, m}]; ok {
-				out = append(out, res)
+			for _, s := range r.seeds {
+				if res, ok := r.byKey[repKey{b, m, s}]; ok {
+					out = append(out, res)
+				}
 			}
 		}
 	}
@@ -212,49 +329,73 @@ func (r *ResultSet) Err() error {
 	return errors.Join(errs...)
 }
 
-// HarmonicMeanIPC returns the harmonic mean IPC over the set's benchmarks
-// for model.
-func (r *ResultSet) HarmonicMeanIPC(model string) float64 {
+// HarmonicMeanIPC returns the harmonic mean over the set's benchmarks of
+// model's per-cell mean IPC, and whether any cell contributed (false for
+// an unknown model or a model with no successful cells, mirroring
+// Improvement's shape). On single-seed sets a cell's mean is its point IPC
+// bit-for-bit.
+func (r *ResultSet) HarmonicMeanIPC(model string) (float64, bool) {
 	return report.HarmonicMeanIPC(r, model)
 }
 
-// Improvement returns the % IPC improvement of model over base for bench.
+// HarmonicMeanIPCOrZero returns HarmonicMeanIPC's value, 0 when no cell
+// contributed.
+//
+// Deprecated: it predates the (value, ok) shape and cannot distinguish an
+// unknown model from a genuine zero; use HarmonicMeanIPC.
+func (r *ResultSet) HarmonicMeanIPCOrZero(model string) float64 {
+	v, _ := r.HarmonicMeanIPC(model)
+	return v
+}
+
+// Improvement returns the % IPC improvement of model over base for bench,
+// comparing per-cell mean IPCs.
 func (r *ResultSet) Improvement(bench, model, base string) (float64, bool) {
 	return report.Improvement(r, bench, model, base)
 }
 
-// resultSetJSON is the wire form: orders are explicit so a round-trip
-// reproduces the set bit-for-bit.
+// resultSetJSON is the wire form: axis orders are explicit so a round-trip
+// reproduces the set bit-for-bit. The seeds axis appears only for
+// multi-seed sets — a single-seed set's axis is recoverable from its
+// cells' seed fields, which keeps pre-seeds baselines byte-identical.
 type resultSetJSON struct {
 	Benchmarks []string  `json:"benchmarks"`
 	Models     []string  `json:"models"`
+	Seeds      []int64   `json:"seeds,omitempty"`
 	Results    []*Result `json:"results"`
 }
 
-// MarshalJSON encodes the set with explicit row/column orders and the cells
-// in deterministic benchmark-major order.
+// MarshalJSON encodes the set with explicit axis orders and the replicates
+// in deterministic grid order (benchmark-major, then model, then seed).
 func (r *ResultSet) MarshalJSON() ([]byte, error) {
+	seeds := r.Seeds()
+	if len(seeds) <= 1 {
+		seeds = nil
+	}
 	return json.Marshal(resultSetJSON{
 		Benchmarks: r.Benches(),
 		Models:     r.Models(),
+		Seeds:      seeds,
 		Results:    r.Results(),
 	})
 }
 
-// UnmarshalJSON rebuilds a set marshalled by MarshalJSON. Wrapped run
-// errors do not survive the trip; Result.Error text does.
+// UnmarshalJSON rebuilds a set marshalled by MarshalJSON — including
+// pre-seeds files, whose absent seeds axis rebuilds from the cells
+// themselves as a single-replicate grid. Wrapped run errors do not survive
+// the trip; Result.Error text does.
 func (r *ResultSet) UnmarshalJSON(data []byte) error {
 	var wire resultSetJSON
 	if err := json.Unmarshal(data, &wire); err != nil {
 		return err
 	}
-	fresh := NewResultSetFor(wire.Benchmarks, wire.Models)
+	fresh := NewResultSetGrid(wire.Benchmarks, wire.Models, wire.Seeds)
 	for _, res := range wire.Results {
 		fresh.Add(res)
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.byKey, r.benches, r.models = fresh.byKey, fresh.benches, fresh.models
-	r.seenB, r.seenM = fresh.seenB, fresh.seenM
+	r.byKey, r.benches, r.models, r.seeds = fresh.byKey, fresh.benches, fresh.models, fresh.seeds
+	r.seenB, r.seenM, r.seenS = fresh.seenB, fresh.seenM, fresh.seenS
 	return nil
 }

@@ -153,8 +153,14 @@ func TestResultSetMetricsDelegation(t *testing.T) {
 	rs.Add(cell("b", "base", 4))
 	rs.Add(cell("a", "ci", 3))
 	// HM of 2 and 4 = 8/3.
-	if hm := rs.HarmonicMeanIPC("base"); hm < 2.66 || hm > 2.67 {
-		t.Errorf("harmonic mean = %v", hm)
+	if hm, ok := rs.HarmonicMeanIPC("base"); !ok || hm < 2.66 || hm > 2.67 {
+		t.Errorf("harmonic mean = %v (%v)", hm, ok)
+	}
+	if hm, ok := rs.HarmonicMeanIPC("missing"); ok || hm != 0 {
+		t.Errorf("missing model HM = %v (%v), want 0, false", hm, ok)
+	}
+	if hm := rs.HarmonicMeanIPCOrZero("base"); hm < 2.66 || hm > 2.67 {
+		t.Errorf("deprecated HM wrapper = %v", hm)
 	}
 	imp, ok := rs.Improvement("a", "ci", "base")
 	if !ok || imp < 49.9 || imp > 50.1 {

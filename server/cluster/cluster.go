@@ -467,8 +467,8 @@ func (c *Coordinator) attemptOn(ctx context.Context, w *worker, row server.RowSp
 		valid[md.Name] = true
 	}
 	final, err := w.c.Stream(attemptCtx, sub.ID, func(res *tracep.Result) error {
-		if res.Benchmark != row.Bench.Name || !valid[res.Model] {
-			return fmt.Errorf("worker %s delivered foreign cell %s/%s", w.url, res.Benchmark, res.Model)
+		if res.Benchmark != row.Bench.Name || !valid[res.Model] || res.Seed != row.Seed {
+			return fmt.Errorf("worker %s delivered foreign cell %s/%s (seed %d)", w.url, res.Benchmark, res.Model, res.Seed)
 		}
 		// A cell that "failed" by remote cancellation is shutdown fallout,
 		// not a simulation outcome; dropping it leaves the cell

@@ -165,8 +165,13 @@ type job struct {
 	models      []string
 	targetInsts uint64
 	seed        int64
-	warmup      uint64
-	warmupFor   map[string]uint64
+	// seeds is the job's replicate axis (deduped SweepRequest.Seeds); nil
+	// for single-replicate jobs, whose one implicit seed is seed.
+	seeds     []int64
+	warmup    uint64
+	warmupFor map[string]uint64
+	// tol echoes the request's advisory gate tolerances (may be nil).
+	tol *tracep.Tolerances
 	// snapKeys maps benchmark rows to content-addressed snapshot keys
 	// (SweepRequest.Snapshots): journaled with the job so a resume can
 	// re-fetch the same snapshots from the durable snapshot store.
@@ -189,6 +194,34 @@ func (j *job) broadcastLocked() {
 	j.changed = make(chan struct{})
 }
 
+// seedAxis returns the job's effective replicate axis: the request's seeds
+// when it had one, else the single implicit {seed} — mirroring
+// tracep.Sweep's Seeds/Seed resolution so remotely collected sets stay
+// byte-identical to in-process ones.
+func (j *job) seedAxis() []int64 {
+	if len(j.seeds) > 0 {
+		return j.seeds
+	}
+	return []int64{j.seed}
+}
+
+// dedupeSeeds resolves a request's replicate axis: order-preserving
+// dedupe when set (matching tracep.Sweep), nil otherwise.
+func dedupeSeeds(seeds []int64) []int64 {
+	if len(seeds) == 0 {
+		return nil
+	}
+	seen := make(map[int64]bool, len(seeds))
+	out := make([]int64, 0, len(seeds))
+	for _, s := range seeds {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
 // snapshot returns the job's Status; withResults attaches the live
 // ResultSet (safe to marshal while workers still add cells).
 func (j *job) snapshot(withResults bool) Status {
@@ -200,10 +233,12 @@ func (j *job) snapshot(withResults bool) Status {
 		Benchmarks:  j.benches,
 		Corpus:      j.corpus,
 		Models:      j.models,
+		Seeds:       j.seeds,
 		TargetInsts: j.targetInsts,
 		Seed:        j.seed,
 		Warmup:      j.warmup,
 		WarmupFor:   j.warmupFor,
+		Tolerances:  j.tol,
 		Total:       j.total,
 		Completed:   len(j.cells),
 		Failed:      j.failed,
@@ -383,27 +418,35 @@ func (m *Manager) Submit(req SweepRequest) (Status, error) {
 	}
 
 	ctx, cancel := context.WithCancel(context.Background())
+	seeds := dedupeSeeds(req.Seeds)
 	j := &job{
 		benches:     benchNames,
 		corpus:      append([]string(nil), req.Corpus...),
 		models:      modelNames,
 		targetInsts: target,
 		seed:        req.Seed,
+		seeds:       seeds,
 		warmup:      req.Warmup,
 		warmupFor:   req.WarmupFor,
 		snapKeys:    req.Snapshots,
-		total:       len(benches) * len(models),
+		tol:         req.Tolerances,
 		createdAt:   time.Now().UTC(),
 		cancel:      cancel,
 		finished:    make(chan struct{}),
-		rs:          tracep.NewResultSetFor(benchNames, modelNames),
 		state:       StateRunning,
 		changed:     make(chan struct{}),
 	}
+	axis := j.seedAxis()
+	j.total = len(benches) * len(models) * len(axis)
+	j.rs = tracep.NewResultSetGrid(benchNames, modelNames, axis)
 
-	rows := make([]RowSpec, 0, len(benches))
+	// One row per (benchmark, seed): the row is the placement unit because
+	// its warm-up snapshot embeds seed-dependent predictor state.
+	rows := make([]RowSpec, 0, len(benches)*len(axis))
 	for _, bm := range benches {
-		rows = append(rows, m.rowSpec(bm, models, j))
+		for _, seed := range axis {
+			rows = append(rows, m.rowSpec(bm, models, j, seed))
+		}
 	}
 
 	m.mu.Lock()

@@ -34,15 +34,17 @@ import (
 // necessary, resume the job. Snapshot content travels separately (the
 // content-addressed snapshot store); the record carries only keys.
 type jobRecord struct {
-	Benchmarks  []string          `json:"benchmarks"`
-	Corpus      []string          `json:"corpus,omitempty"`
-	Models      []string          `json:"models"`
-	TargetInsts uint64            `json:"target_insts"`
-	Seed        int64             `json:"seed,omitempty"`
-	Warmup      uint64            `json:"warmup,omitempty"`
-	WarmupFor   map[string]uint64 `json:"warmup_for,omitempty"`
-	Snapshots   map[string]string `json:"snapshots,omitempty"`
-	CreatedAt   time.Time         `json:"created_at"`
+	Benchmarks  []string           `json:"benchmarks"`
+	Corpus      []string           `json:"corpus,omitempty"`
+	Models      []string           `json:"models"`
+	TargetInsts uint64             `json:"target_insts"`
+	Seed        int64              `json:"seed,omitempty"`
+	Seeds       []int64            `json:"seeds,omitempty"`
+	Warmup      uint64             `json:"warmup,omitempty"`
+	WarmupFor   map[string]uint64  `json:"warmup_for,omitempty"`
+	Snapshots   map[string]string  `json:"snapshots,omitempty"`
+	Tolerances  *tracep.Tolerances `json:"tolerances,omitempty"`
+	CreatedAt   time.Time          `json:"created_at"`
 }
 
 func (j *job) record() jobRecord {
@@ -52,9 +54,11 @@ func (j *job) record() jobRecord {
 		Models:      j.models,
 		TargetInsts: j.targetInsts,
 		Seed:        j.seed,
+		Seeds:       j.seeds,
 		Warmup:      j.warmup,
 		WarmupFor:   j.warmupFor,
 		Snapshots:   j.snapKeys,
+		Tolerances:  j.tol,
 		CreatedAt:   j.createdAt,
 	}
 }
@@ -220,19 +224,22 @@ func (m *Manager) adoptRecovered(r *recovered) {
 		models:      meta.Models,
 		targetInsts: meta.TargetInsts,
 		seed:        meta.Seed,
+		seeds:       meta.Seeds,
 		warmup:      meta.Warmup,
 		warmupFor:   meta.WarmupFor,
 		snapKeys:    meta.Snapshots,
-		total:       len(meta.Benchmarks) * len(meta.Models),
+		tol:         meta.Tolerances,
 		createdAt:   meta.CreatedAt,
 		finished:    make(chan struct{}),
-		rs:          tracep.NewResultSetFor(meta.Benchmarks, meta.Models),
 		changed:     make(chan struct{}),
 	}
+	axis := j.seedAxis()
+	j.total = len(meta.Benchmarks) * len(meta.Models) * len(axis)
+	j.rs = tracep.NewResultSetGrid(meta.Benchmarks, meta.Models, axis)
 	for _, res := range r.cells {
 		// Dedupe defensively: a cell journaled twice (possible only through
 		// log surgery, never through collect) must not inflate the count.
-		if j.rs.Has(res.Benchmark, res.Model) {
+		if j.rs.HasReplicate(res.Benchmark, res.Model, res.Seed) {
 			continue
 		}
 		j.cells = append(j.cells, res)
@@ -291,38 +298,45 @@ func (m *Manager) resumeRows(j *job) ([]RowSpec, error) {
 	}
 	var rows []RowSpec
 	for _, bm := range benches {
-		var missing []tracep.Model
-		for _, md := range models {
-			if !j.rs.Has(bm.Name, md.Name) {
-				missing = append(missing, md)
+		for _, seed := range j.seedAxis() {
+			var missing []tracep.Model
+			for _, md := range models {
+				if !j.rs.HasReplicate(bm.Name, md.Name, seed) {
+					missing = append(missing, md)
+				}
 			}
+			if len(missing) == 0 {
+				continue
+			}
+			rows = append(rows, m.rowSpec(bm, missing, j, seed))
 		}
-		if len(missing) == 0 {
-			continue
-		}
-		row := m.rowSpec(bm, missing, j)
-		rows = append(rows, row)
 	}
 	return rows, nil
 }
 
-// rowSpec builds one row's spec from a job, resolving its snapshot key
-// against the snapshot store. A key the store no longer holds degrades to
-// the row's functional warm-up — byte-identical by the snapshot
-// round-trip guarantee, just slower.
-func (m *Manager) rowSpec(bm tracep.Benchmark, models []tracep.Model, j *job) RowSpec {
+// rowSpec builds one (benchmark, seed) row's spec from a job, resolving
+// its snapshot key against the snapshot store. A key the store no longer
+// holds degrades to the row's functional warm-up — byte-identical by the
+// snapshot round-trip guarantee, just slower.
+func (m *Manager) rowSpec(bm tracep.Benchmark, models []tracep.Model, j *job, seed int64) RowSpec {
 	row := RowSpec{
 		Bench:       bm,
 		Models:      models,
 		TargetInsts: j.targetInsts,
-		Seed:        j.seed,
+		Seed:        seed,
 		Warmup:      j.warmup,
 		Corpus:      m.inCorpus(bm.Name),
 	}
 	if n, ok := j.warmupFor[bm.Name]; ok {
 		row.Warmup = n
 	}
-	if key, ok := j.snapKeys[bm.Name]; ok {
+	// Snapshot keys are benchmark-scoped but a warmed-up snapshot embeds
+	// seed-dependent predictor state, so a provided key can only serve the
+	// single-replicate axis (the coordinator's per-row shipping path, whose
+	// worker requests carry one seed and no seeds axis). Multi-seed jobs
+	// fall back to per-row functional warm-up — byte-identical, just not
+	// pre-captured.
+	if key, ok := j.snapKeys[bm.Name]; ok && len(j.seeds) == 0 {
 		if snap := m.snaps.Get(key); snap != nil {
 			row.Snapshot, row.SnapshotKey = snap, key
 		}

@@ -1,0 +1,197 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+
+	"tracep"
+	"tracep/server"
+)
+
+// TestSeededSweepOverTheWire extends the byte-identity guarantee to the
+// seed axis: a multi-seed sweep submitted over HTTP must collect to a
+// ResultSet that marshals byte-identically to the same Seeds list run
+// in-process, with every (benchmark, model, seed) replicate delivered
+// exactly once.
+func TestSeededSweepOverTheWire(t *testing.T) {
+	c := newTestServer(t, server.Config{Parallelism: 2})
+
+	seeds := []int64{1, 2, 3}
+	req := server.SweepRequest{
+		Benchmarks:  []string{"compress", "vortex"},
+		Models:      []string{"base"},
+		TargetInsts: 5_000,
+		Seeds:       seeds,
+	}
+	st, err := c.Submit(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(st.Seeds, seeds) {
+		t.Errorf("status seeds = %v, want %v", st.Seeds, seeds)
+	}
+	if st.Total != 2*1*3 {
+		t.Errorf("total = %d, want 6 replicate cells", st.Total)
+	}
+
+	seen := make(map[string]int)
+	remote, final, err := c.Collect(context.Background(), st.ID, func(res *tracep.Result) error {
+		seen[res.Benchmark+"/"+res.Model+"/"+string(rune('0'+res.Seed))]++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Completed != 6 || len(seen) != 6 {
+		t.Fatalf("stream delivered %d distinct replicates (status %d), want 6: %v",
+			len(seen), final.Completed, seen)
+	}
+	for key, n := range seen {
+		if n != 1 {
+			t.Errorf("replicate %s delivered %d times, want exactly once", key, n)
+		}
+	}
+	if err := remote.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got := remote.Seeds(); !reflect.DeepEqual(got, seeds) {
+		t.Errorf("collected seeds axis = %v, want %v", got, seeds)
+	}
+
+	local, err := (&tracep.Sweep{
+		Benchmarks:  []tracep.Benchmark{mustBench(t, "compress"), mustBench(t, "vortex")},
+		Models:      []tracep.Model{tracep.ModelBase},
+		TargetInsts: 5_000,
+		Seeds:       seeds,
+	}).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	remoteJSON, err := json.Marshal(remote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localJSON, err := json.Marshal(local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(remoteJSON, localJSON) {
+		t.Errorf("seeded remote and in-process ResultSet JSON differ:\nremote: %s\nlocal:  %s",
+			remoteJSON, localJSON)
+	}
+}
+
+// TestSeededSweepRequestValidation: the server deduplicates the requested
+// seed axis like tracep.Sweep does, and echoes advisory tolerances back in
+// the status.
+func TestSeededSweepRequestValidation(t *testing.T) {
+	c := newTestServer(t, server.Config{Parallelism: 2})
+
+	tol := &tracep.Tolerances{IPCPct: 2, AllowMissing: true}
+	st, err := c.Submit(context.Background(), server.SweepRequest{
+		Benchmarks:  []string{"compress"},
+		Models:      []string{"base"},
+		TargetInsts: 3_000,
+		Seeds:       []int64{4, 4, 9, 4},
+		Tolerances:  tol,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(st.Seeds, []int64{4, 9}) {
+		t.Errorf("deduplicated seeds = %v, want [4 9]", st.Seeds)
+	}
+	if st.Total != 2 {
+		t.Errorf("total = %d, want 2", st.Total)
+	}
+	if st.Tolerances == nil || *st.Tolerances != *tol {
+		t.Errorf("echoed tolerances = %+v, want %+v", st.Tolerances, tol)
+	}
+
+	rs, _, err := c.Collect(context.Background(), st.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rs.Seeds(); !reflect.DeepEqual(got, []int64{4, 9}) {
+		t.Errorf("collected seeds = %v, want [4 9]", got)
+	}
+	if rs.Len() != 2 {
+		t.Errorf("collected %d replicates, want 2", rs.Len())
+	}
+}
+
+// TestStoreResumeSeededJob: a seeded job interrupted by Close resumes with
+// its seed axis intact — only missing (benchmark, seed) rows re-run — and
+// the final set is byte-identical to an uninterrupted in-process seeded
+// sweep.
+func TestStoreResumeSeededJob(t *testing.T) {
+	dir := t.TempDir()
+	seeds := []int64{1, 2, 3}
+	req := server.SweepRequest{
+		Benchmarks:  []string{"compress", "vortex"},
+		Models:      []string{"base", "FG"},
+		TargetInsts: 10_000,
+		Seeds:       seeds,
+	}
+
+	m1, err := server.OpenManager(server.Config{Parallelism: 2, StoreDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m1.Submit(req)
+	if err != nil {
+		m1.Close()
+		t.Fatal(err)
+	}
+	if st.Total != 12 {
+		m1.Close()
+		t.Fatalf("total = %d, want 12 replicate cells", st.Total)
+	}
+	// Let at least one replicate land durably, then shut down mid-grid.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		cur, _ := m1.Status(st.ID, false)
+		if cur.Completed >= 1 || cur.State.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no replicate completed in time")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	m1.Close()
+
+	m2, err := server.OpenManager(server.Config{Parallelism: 2, StoreDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	final := waitTerminal(t, m2, st.ID)
+	if final.State != server.StateDone || final.Completed != 12 {
+		t.Fatalf("resumed job finished %+v, want done with 12 replicates", final)
+	}
+	if !reflect.DeepEqual(final.Seeds, seeds) {
+		t.Errorf("resumed seeds axis = %v, want %v", final.Seeds, seeds)
+	}
+
+	local, err := (&tracep.Sweep{
+		Benchmarks:  []tracep.Benchmark{mustBench(t, "compress"), mustBench(t, "vortex")},
+		Models:      []tracep.Model{tracep.ModelBase, tracep.ModelFG},
+		TargetInsts: 10_000,
+		Seeds:       seeds,
+	}).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	localJSON, err := json.Marshal(local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resultsJSON(t, m2, st.ID); !bytes.Equal(got, localJSON) {
+		t.Errorf("resumed seeded ResultSet differs from uninterrupted in-process run:\n%s\n%s", got, localJSON)
+	}
+}

@@ -34,8 +34,15 @@ type SweepRequest struct {
 	// TargetInsts sizes each workload (like tracep.Sweep.TargetInsts);
 	// 0 = the server's default.
 	TargetInsts uint64 `json:"target_insts,omitempty"`
-	// Seed scrambles initial branch-predictor state (tracep.WithSeed).
+	// Seed scrambles initial branch-predictor state (tracep.WithSeed). The
+	// single-replicate degenerate case of Seeds, exactly as on tracep.Sweep.
 	Seed int64 `json:"seed,omitempty"`
+	// Seeds, when non-empty, replicates every (benchmark, model) cell once
+	// per seed (tracep.Sweep.Seeds): cells stream back carrying their seed,
+	// and the collected ResultSet aggregates them into mean±CI CellStats.
+	// Duplicates are ignored (first occurrence wins). Absent = one
+	// replicate per cell under Seed, the pre-seeds wire shape bit-for-bit.
+	Seeds []int64 `json:"seeds,omitempty"`
 	// Warmup fast-forwards this many instructions functionally before each
 	// cell's measured region; one warm-up snapshot per benchmark is shared
 	// across the row's model cells (tracep.Sweep.Warmup).
@@ -53,6 +60,12 @@ type SweepRequest struct {
 	// placement. Names must resolve against the requested grid; a key the
 	// server does not hold is a 404.
 	Snapshots map[string]string `json:"snapshots,omitempty"`
+	// Tolerances optionally records the regression-gate tolerances the
+	// submitter will diff the collected set under (tracep.ParseTolerances'
+	// JSON shape). The server echoes it in Status — advisory metadata that
+	// travels with the job so downstream gates agree on one encoding; the
+	// diff itself still runs client-side.
+	Tolerances *tracep.Tolerances `json:"tolerances,omitempty"`
 }
 
 // State is a sweep job's lifecycle phase.
@@ -79,12 +92,14 @@ type Status struct {
 	ID    string `json:"id"`
 	State State  `json:"state"`
 
-	// Benchmarks and Models are the resolved grid axes in request order —
-	// clients rebuild deterministic ResultSet ordering from them
-	// (tracep.NewResultSetFor), which is what makes a remotely collected
-	// set byte-identical to an in-process one.
+	// Benchmarks, Models and Seeds are the resolved grid axes in request
+	// order — clients rebuild deterministic ResultSet ordering from them
+	// (tracep.NewResultSetGrid), which is what makes a remotely collected
+	// set byte-identical to an in-process one. Seeds is absent for
+	// single-replicate jobs (request had no seeds axis).
 	Benchmarks []string `json:"benchmarks"`
 	Models     []string `json:"models"`
+	Seeds      []int64  `json:"seeds,omitempty"`
 	// Corpus echoes the recorded-trace workload names of the grid (a
 	// subset of Benchmarks, which always carries the full row axis).
 	Corpus      []string          `json:"corpus,omitempty"`
@@ -92,6 +107,8 @@ type Status struct {
 	Seed        int64             `json:"seed,omitempty"`
 	Warmup      uint64            `json:"warmup,omitempty"`
 	WarmupFor   map[string]uint64 `json:"warmup_for,omitempty"`
+	// Tolerances echoes the request's advisory gate tolerances, when given.
+	Tolerances *tracep.Tolerances `json:"tolerances,omitempty"`
 
 	// Total and Completed count grid cells; Failed counts completed cells
 	// that carry an error.

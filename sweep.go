@@ -10,16 +10,17 @@ import (
 	"tracep/internal/proc"
 )
 
-// Sweep fans a (benchmark × model) cross-product of simulations across a
+// Sweep fans a (benchmark × model × seed) grid of simulations across a
 // bounded pool of worker goroutines — the paper's §6 evaluation is 8
-// workloads × 8 models, embarrassingly parallel. Every run is an
-// independent, deterministic simulation, so a parallel sweep produces
+// workloads × 8 models, embarrassingly parallel, and the Seeds axis adds
+// replicate runs per cell for mean±CI statistical reporting. Every run is
+// an independent, deterministic simulation, so a parallel sweep produces
 // results bit-identical to a serial loop; only wall-clock time changes.
 //
 // Each benchmark program is built exactly once per sweep and shared,
-// read-only, by every model cell in its row (programs are immutable at run
-// time; see Simulator). An N-model sweep therefore performs N× fewer
-// builds than a loop over NewBenchmark.
+// read-only, by every model cell and seed replicate in its rows (programs
+// are immutable at run time; see Simulator). An N-model, R-seed sweep
+// therefore performs N×R fewer builds than a loop over NewBenchmark.
 //
 // The zero value is not useful: populate Benchmarks and Models, then call
 // Run (one ResultSet at the end) or Stream (cells as they complete).
@@ -38,8 +39,21 @@ type Sweep struct {
 	// DefaultConfig). It is validated once per run, like Simulator.Run.
 	Config *Config
 
-	// Seed scrambles initial branch-predictor state (see WithSeed).
+	// Seed scrambles initial branch-predictor state (see WithSeed). It is
+	// the single-replicate degenerate case of Seeds: a sweep with Seeds
+	// unset runs every cell once under Seed, exactly as before the seed
+	// axis existed.
 	Seed int64
+
+	// Seeds, when non-empty, turns the sweep into a three-axis grid: every
+	// (benchmark, model) cell runs once per seed, each replicate a fully
+	// independent deterministic simulation fanned through the same worker
+	// pool. Result.Seed records each replicate's seed, and the ResultSet
+	// aggregates a cell's replicates into CellStats distributions
+	// (mean ± 95% CI). Duplicate seeds are ignored (first occurrence
+	// wins); seed 0 means canonical predictor state, like Seed. Nil
+	// preserves the two-axis behaviour: one replicate per cell under Seed.
+	Seeds []int64
 
 	// Warmup fast-forwards this many instructions functionally before each
 	// cell's measured region (see WithWarmup). The warm-up is
@@ -63,6 +77,12 @@ type Sweep struct {
 	// Snapshot.CompatibleWith); mismatches fail the row's cells with errors
 	// wrapping ErrIncompatibleSnapshot. Rows without an entry fall back to
 	// Warmup/WarmupFor capture as usual.
+	//
+	// Snapshots are keyed by benchmark only, but a warmed-up snapshot
+	// embeds seed-dependent predictor state: under a multi-seed Seeds axis
+	// a provided snapshot can only match one seed row's configuration, and
+	// the other rows fail compatibility. The cluster therefore places work
+	// per (benchmark, seed) row, each shipped as its own single-seed sweep.
 	Snapshots map[string]*Snapshot
 
 	// WarmupFor overrides Warmup per benchmark row, keyed by Benchmark.Name:
@@ -92,14 +112,20 @@ type Sweep struct {
 	ProgressInterval uint64
 }
 
-// sweepRow is the state one benchmark row shares across its model cells:
-// the immutable program (built once, in the feeder) and, when the sweep
-// warms up, the row's snapshot — captured lazily by the first worker that
-// needs it, on a worker goroutine, so captures for different rows proceed
-// in parallel. A failed build or warm-up fails every cell of the row.
+// sweepRow is the state one (benchmark, seed) row shares across its model
+// cells: the immutable program (built once per benchmark, in the feeder,
+// and shared read-only by every seed row) and, when the sweep warms up,
+// the row's snapshot — captured lazily by the first worker that needs it,
+// on a worker goroutine, so captures for different rows proceed in
+// parallel. The seed travels on the row because warm-up snapshots carry
+// predictor state: replicates under different seeds warm up to different
+// machine states, so the row — the cluster's placement unit — is
+// benchmark × seed, not benchmark alone. A failed build or warm-up fails
+// every cell of the row.
 type sweepRow struct {
 	sw       *Sweep
 	bench    string
+	seed     int64
 	prog     *Program
 	buildErr error
 	// recorded carries the row's .tptrace stream for recorded-trace
@@ -138,7 +164,7 @@ func (r *sweepRow) snapshot(ctx context.Context, gate *Gate) (*Snapshot, error) 
 			return
 		}
 		defer gate.release()
-		r.snap, r.snapErr = proc.CaptureSnapshot(ctx, r.prog, r.sw.cellConfig(), r.warmup)
+		r.snap, r.snapErr = proc.CaptureSnapshot(ctx, r.prog, r.sw.cellConfig(r.seed), r.warmup)
 	})
 	return r.snap, r.snapErr
 }
@@ -158,18 +184,35 @@ type sweepJob struct {
 	model Model
 }
 
-// cellConfig resolves the one configuration every cell runs under and every
-// row snapshot is captured with (runOne passes it via WithConfig), so
-// capture and restore agree by construction.
-func (sw *Sweep) cellConfig() Config {
+// cellConfig resolves the one configuration every cell of a seed row runs
+// under and the row's snapshot is captured with (runOne passes it via
+// WithConfig), so capture and restore agree by construction.
+func (sw *Sweep) cellConfig(seed int64) Config {
 	cfg := DefaultConfig()
 	if sw.Config != nil {
 		cfg = *sw.Config
 	}
-	if sw.Seed != 0 {
-		cfg.Seed = sw.Seed
+	if seed != 0 {
+		cfg.Seed = seed
 	}
 	return cfg
+}
+
+// effectiveSeeds resolves the sweep's seed axis: Seeds deduplicated in
+// order when set, otherwise the single-replicate axis {Seed}.
+func (sw *Sweep) effectiveSeeds() []int64 {
+	if len(sw.Seeds) == 0 {
+		return []int64{sw.Seed}
+	}
+	seen := make(map[int64]bool, len(sw.Seeds))
+	out := make([]int64, 0, len(sw.Seeds))
+	for _, s := range sw.Seeds {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
 }
 
 // Stream starts the sweep and returns a channel that delivers every cell's
@@ -184,7 +227,8 @@ func (sw *Sweep) cellConfig() Config {
 // never delivered, and the channel is closed after the last in-flight cell
 // lands.
 func (sw *Sweep) Stream(ctx context.Context) <-chan *Result {
-	total := len(sw.Benchmarks) * len(sw.Models)
+	seeds := sw.effectiveSeeds()
+	total := len(sw.Benchmarks) * len(sw.Models) * len(seeds)
 	out := make(chan *Result, total)
 	if total == 0 {
 		close(out)
@@ -227,18 +271,21 @@ func (sw *Sweep) Stream(ctx context.Context) <-chan *Result {
 	go func() {
 	feed:
 		for _, bm := range sw.Benchmarks {
-			// One build per benchmark row; every model cell shares the
-			// immutable program (and, when warming up, the row's snapshot,
-			// captured worker-side on first need).
+			// One build per benchmark; every seed row — and every model cell
+			// within it — shares the immutable program. Each seed gets its own
+			// row because the row's warm-up snapshot captures seed-dependent
+			// predictor state (captured worker-side on first need).
 			prog, err := buildProgram(bm, sw.TargetInsts)
-			row := &sweepRow{sw: sw, bench: bm.Name, prog: prog, buildErr: err,
-				recorded: bm.Recorded, warmup: sw.warmupFor(bm.Name),
-				provided: sw.Snapshots[bm.Name]}
-			for _, m := range sw.Models {
-				select {
-				case jobCh <- sweepJob{row: row, model: m}:
-				case <-ctx.Done():
-					break feed
+			for _, seed := range seeds {
+				row := &sweepRow{sw: sw, bench: bm.Name, seed: seed, prog: prog,
+					buildErr: err, recorded: bm.Recorded, warmup: sw.warmupFor(bm.Name),
+					provided: sw.Snapshots[bm.Name]}
+				for _, m := range sw.Models {
+					select {
+					case jobCh <- sweepJob{row: row, model: m}:
+					case <-ctx.Done():
+						break feed
+					}
 				}
 			}
 		}
@@ -265,7 +312,7 @@ func (sw *Sweep) Run(ctx context.Context) (*ResultSet, error) {
 	for i, m := range sw.Models {
 		modelNames[i] = m.Name
 	}
-	rs := NewResultSetFor(benchNames, modelNames)
+	rs := NewResultSetGrid(benchNames, modelNames, sw.effectiveSeeds())
 	for res := range sw.Stream(ctx) {
 		rs.Add(res)
 	}
@@ -283,6 +330,7 @@ func (sw *Sweep) runOne(ctx context.Context, job sweepJob, progress func(Progres
 		return &Result{
 			Benchmark: row.bench,
 			Model:     job.model.Name,
+			Seed:      row.seed,
 			Error:     err.Error(),
 			err:       err,
 		}
@@ -307,9 +355,10 @@ func (sw *Sweep) runOne(ctx context.Context, job sweepJob, progress func(Progres
 		return nil
 	}
 	defer sw.Gate.release()
-	// Every cell runs under cellConfig() — the exact configuration row
-	// snapshots are captured with, so capture and restore cannot drift.
-	opts := []Option{WithModel(job.model), WithLabel(row.bench), WithConfig(sw.cellConfig())}
+	// Every cell runs under its row's cellConfig — the exact configuration
+	// the row snapshot is captured with, so capture and restore cannot
+	// drift.
+	opts := []Option{WithModel(job.model), WithLabel(row.bench), WithConfig(sw.cellConfig(row.seed))}
 	if snap != nil {
 		opts = append(opts, WithSnapshot(snap))
 	}
@@ -327,5 +376,6 @@ func (sw *Sweep) runOne(ctx context.Context, job sweepJob, progress func(Progres
 	if err != nil {
 		return fail(err)
 	}
+	res.Seed = row.seed
 	return res
 }

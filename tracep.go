@@ -28,8 +28,9 @@
 // # Sweeps
 //
 // The paper's evaluation (§6) is a (benchmark × model) cross-product; Sweep
-// fans it across a bounded worker pool and collects a ResultSet — with
-// deterministic ordering, per-run error capture and JSON marshalling —
+// fans it — optionally replicated across a Seeds axis for mean±CI
+// statistics — across a bounded worker pool and collects a ResultSet —
+// with deterministic ordering, per-run error capture and JSON marshalling —
 // that the table/figure renderers consume directly:
 //
 //	sw := tracep.Sweep{
@@ -38,7 +39,9 @@
 //		TargetInsts: 300_000,
 //	}
 //	rs, err := sw.Run(ctx)
-//	fmt.Printf("harmonic mean IPC (base) = %.2f\n", rs.HarmonicMeanIPC("base"))
+//	if hm, ok := rs.HarmonicMeanIPC("base"); ok {
+//		fmt.Printf("harmonic mean IPC (base) = %.2f\n", hm)
+//	}
 //
 // Each benchmark program is built once per sweep and shared read-only by
 // every model cell. Simulations are deterministic, so a parallel sweep is
@@ -229,5 +232,8 @@ func Benchmarks() []Benchmark { return bench.Suite() }
 func BenchmarkByName(name string) (Benchmark, error) { return bench.ByName(name) }
 
 // Compile-time proof that the public ResultSet plugs into the paper's
-// table/figure renderers.
-var _ report.Results = (*ResultSet)(nil)
+// table/figure renderers — including the replicate-aware error-bar path.
+var (
+	_ report.Results     = (*ResultSet)(nil)
+	_ report.CellResults = (*ResultSet)(nil)
+)
