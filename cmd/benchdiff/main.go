@@ -172,6 +172,40 @@ func regressions(old, cur map[string]result, tolPct float64) []string {
 	return fails
 }
 
+// improvements is the mirror image of regressions: benchmarks whose ns/op or
+// allocs/op fell by more than the tolerance, one line per metric. CI prints
+// these (under -improvements) so a deliberate optimisation is visible in the
+// log and its new baseline gets committed rather than silently absorbed into
+// the old one's tolerance band.
+func improvements(old, cur map[string]result, tolPct float64) []string {
+	var wins []string
+	names := make([]string, 0, len(old))
+	for name := range old { //tracep:orderinvariant sorted below
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		o := old[name]
+		n, ok := cur[name]
+		if !ok {
+			continue
+		}
+		if fall := -pctRise(o.nsPerOp, n.nsPerOp); fall > tolPct {
+			wins = append(wins, fmt.Sprintf("%s: ns/op %.0f -> %.0f (-%.1f%%)",
+				name, o.nsPerOp, n.nsPerOp, fall))
+		}
+		if o.allocs >= 0 && n.allocs >= 0 {
+			// Mirror the regression gate's tiny-count rule: a percentage on a
+			// near-zero base only counts with a whole-allocation change.
+			if fall := -pctRise(o.allocs, n.allocs); fall > tolPct && (o.allocs >= 10 || o.allocs-n.allocs >= 1) {
+				wins = append(wins, fmt.Sprintf("%s: allocs/op %.0f -> %.0f (-%.1f%%)",
+					name, o.allocs, n.allocs, fall))
+			}
+		}
+	}
+	return wins
+}
+
 func pctRise(old, cur float64) float64 {
 	if old <= 0 {
 		if cur <= 0 {
@@ -186,6 +220,7 @@ func main() {
 	oldPath := flag.String("old", "", "previous run's go test -json bench output; missing file = clean skip")
 	newPath := flag.String("new", "", "current run's go test -json bench output")
 	tol := flag.Float64("tol", 10, "allowed rise in ns/op and allocs/op, percent")
+	showImprovements := flag.Bool("improvements", false, "also summarise benchmarks that improved beyond the tolerance")
 	flag.Parse()
 
 	if *oldPath == "" || *newPath == "" {
@@ -229,6 +264,13 @@ func main() {
 	}
 
 	fails := regressions(old, cur, *tol)
+	if *showImprovements {
+		wins := improvements(old, cur, *tol)
+		fmt.Printf("\nbenchdiff: %d improvement(s) beyond %.0f%%\n", len(wins), *tol)
+		for _, w := range wins {
+			fmt.Println("  " + w)
+		}
+	}
 	if len(fails) > 0 {
 		fmt.Fprintf(os.Stderr, "\nbenchdiff: %d regression(s) beyond %.0f%%:\n", len(fails), *tol)
 		for _, f := range fails {

@@ -74,3 +74,52 @@ func TestRegressions(t *testing.T) {
 		t.Errorf("renamed benchmarks failed the gate: %v", fails)
 	}
 }
+
+// TestGateArithmeticBothDirections pins the >10% threshold on both sides: a
+// rise is a regression and the equivalent fall is an improvement, and
+// deltas at or inside the tolerance are neither.
+func TestGateArithmeticBothDirections(t *testing.T) {
+	base := map[string]result{"BenchmarkX-4": {nsPerOp: 1000, allocs: 100}}
+	run := func(ns, allocs float64) map[string]result {
+		return map[string]result{"BenchmarkX-4": {nsPerOp: ns, allocs: allocs}}
+	}
+
+	cases := []struct {
+		name       string
+		ns, allocs float64
+		fails      int
+		wins       int
+	}{
+		{"exactly +10% is within tolerance", 1100, 110, 0, 0},
+		{"exactly -10% is within tolerance", 900, 90, 0, 0},
+		{"+10.1% ns/op regresses", 1101, 100, 1, 0},
+		{"-10.1% ns/op improves", 899, 100, 0, 1},
+		{"+10.1% on both metrics regresses twice", 1101, 111, 2, 0},
+		{"-10.1% on both metrics improves twice", 899, 89, 0, 2},
+		{"unchanged is neither", 1000, 100, 0, 0},
+	}
+	for _, tc := range cases {
+		cur := run(tc.ns, tc.allocs)
+		if fails := regressions(base, cur, 10); len(fails) != tc.fails {
+			t.Errorf("%s: %d regression(s), want %d: %v", tc.name, len(fails), tc.fails, fails)
+		}
+		if wins := improvements(base, cur, 10); len(wins) != tc.wins {
+			t.Errorf("%s: %d improvement(s), want %d: %v", tc.name, len(wins), tc.wins, wins)
+		}
+	}
+
+	// The tiny-count alloc rule mirrors: 2 -> 1 is a whole-allocation drop
+	// (reported), but a sub-allocation percentage wobble on a tiny base is
+	// not, in either direction.
+	tiny := map[string]result{"BenchmarkX-4": {nsPerOp: 1000, allocs: 2}}
+	if wins := improvements(tiny, run(1000, 1), 10); len(wins) != 1 {
+		t.Errorf("2 -> 1 allocs/op not reported as an improvement: %v", wins)
+	}
+	frac := map[string]result{"BenchmarkX-4": {nsPerOp: 1000, allocs: 0.5}}
+	if wins := improvements(frac, run(1000, 0.4), 10); len(wins) != 0 {
+		t.Errorf("0.5 -> 0.4 allocs/op reported as an improvement: %v", wins)
+	}
+	if fails := regressions(frac, run(1000, 0.6), 10); len(fails) != 0 {
+		t.Errorf("0.4 -> 0.5 allocs/op reported as a regression: %v", fails)
+	}
+}

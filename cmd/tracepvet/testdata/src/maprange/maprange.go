@@ -1,6 +1,8 @@
 // Package maprange exercises the maprange analyzer: bare map iteration is an
 // error, //tracep:orderinvariant suppresses it, and iteration over every
-// other rangeable kind stays silent.
+// other rangeable kind stays silent. Map indexing inside //tracep:noalloc
+// functions is an error too, suppressed by //tracep:allow; the same indexing
+// in an unmarked function stays silent.
 package maprange
 
 // Sum iterates a map with no directive.
@@ -59,4 +61,44 @@ func Others(s []int, a [4]int, ch chan int) int {
 		t += v
 	}
 	return t
+}
+
+// HotLookup indexes maps (read, write, named type) inside a noalloc
+// function: every access is flagged.
+//
+//tracep:noalloc
+func HotLookup(m map[int]int, c counter) int {
+	v := m[1]                // want `map access in //tracep:noalloc region`
+	m[2] = v                 // want `map access in //tracep:noalloc region`
+	if n, ok := c["x"]; ok { // want `map access in //tracep:noalloc region`
+		v += n
+	}
+	return v
+}
+
+// HotLookupAllowed suppresses the accesses with //tracep:allow, trailing and
+// on the line above.
+//
+//tracep:noalloc
+func HotLookupAllowed(m map[int]int) int {
+	v := m[1] //tracep:allow cold probe in a test fixture
+	//tracep:allow cold probe in a test fixture
+	m[2] = v
+	return v
+}
+
+// ColdLookup indexes a map in a function without the noalloc directive:
+// nothing is flagged.
+func ColdLookup(m map[int]int) int {
+	v := m[1]
+	m[2] = v
+	return v
+}
+
+// HotSliceIndex indexes non-map types inside a noalloc function: slices,
+// arrays and strings stay silent.
+//
+//tracep:noalloc
+func HotSliceIndex(s []int, a [4]int, str string) int {
+	return s[0] + a[1] + int(str[0])
 }

@@ -95,6 +95,47 @@ func TestDocsCoverCluster(t *testing.T) {
 	}
 }
 
+// TestDocsCoverMemoryLayout gates the engine-memory-layout prose: the
+// ARCHITECTURE.md section must keep describing the structures the engine
+// actually uses — the hot/cold instruction banks, the paged rename table,
+// the flat subscriber/load tables, batched event delivery and the
+// reference-counted trace pool — and the README's performance methodology
+// must keep naming the committed baselines the trend gate compares.
+func TestDocsCoverMemoryLayout(t *testing.T) {
+	checks := map[string][]string{
+		"ARCHITECTURE.md": {
+			"## Engine memory layout",
+			"instCold",
+			"Hot/cold instruction banks",
+			"paged, gen-checked rename table",
+			"subTab",
+			"loadTable",
+			"Batched event delivery",
+			"drainWakes",
+			"Reference-counted persistent traces",
+			"Retain",
+		},
+		"README.md": {
+			"Performance methodology",
+			"BENCH_009.json",
+			"BENCH_010.json",
+			"benchdiff",
+		},
+	}
+	for file, wants := range checks {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		text := string(data)
+		for _, want := range wants {
+			if !strings.Contains(text, want) {
+				t.Errorf("%s: missing %q", file, want)
+			}
+		}
+	}
+}
+
 // TestDocsCoverStatistics gates the prose for the seeds/CI layer the same
 // way: the statistical-sweep sections, the scenario and paperfigs surface,
 // and the consolidated tolerance flag must stay documented.

@@ -71,6 +71,7 @@ func (a *ARB) recycle(vs []version) {
 //tracep:noalloc
 func (a *ARB) Store(addr uint32, val int64, seq Seq) {
 	a.Stores++
+	//tracep:allow map access: the ARB is keyed by sparse 32-bit addresses; the probe is the design (§2.2.2) and does not allocate
 	vs, ok := a.byAddr[addr]
 	if !ok {
 		if n := len(a.pool); n > 0 {
@@ -94,6 +95,7 @@ func (a *ARB) Store(addr uint32, val int64, seq Seq) {
 //
 //tracep:noalloc
 func (a *ARB) Undo(addr uint32, seq Seq) bool {
+	//tracep:allow map access: the ARB is keyed by sparse 32-bit addresses; the probe is the design (§2.2.2) and does not allocate
 	vs := a.byAddr[addr]
 	for i := range vs {
 		if vs[i].seq == seq {
@@ -104,6 +106,7 @@ func (a *ARB) Undo(addr uint32, seq Seq) bool {
 				delete(a.byAddr, addr)
 				a.recycle(vs)
 			} else {
+				//tracep:allow map access: writes back the shortened version list; no allocation
 				a.byAddr[addr] = vs
 			}
 			return true
@@ -121,6 +124,7 @@ func (a *ARB) Undo(addr uint32, seq Seq) bool {
 func (a *ARB) Load(addr uint32, seq Seq, less LessFunc, mem *isa.Memory) (val int64, src Seq) {
 	best := MemSeq
 	found := false
+	//tracep:allow map access: the ARB is keyed by sparse 32-bit addresses; the probe is the design (§2.2.2) and does not allocate
 	for _, v := range a.byAddr[addr] {
 		//tracep:allow less is the caller's prebuilt seqLess func value, itself //tracep:noalloc
 		if !less(v.seq, seq) {
@@ -145,6 +149,7 @@ func (a *ARB) Load(addr uint32, seq Seq, less LessFunc, mem *isa.Memory) (val in
 //
 //tracep:noalloc
 func (a *ARB) Commit(addr uint32, seq Seq, mem *isa.Memory) bool {
+	//tracep:allow map access: the ARB is keyed by sparse 32-bit addresses; the probe is the design (§2.2.2) and does not allocate
 	vs := a.byAddr[addr]
 	for i := range vs {
 		if vs[i].seq == seq {
@@ -156,6 +161,7 @@ func (a *ARB) Commit(addr uint32, seq Seq, mem *isa.Memory) bool {
 				delete(a.byAddr, addr)
 				a.recycle(vs)
 			} else {
+				//tracep:allow map access: writes back the shortened version list; no allocation
 				a.byAddr[addr] = vs
 			}
 			return true

@@ -262,10 +262,12 @@ func NewBIT(prog *isa.Program, cfg BITConfig) *BIT {
 func (b *BIT) Lookup(pc uint32) (Region, int) {
 	b.Lookups++
 	hit := b.timing.Access(uint64(pc))
+	//tracep:allow map access: the BIT memo is keyed by static branch PC; the probe does not allocate
 	reg, known := b.results[pc]
 	if !known {
 		//tracep:allow BIT miss path: the FGCI scan runs once per static branch and is memoised
 		reg = AnalyzeRegion(b.prog, pc, b.cfg.Analyze)
+		//tracep:allow map access: memoises once per static branch, off the steady-state path
 		b.results[pc] = reg
 	}
 	if hit {

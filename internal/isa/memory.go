@@ -33,6 +33,7 @@ func NewMemory(prog *Program) *Memory {
 //
 //tracep:noalloc
 func (m *Memory) Read(addr uint32) int64 {
+	//tracep:allow map access: sparse page directory over the 32-bit address space; one probe per memory op, no allocation
 	p, ok := m.pages[addr>>pageShift]
 	if !ok {
 		return 0
@@ -45,10 +46,12 @@ func (m *Memory) Read(addr uint32) int64 {
 //tracep:noalloc
 func (m *Memory) Write(addr uint32, v int64) {
 	idx := addr >> pageShift
+	//tracep:allow map access: sparse page directory over the 32-bit address space; one probe per memory op, no allocation
 	p, ok := m.pages[idx]
 	if !ok {
 		//tracep:allow page fault-in: one allocation per touched page, bounded by the data footprint
 		p = new(page)
+		//tracep:allow map access: fills the page directory once per touched page
 		m.pages[idx] = p
 	}
 	p[addr&pageMask] = v

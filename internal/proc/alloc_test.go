@@ -94,6 +94,49 @@ func TestSteadyStateAllocs(t *testing.T) {
 	}
 }
 
+// fanoutProgram builds a predictable loop whose producer register feeds a
+// wide burst of consumers every iteration: each Add of r1 wakes eight
+// waiting instructions at once, so the batched event path — queueWake
+// dedupe, the per-cycle drainWakes sweep — runs at full fan-out every cycle.
+func fanoutProgram(iters int64) *isa.Program {
+	b := asm.New("fanout-loop")
+	b.Addi(1, 0, 0).Addi(2, 0, 1).Li(3, iters)
+	b.Label("loop")
+	b.Add(1, 1, 2) // producer: everything below waits on r1
+	b.Add(4, 1, 2)
+	b.Add(5, 1, 2)
+	b.Add(6, 1, 2)
+	b.Add(7, 1, 2)
+	b.Add(8, 1, 2)
+	b.Add(9, 1, 2)
+	b.Add(10, 1, 2)
+	b.Add(11, 1, 2)
+	b.Add(12, 4, 5) // second wave off the woken values
+	b.Add(13, 6, 7)
+	b.Add(14, 8, 9)
+	b.Addi(2, 2, 1)
+	b.Bge(3, 2, "loop")
+	b.Halt()
+	return b.MustBuild()
+}
+
+// TestBatchedDeliveryAllocs gates the batched event-delivery path in
+// isolation: wakeups queued during result broadcast are deduplicated on the
+// instruction's wakePending flag and drained in one slot-order sweep per
+// delivery, all through pooled storage — so even at maximal wakeup fan-out a
+// thousand-cycle window must average ~0 heap allocations.
+func TestBatchedDeliveryAllocs(t *testing.T) {
+	cfg := testConfig()
+	cfg.Verify = false
+	p := warmed(t, New(fanoutProgram(3_000_000), ModelFGMLBRET, cfg), 50_000)
+	const window = 1000
+	avg := measureWindow(t, p, 20, window)
+	t.Logf("fanout/FG+MLB-RET: %.2f allocs per %d-cycle window", avg, window)
+	if avg > 25 {
+		t.Fatalf("batched delivery path allocates: %.1f allocs per %d cycles (want <= 25)", avg, window)
+	}
+}
+
 // TestAllocChurnBound bounds the allocation rate on a hostile workload:
 // compress's data-dependent hammocks embed their outcomes in trace
 // descriptors, so its working set of distinct traces overflows the trace

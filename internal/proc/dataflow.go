@@ -32,6 +32,40 @@ func (p *Processor) deliverEvents() {
 			p.deliverGlobal(ev.tag)
 		}
 	}
+	p.drainWakes()
+}
+
+// queueWake marks c for a (re)issue check once the cycle's whole event
+// bucket has been delivered: operand updates land immediately, but the
+// status transition runs once per consumer instead of once per subscriber
+// notification. The final state is the same — reissue is idempotent in its
+// effect — so batching is behaviour-neutral; the gen stamp and the
+// cancellation re-check at drain time guard against the consumer's slot
+// being squashed or retargeted by a later event in the same bucket.
+//
+//tracep:noalloc
+func (p *Processor) queueWake(c *instState) {
+	if c.wakePending {
+		return
+	}
+	c.wakePending = true
+	//tracep:allow wake batch retains capacity across cycles
+	p.wakeBatch = append(p.wakeBatch, instRef{st: c, gen: c.gen})
+}
+
+// drainWakes reissues every consumer the cycle's deliveries touched.
+//
+//tracep:noalloc
+func (p *Processor) drainWakes() {
+	for _, ref := range p.wakeBatch {
+		st := ref.st
+		st.wakePending = false
+		if st.cancelled || st.gen != ref.gen {
+			continue
+		}
+		p.reissue(st)
+	}
+	p.wakeBatch = p.wakeBatch[:0]
 }
 
 // complete finishes one execution of an instruction: it publishes the
@@ -71,11 +105,11 @@ func (p *Processor) complete(ev event) {
 
 	if st.isIndirect {
 		target := uint32(ev.val)
-		if !st.targetKnown || st.actualTarget != target {
-			st.checkedTarget = false
+		if !st.cold().targetKnown || st.cold().actualTarget != target {
+			st.cold().checkedTarget = false
 		}
-		st.actualTarget = target
-		st.targetKnown = true
+		st.cold().actualTarget = target
+		st.cold().targetKnown = true
 		p.checkIndirectTarget(st)
 	}
 
@@ -109,7 +143,7 @@ func (p *Processor) wakeLocalConsumers(st *instState) {
 			}
 			op.val = st.localVal
 			op.ready = true
-			p.reissue(c)
+			p.queueWake(c)
 		}
 	}
 }
@@ -208,21 +242,27 @@ func (p *Processor) grantResultBuses() {
 
 // deliverGlobal wakes every valid subscriber of tag with its current value.
 // Stale subscriptions (squashed instructions, reused slots, rebound
-// operands) are pruned lazily here.
+// operands) are pruned lazily here. The subscriber list is a direct index
+// into the flat table by the tag's rename slot; a row stamped with a
+// different tag means the slot was recycled and the old list is dead.
 //
 //tracep:noalloc
 func (p *Processor) deliverGlobal(tag rename.Tag) {
-	subs := p.subs[tag]
-	if len(subs) == 0 {
+	i := rename.SlotIndex(tag)
+	if i < 0 || i >= len(p.subTab) {
+		return
+	}
+	row := &p.subTab[i]
+	if row.tag != tag || len(row.list) == 0 {
 		return
 	}
 	e := p.regs.Get(tag)
 	if e == nil {
-		p.dropSubs(tag, subs)
+		row.list = row.list[:0]
 		return
 	}
-	kept := subs[:0]
-	for _, s := range subs {
+	kept := row.list[:0]
+	for _, s := range row.list {
 		st := s.st
 		if st.cancelled || st.gen != s.gen || st.src[s.src].tag != tag {
 			continue // stale subscription
@@ -247,53 +287,55 @@ func (p *Processor) deliverGlobal(tag rename.Tag) {
 		}
 		op.val = e.Val
 		op.ready = true
-		p.reissue(st)
+		p.queueWake(st)
 	}
-	if len(kept) == 0 {
-		p.dropSubs(tag, kept)
-	} else {
-		p.subs[tag] = kept
-	}
+	row.list = kept
 }
 
-// subArenaBlock sizes the arena new subscriber lists are carved from.
-const subArenaBlock = 2048
-
-// addSub subscribes ref to tag. A tag with no list yet gets one from the
-// recycle pool, or a capacity-2 segment carved from a block arena (nearly
-// every tag has at most two subscribers — the two operand slots of a
-// dependent pair — so segments rarely grow, and a block serves ~1k tags per
-// heap allocation).
+// addSub subscribes ref to tag's row of the flat subscriber table. A row
+// left behind by the slot's previous tag is truncated in place, so its list
+// capacity is recycled; the table itself regrows only when the register
+// file adds a page.
 //
 //tracep:noalloc
 func (p *Processor) addSub(tag rename.Tag, ref subRef) {
-	s, ok := p.subs[tag]
-	if !ok {
-		if n := len(p.subPool); n > 0 {
-			s = p.subPool[n-1]
-			p.subPool = p.subPool[:n-1]
-		} else {
-			if len(p.subArena) < 2 {
-				//tracep:allow amortised: one arena block per subArenaBlock subscriptions
-				p.subArena = make([]subRef, subArenaBlock)
-			}
-			s = p.subArena[:0:2]
-			p.subArena = p.subArena[2:]
+	i := rename.SlotIndex(tag)
+	if i >= len(p.subTab) {
+		// Double (at least) so growth stays amortised while the register
+		// file's frontier is still advancing ahead of the first sweeps.
+		n := 2 * len(p.subTab)
+		if n < p.regs.Slots() {
+			n = p.regs.Slots()
 		}
+		if n < 1024 {
+			n = 1024
+		}
+		//tracep:allow amortised: the table at least doubles per regrow
+		tab := make([]subSlot, n)
+		copy(tab, p.subTab)
+		p.subTab = tab
 	}
-	//tracep:allow subscriber lists reuse pooled capacity; growth is amortised
-	p.subs[tag] = append(s, ref)
-}
-
-// dropSubs removes tag's subscriber list, recycling its storage.
-//
-//tracep:noalloc
-func (p *Processor) dropSubs(tag rename.Tag, s []subRef) {
-	delete(p.subs, tag)
-	if cap(s) > 0 {
-		//tracep:allow pool return: emptied subscriber lists are recycled
-		p.subPool = append(p.subPool, s[:0])
+	row := &p.subTab[i]
+	if row.tag != tag {
+		row.tag = tag
+		row.list = row.list[:0]
 	}
+	if cap(row.list) == 0 {
+		// First subscription on this slot: carve a small list from the slab
+		// instead of allocating per row. The three-index slice caps the carve
+		// so a row outgrowing it reallocates privately, never into a
+		// neighbour's carve.
+		const chunk = 4
+		if cap(p.subArena)-len(p.subArena) < chunk {
+			//tracep:allow amortised: one slab serves 1024 row carves
+			p.subArena = make([]subRef, 0, 4096)
+		}
+		off := len(p.subArena)
+		p.subArena = p.subArena[:off+chunk]
+		row.list = p.subArena[off : off : off+chunk]
+	}
+	//tracep:allow subscriber lists reuse recycled row capacity; growth is amortised
+	row.list = append(row.list, ref)
 }
 
 // ---- load/store snooping ----
@@ -311,36 +353,27 @@ func (p *Processor) recordLoad(st *instState, addr uint32) {
 	st.lastAddr = addr
 	if !st.inLoadRecs {
 		st.inLoadRecs = true
-		recs, ok := p.loadRecs[addr]
-		if !ok {
-			if n := len(p.loadPool); n > 0 {
-				recs = p.loadPool[n-1]
-				p.loadPool = p.loadPool[:n-1]
-			}
-		}
+		i := p.loadRecs.slotFor(addr)
 		//tracep:allow load-record buckets reuse pooled capacity
-		p.loadRecs[addr] = append(recs, instRef{st: st, gen: st.gen})
+		p.loadRecs.recs[i] = append(p.loadRecs.recs[i], instRef{st: st, gen: st.gen})
 	}
 }
 
 //tracep:noalloc
 func (p *Processor) removeLoadRec(st *instState) {
-	recs := p.loadRecs[st.lastAddr]
-	for i, r := range recs {
-		if r.st == st && r.gen == st.gen {
-			recs[i] = recs[len(recs)-1]
-			recs = recs[:len(recs)-1]
-			break
+	if i := p.loadRecs.find(st.lastAddr); i >= 0 {
+		recs := p.loadRecs.recs[i]
+		for k, r := range recs {
+			if r.st == st && r.gen == st.gen {
+				recs[k] = recs[len(recs)-1]
+				recs = recs[:len(recs)-1]
+				break
+			}
 		}
-	}
-	if len(recs) == 0 {
-		delete(p.loadRecs, st.lastAddr)
-		if cap(recs) > 0 {
-			//tracep:allow pool return: emptied load-record buckets are recycled
-			p.loadPool = append(p.loadPool, recs[:0])
+		p.loadRecs.recs[i] = recs
+		if len(recs) == 0 {
+			p.loadRecs.del(i)
 		}
-	} else {
-		p.loadRecs[st.lastAddr] = recs
 	}
 	st.inLoadRecs = false
 }
@@ -377,10 +410,11 @@ func (p *Processor) snoopUndo(addr uint32, undoSeq arb.Seq) {
 //
 //tracep:noalloc
 func (p *Processor) snapshotLoads(addr uint32) []*instState {
-	recs := p.loadRecs[addr]
-	if len(recs) == 0 {
+	i := p.loadRecs.find(addr)
+	if i < 0 {
 		return nil
 	}
+	recs := p.loadRecs.recs[i]
 	kept := recs[:0]
 	out := p.loadScratch[:0]
 	for _, r := range recs {
@@ -397,15 +431,11 @@ func (p *Processor) snapshotLoads(addr uint32) []*instState {
 		out = append(out, st)
 	}
 	p.loadScratch = out
+	p.loadRecs.recs[i] = kept
 	if len(kept) == 0 {
-		delete(p.loadRecs, addr)
-		if cap(kept) > 0 {
-			//tracep:allow pool return: the emptied bucket is recycled
-			p.loadPool = append(p.loadPool, kept)
-		}
+		p.loadRecs.del(i)
 		return nil
 	}
-	p.loadRecs[addr] = kept
 	return out
 }
 
@@ -413,71 +443,54 @@ func (p *Processor) snapshotLoads(addr uint32) []*instState {
 
 // collectGarbage sweeps unreferenced tags and compacts lazy index
 // structures. Roots: the dispatch-frontier map and every live PE's
-// checkpoints, operand bindings and destination tags. The live set is a
-// persistent map cleared in place, so periodic collection does not allocate.
+// checkpoints, operand bindings and destination tags. Marks live in the
+// register file's own slot metadata (rename.File.Mark), so periodic
+// collection maintains no side set and does not allocate.
 //
 //tracep:noalloc
 func (p *Processor) collectGarbage() {
-	if p.gcLive == nil {
-		//tracep:allow one-time: the live set is allocated at the first collection, then cleared in place
-		p.gcLive = make(map[rename.Tag]struct{}, p.regs.Size())
-	}
-	clear(p.gcLive)
 	for _, t := range p.specMap {
-		p.gcMark(t)
+		p.regs.Mark(t)
 	}
 	for id := p.head; id >= 0; id = p.pes[id].next {
 		pe := p.pes[id]
 		for _, t := range pe.mapBefore {
-			p.gcMark(t)
+			p.regs.Mark(t)
 		}
 		for _, t := range pe.mapAfter {
-			p.gcMark(t)
+			p.regs.Mark(t)
 		}
 		for _, st := range pe.insts {
-			p.gcMark(st.destTag)
-			p.gcMark(st.src[0].tag)
-			p.gcMark(st.src[1].tag)
+			p.regs.Mark(st.destTag)
+			p.regs.Mark(st.src[0].tag)
+			p.regs.Mark(st.src[1].tag)
 		}
 	}
-	//tracep:allow the sweep predicate closure is created once per GC interval, amortised to noise
-	p.regs.Sweep(func(t rename.Tag) bool { _, ok := p.gcLive[t]; return ok })
-	// Per-tag drop/compact operations are independent; only subPool storage
-	// order varies, which never reaches simulation output.
-	//tracep:orderinvariant
-	for t, s := range p.subs {
-		if _, ok := p.gcLive[t]; !ok {
-			p.dropSubs(t, s)
+	p.regs.SweepUnmarked()
+	// Compact stale subscribers out of surviving rows. deliverGlobal prunes
+	// lazily on delivery, but a long-lived ready tag (a register written
+	// once and read forever) never delivers again, so without this its list
+	// would grow by one dead entry per consuming dispatch for the rest of
+	// the run. The staleness test matches deliverGlobal's, so removal is
+	// behaviour-neutral; rows whose tag just died are truncated outright.
+	for i := range p.subTab {
+		row := &p.subTab[i]
+		if len(row.list) == 0 {
 			continue
 		}
-		// Compact stale subscribers out of live tags' lists. deliverGlobal
-		// prunes lazily on delivery, but a long-lived ready tag (a register
-		// written once and read forever) never delivers again, so without
-		// this its list would grow by one dead entry per consuming dispatch
-		// for the rest of the run. The staleness test matches
-		// deliverGlobal's, so removal is behaviour-neutral.
-		kept := s[:0]
-		for _, ref := range s {
+		if p.regs.Get(row.tag) == nil {
+			row.list = row.list[:0]
+			continue
+		}
+		kept := row.list[:0]
+		for _, ref := range row.list {
 			st := ref.st
-			if st.cancelled || st.gen != ref.gen || st.src[ref.src].tag != t {
+			if st.cancelled || st.gen != ref.gen || st.src[ref.src].tag != row.tag {
 				continue
 			}
 			//tracep:allow subscriber compaction reuses the list's own backing array
 			kept = append(kept, ref)
 		}
-		if len(kept) == 0 {
-			p.dropSubs(t, kept)
-		} else {
-			p.subs[t] = kept
-		}
-	}
-}
-
-// gcMark adds t to the persistent live set (tag 0 is the nil tag).
-//
-//tracep:noalloc
-func (p *Processor) gcMark(t rename.Tag) {
-	if t != 0 {
-		p.gcLive[t] = struct{}{}
+		row.list = kept
 	}
 }

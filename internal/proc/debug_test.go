@@ -18,7 +18,7 @@ func (p *Processor) dumpState() string {
 		pe := p.pes[id]
 		s += fmt.Sprintf("  PE%d logical=%d trace=%v inFlight=%d\n", id, pe.logical, pe.tr.Desc, pe.inFlight)
 		for i, st := range pe.insts {
-			s += fmt.Sprintf("    [%2d] pc=%-3d %-20v status=%d ready=%v,%v final=%v", i, st.pc, st.inst, st.status, st.src[0].ready, st.src[1].ready, st.final())
+			s += fmt.Sprintf("    [%2d] pc=%-3d %-20v status=%d ready=%v,%v final=%v", i, st.cold().pc, st.inst, st.status, st.src[0].ready, st.src[1].ready, st.final())
 			if st.isBr {
 				s += fmt.Sprintf(" br(assumed=%v resolved=%v/%v)", st.assumedTaken, st.resolved, st.resolvedTaken)
 			}

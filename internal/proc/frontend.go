@@ -155,9 +155,32 @@ func (p *Processor) constructionStep() {
 	if p.cycle >= p.fe.jobDoneAt {
 		job.constructing = false
 		job.readyAt = p.cycle + 1
-		p.tcache.Insert(job.tr)
+		p.insertTrace(job.tr)
 		p.fe.jobs.pop()
 		p.fe.jobDoneAt = 0
+	}
+}
+
+// insertTrace installs tr in the trace cache, maintaining trace reference
+// counts: the cache retains tr (unless it was already resident) and drops
+// its reference to whatever the insertion displaced.
+//
+//tracep:noalloc
+func (p *Processor) insertTrace(tr *trace.Trace) {
+	evicted, fresh := p.tcache.Insert(tr)
+	if fresh {
+		tr.Retain()
+	}
+	p.releaseTrace(evicted)
+}
+
+// releaseTrace drops one reference to tr (nil-safe); the last holder's
+// release recycles the trace's storage into the constructor pool.
+//
+//tracep:noalloc
+func (p *Processor) releaseTrace(tr *trace.Trace) {
+	if tr != nil && tr.Release() {
+		p.ctor.Recycle(tr)
 	}
 }
 
@@ -235,6 +258,10 @@ func (p *Processor) fetchStep() {
 		}
 	}
 
+	// The queue entry holds a reference whether the trace came from the
+	// cache or a fresh build; dispatch transfers it to the PE, a queue drop
+	// releases it.
+	entry.tr.Retain()
 	fe.queue.push(entry)
 	if p.debugLog != nil {
 		if p.debugLog != nil {
@@ -283,6 +310,7 @@ func (p *Processor) dispatchStep() {
 
 	p.fe.queue.pop()
 	pe := p.dispatchTrace(entry.tr, insertAfter, entry.histPos, entry.predicted)
+	entry.tr = nil // reference transferred to the PE
 	p.fe.putEntry(entry)
 	if p.rec.active && p.rec.phase == recInserting {
 		p.rec.insertAfter = pe.id
@@ -297,11 +325,11 @@ func (p *Processor) dispatchStep() {
 		prev := p.pes[pe.prev]
 		if prev.tr != nil && prev.tr.EndsIndirect && len(prev.insts) > 0 {
 			last := prev.insts[len(prev.insts)-1]
-			if last.targetKnown {
-				if last.actualTarget == pe.tr.Desc.StartPC {
-					last.checkedTarget = true
+			if last.cold().targetKnown {
+				if last.cold().actualTarget == pe.tr.Desc.StartPC {
+					last.cold().checkedTarget = true
 				} else {
-					last.checkedTarget = false
+					last.cold().checkedTarget = false
 					p.enqueueMisp(last)
 				}
 			}
@@ -377,10 +405,10 @@ func (p *Processor) resumeFetchAfter(q *peState) {
 	p.fe.expectedPC = q.tr.NextPC
 	if q.tr.EndsIndirect && len(q.insts) > 0 {
 		last := q.insts[len(q.insts)-1]
-		if last.targetKnown {
-			p.fe.expectedPC = last.actualTarget
+		if last.cold().targetKnown {
+			p.fe.expectedPC = last.cold().actualTarget
 			p.fe.waitIndirect = false
-			last.checkedTarget = true
+			last.cold().checkedTarget = true
 		}
 	}
 }
@@ -394,6 +422,8 @@ func (p *Processor) dropFetchQueue(pos int) {
 	for p.fe.queue.len() > 0 {
 		e := p.fe.queue.pop()
 		e.constructing = false
+		p.releaseTrace(e.tr)
+		e.tr = nil
 		p.fe.putEntry(e)
 	}
 	for p.fe.jobs.len() > 0 {
@@ -421,7 +451,7 @@ func (p *Processor) fetchFrontierPE() int {
 //
 //tracep:noalloc
 func (p *Processor) checkIndirectTarget(st *instState) {
-	if st.cancelled || !st.targetKnown || st.checkedTarget {
+	if st.cancelled || !st.cold().targetKnown || st.cold().checkedTarget {
 		return
 	}
 	pe := st.pe
@@ -440,8 +470,8 @@ func (p *Processor) checkIndirectTarget(st *instState) {
 	if pe.id != p.fetchFrontierPE() {
 		if pe.next >= 0 {
 			succ := p.pes[pe.next]
-			if succ.tr.Desc.StartPC == st.actualTarget {
-				st.checkedTarget = true
+			if succ.tr.Desc.StartPC == st.cold().actualTarget {
+				st.cold().checkedTarget = true
 			} else {
 				p.enqueueMisp(st)
 			}
@@ -458,18 +488,18 @@ func (p *Processor) checkIndirectTarget(st *instState) {
 		return
 	}
 	if p.fe.queue.len() > 0 {
-		if p.fe.queue.at(0).desc.StartPC == st.actualTarget {
-			st.checkedTarget = true
+		if p.fe.queue.at(0).desc.StartPC == st.cold().actualTarget {
+			st.cold().checkedTarget = true
 			return
 		}
 		p.dropFetchQueue(p.fe.queue.at(0).histPos)
 		p.Stats.FetchRedirects++
-	} else if !p.fe.waitIndirect && !p.fe.stopped && p.fe.expectedPC == st.actualTarget {
-		st.checkedTarget = true
+	} else if !p.fe.waitIndirect && !p.fe.stopped && p.fe.expectedPC == st.cold().actualTarget {
+		st.cold().checkedTarget = true
 		return
 	}
-	p.fe.expectedPC = st.actualTarget
+	p.fe.expectedPC = st.cold().actualTarget
 	p.fe.waitIndirect = false
 	p.fe.stopped = false
-	st.checkedTarget = true
+	st.cold().checkedTarget = true
 }

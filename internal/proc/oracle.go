@@ -46,40 +46,40 @@ func (p *Processor) verifyRetired(st *instState) error {
 		return p.verifyRecorded(st)
 	}
 	rec := p.oracle.Step()
-	if rec.PC != st.pc {
+	if rec.PC != st.cold().pc {
 		//tracep:allow verification mismatch is terminal: the run aborts
 		return fmt.Errorf("oracle divergence at cycle %d: retired pc %d, oracle pc %d",
-			p.cycle, st.pc, rec.PC)
+			p.cycle, st.cold().pc, rec.PC)
 	}
 	if rec.HasDest {
 		if st.destArch != rec.Dest {
 			//tracep:allow verification mismatch is terminal: the run aborts
-			return fmt.Errorf("pc %d: retired dest r%d, oracle r%d", st.pc, st.destArch, rec.Dest)
+			return fmt.Errorf("pc %d: retired dest r%d, oracle r%d", st.cold().pc, st.destArch, rec.Dest)
 		}
 		if st.localVal != rec.Value {
 			//tracep:allow verification mismatch is terminal: the run aborts
 			return fmt.Errorf("pc %d (%v): retired value %d, oracle %d",
-				st.pc, st.inst, st.localVal, rec.Value)
+				st.cold().pc, st.inst, st.localVal, rec.Value)
 		}
 	}
 	if st.isStore {
-		if st.lastAddr != rec.Addr || st.lastStoreVal != rec.StoreVal {
+		if st.lastAddr != rec.Addr || st.cold().lastStoreVal != rec.StoreVal {
 			//tracep:allow verification mismatch is terminal: the run aborts
 			return fmt.Errorf("pc %d: retired store [%d]=%d, oracle [%d]=%d",
-				st.pc, st.lastAddr, st.lastStoreVal, rec.Addr, rec.StoreVal)
+				st.cold().pc, st.lastAddr, st.cold().lastStoreVal, rec.Addr, rec.StoreVal)
 		}
 	}
 	if st.isLoad && st.lastAddr != rec.Addr {
 		//tracep:allow verification mismatch is terminal: the run aborts
-		return fmt.Errorf("pc %d: retired load addr %d, oracle %d", st.pc, st.lastAddr, rec.Addr)
+		return fmt.Errorf("pc %d: retired load addr %d, oracle %d", st.cold().pc, st.lastAddr, rec.Addr)
 	}
 	if st.isBr && st.resolvedTaken != rec.Taken {
 		//tracep:allow verification mismatch is terminal: the run aborts
-		return fmt.Errorf("pc %d: retired branch taken=%v, oracle %v", st.pc, st.resolvedTaken, rec.Taken)
+		return fmt.Errorf("pc %d: retired branch taken=%v, oracle %v", st.cold().pc, st.resolvedTaken, rec.Taken)
 	}
-	if st.isIndirect && st.actualTarget != rec.NextPC {
+	if st.isIndirect && st.cold().actualTarget != rec.NextPC {
 		//tracep:allow verification mismatch is terminal: the run aborts
-		return fmt.Errorf("pc %d: retired indirect target %d, oracle %d", st.pc, st.actualTarget, rec.NextPC)
+		return fmt.Errorf("pc %d: retired indirect target %d, oracle %d", st.cold().pc, st.cold().actualTarget, rec.NextPC)
 	}
 	return nil
 }
@@ -98,27 +98,27 @@ func (p *Processor) verifyRecorded(st *instState) error {
 		//tracep:allow alloc-free sentinel comparison on the end-of-trace path
 		if errors.Is(err, io.EOF) {
 			//tracep:allow verification mismatch is terminal: the run aborts
-			return fmt.Errorf("recorded trace ended at cycle %d but pc %d retired beyond it", p.cycle, st.pc)
+			return fmt.Errorf("recorded trace ended at cycle %d but pc %d retired beyond it", p.cycle, st.cold().pc)
 		}
 		//tracep:allow verification mismatch is terminal: the run aborts
 		return fmt.Errorf("reading recorded trace at cycle %d: %w", p.cycle, err)
 	}
-	if rec.PC != st.pc {
+	if rec.PC != st.cold().pc {
 		//tracep:allow verification mismatch is terminal: the run aborts
 		return fmt.Errorf("recorded-trace divergence at cycle %d: retired pc %d, trace pc %d",
-			p.cycle, st.pc, rec.PC)
+			p.cycle, st.cold().pc, rec.PC)
 	}
 	if (st.isLoad || st.isStore) && st.lastAddr != rec.Addr {
 		//tracep:allow verification mismatch is terminal: the run aborts
-		return fmt.Errorf("pc %d: retired %v addr %d, trace %d", st.pc, st.inst.Op, st.lastAddr, rec.Addr)
+		return fmt.Errorf("pc %d: retired %v addr %d, trace %d", st.cold().pc, st.inst.Op, st.lastAddr, rec.Addr)
 	}
 	if st.isBr && st.resolvedTaken != rec.Taken {
 		//tracep:allow verification mismatch is terminal: the run aborts
-		return fmt.Errorf("pc %d: retired branch taken=%v, trace %v", st.pc, st.resolvedTaken, rec.Taken)
+		return fmt.Errorf("pc %d: retired branch taken=%v, trace %v", st.cold().pc, st.resolvedTaken, rec.Taken)
 	}
-	if st.isIndirect && st.actualTarget != rec.NextPC {
+	if st.isIndirect && st.cold().actualTarget != rec.NextPC {
 		//tracep:allow verification mismatch is terminal: the run aborts
-		return fmt.Errorf("pc %d: retired indirect target %d, trace %d", st.pc, st.actualTarget, rec.NextPC)
+		return fmt.Errorf("pc %d: retired indirect target %d, trace %d", st.cold().pc, st.cold().actualTarget, rec.NextPC)
 	}
 	return nil
 }

@@ -48,7 +48,6 @@ type instState struct {
 	slot int
 	gen  uint64
 	inst isa.Inst
-	pc   uint32
 
 	src      [2]operand
 	destArch isa.Reg
@@ -67,9 +66,6 @@ type instState struct {
 
 	// Branch bookkeeping.
 	isBr bool
-	// fetchPredTaken is the prediction made when this instance was fetched
-	// (for misprediction accounting at retirement).
-	fetchPredTaken bool
 	// assumedTaken is the outcome the current window contents were built
 	// with; updated when recovery repairs the branch.
 	assumedTaken  bool
@@ -78,24 +74,50 @@ type instState struct {
 	inMispQueue   bool
 
 	// Indirect (trace-ending jr/callr/ret) bookkeeping.
-	isIndirect   bool
-	actualTarget uint32
-	targetKnown  bool
-	// assumedTargetValid marks that the successor's start PC has been
-	// checked against (or set from) actualTarget.
-	checkedTarget bool
+	isIndirect bool
 
 	// Memory bookkeeping.
 	isLoad, isStore bool
 	performed       bool // store version installed in ARB / load queried
 	lastAddr        uint32
-	lastStoreVal    int64
 	dataSeq         arb.Seq // producer of the load's current data
 	inLoadRecs      bool
 
 	bcastPending bool
 	bcastVal     int64
+
+	// wakePending marks the instruction as already enqueued in the cycle's
+	// wake batch (queueWake/drainWakes), deduplicating multi-operand wakeups.
+	wakePending bool
 }
+
+// instCold is the cold bank of a pooled instruction slot: state the per-cycle
+// scan in Step() never reads — it is touched at dispatch, on the rare
+// indirect/verify paths, and at retirement. Splitting it out of instState
+// keeps the hot issue/wakeup scan walking densely packed state. The bank
+// lives in a per-PE parallel arena indexed by slot (see peState.cold) and is
+// cleared by reinit alongside the hot struct.
+type instCold struct {
+	// pc is the instruction's fetch PC (dispatch-time copy of tr.PCs[slot]).
+	pc uint32
+	// fetchPredTaken is the prediction made when this instance was fetched
+	// (for misprediction accounting at retirement).
+	fetchPredTaken bool
+	// actualTarget/targetKnown record a resolved indirect (trace-ending
+	// jr/callr/ret) target; checkedTarget marks that the successor's start PC
+	// has been checked against (or set from) actualTarget.
+	actualTarget  uint32
+	targetKnown   bool
+	checkedTarget bool
+	// lastStoreVal is the store's most recent data value, read at
+	// retirement for ARB commit verification.
+	lastStoreVal int64
+}
+
+// cold returns the slot's cold bank.
+//
+//tracep:noalloc
+func (st *instState) cold() *instCold { return &st.pe.cold[st.slot] }
 
 //tracep:noalloc
 func (st *instState) seq() arb.Seq {
@@ -124,6 +146,9 @@ type peState struct {
 	insts []*instState
 	pool  []instState
 	ptrs  []*instState
+	// cold is the parallel cold bank: cold[i] belongs to slot i (see
+	// instCold). Kept out of pool so the hot scan's stride stays small.
+	cold []instCold
 
 	// Linked-list control structure (§2.1): logical order plus prev/next
 	// physical PE numbers.
@@ -153,6 +178,7 @@ type peState struct {
 func (pe *peState) initPool(maxLen int) {
 	pe.pool = make([]instState, maxLen)
 	pe.ptrs = make([]*instState, maxLen)
+	pe.cold = make([]instCold, maxLen)
 	for i := range pe.pool {
 		pe.pool[i].pe = pe
 		pe.pool[i].slot = i
@@ -173,6 +199,8 @@ func (pe *peState) ensureSlots(n int) {
 		st := &instState{pe: pe, slot: len(pe.ptrs)}
 		//tracep:allow slot-pointer list grows once per PE slot, then is reused
 		pe.ptrs = append(pe.ptrs, st)
+		//tracep:allow cold-bank list grows once per PE slot, then is reused
+		pe.cold = append(pe.cold, instCold{})
 	}
 }
 
@@ -183,6 +211,7 @@ func (pe *peState) ensureSlots(n int) {
 //tracep:noalloc
 func (st *instState) reinit() {
 	*st = instState{pe: st.pe, slot: st.slot, gen: st.gen + 1}
+	st.pe.cold[st.slot] = instCold{}
 }
 
 // invalidate advances the slot's generation without installing a new
@@ -347,6 +376,8 @@ func (p *Processor) unlinkPE(pe *peState) {
 	for _, st := range pe.insts {
 		st.invalidate()
 	}
+	p.releaseTrace(pe.tr)
+	pe.tr = nil
 	//tracep:allow free-list capacity is fixed at NumPEs
 	p.free = append(p.free, pe.id)
 	p.renumber()
@@ -452,7 +483,7 @@ func (p *Processor) initInstState(st *instState, i int, tr *trace.Trace) {
 	in := tr.Insts[i]
 	st.reinit()
 	st.inst = in
-	st.pc = tr.PCs[i]
+	st.cold().pc = tr.PCs[i]
 	if rd, ok := in.WritesReg(); ok {
 		st.destArch = rd
 	}
@@ -462,7 +493,7 @@ func (p *Processor) initInstState(st *instState, i int, tr *trace.Trace) {
 	st.isStore = in.IsStore()
 	if st.isBr {
 		if bi, ok := tr.BranchAt(i); ok {
-			st.fetchPredTaken = bi.Taken
+			st.cold().fetchPredTaken = bi.Taken
 			st.assumedTaken = bi.Taken
 		}
 	}
@@ -580,7 +611,7 @@ func (p *Processor) execute(st *instState) {
 	}
 	if st.execCount > 100000 {
 		//tracep:allow terminal: livelock detection aborts the run
-		p.fail(fmt.Errorf("livelock: instruction at pc %d reissued %d times", st.pc, st.execCount))
+		p.fail(fmt.Errorf("livelock: instruction at pc %d reissued %d times", st.cold().pc, st.execCount))
 		return
 	}
 	a, b := st.src[0].val, st.src[1].val
@@ -599,12 +630,12 @@ func (p *Processor) execute(st *instState) {
 		p.schedule(p.cycle+1, event{kind: evComplete, st: st, gen: st.gen, val: v})
 
 	case in.Op == isa.OpCall:
-		p.schedule(p.cycle+1, event{kind: evComplete, st: st, gen: st.gen, val: int64(st.pc + 1)})
+		p.schedule(p.cycle+1, event{kind: evComplete, st: st, gen: st.gen, val: int64(st.cold().pc + 1)})
 
 	case in.Op == isa.OpCallR:
 		// Indirect call: dest is the link value; the target operand resolves
 		// the trace successor.
-		p.schedule(p.cycle+1, event{kind: evComplete, st: st, gen: st.gen, val: int64(st.pc + 1)})
+		p.schedule(p.cycle+1, event{kind: evComplete, st: st, gen: st.gen, val: int64(st.cold().pc + 1)})
 
 	case in.Op == isa.OpJr || in.Op == isa.OpRet:
 		p.schedule(p.cycle+1, event{kind: evComplete, st: st, gen: st.gen, val: a})
@@ -629,7 +660,7 @@ func (p *Processor) execute(st *instState) {
 			p.snoopUndo(st.lastAddr, st.seq())
 		}
 		st.lastAddr = addr
-		st.lastStoreVal = val
+		st.cold().lastStoreVal = val
 		st.performed = true
 		p.arbuf.Store(addr, val, st.seq())
 		p.snoopStore(addr, st.seq())

@@ -171,21 +171,27 @@ type Processor struct {
 	// cycles (see initEventRing).
 	evBuckets [][]event
 	evMask    int64
-	// subs holds global-value subscriptions: operands bound to a tag that
-	// must be notified when the tag's value arrives or changes. Subscriber
-	// lists are recycled through subPool when their tag dies.
-	subs     map[rename.Tag][]subRef
-	subPool  [][]subRef
+	// subTab holds global-value subscriptions — operands bound to a tag that
+	// must be notified when the tag's value arrives or changes — as a flat
+	// table indexed by the tag's physical rename slot. See tables.go.
+	subTab []subSlot
+	// subArena is the slab new subscriber rows carve their initial list
+	// capacity from, so first-touch subscriptions on fresh rename slots do
+	// not allocate one tiny slice each. Lists outgrowing their carve move to
+	// dedicated storage via ordinary append.
 	subArena []subRef
-	// loadRecs indexes performed loads by address for store/undo snooping;
-	// buckets are pooled and the snoop iteration scratch is reused.
-	loadRecs    map[uint32][]instRef
-	loadPool    [][]instRef
+	// loadRecs indexes performed loads by address for store/undo snooping
+	// (open-addressed, see tables.go); the snoop iteration scratch is reused.
+	loadRecs    loadTable
 	loadScratch []*instState
 	// bcastQueue holds pending global result-bus requests in request order;
 	// busPerPE is the flat per-PE grant counter reset each arbitration.
 	bcastQueue []instRef
 	busPerPE   []int
+	// wakeBatch collects the consumers touched by the cycle's event bucket;
+	// deliverEvents drains it once per cycle, dispatching a single reissue
+	// check per consumer instead of one per subscriber notification.
+	wakeBatch []instRef
 
 	// less is p.seqLess as a prebuilt func value: creating the method value
 	// once at construction keeps the hot ARB calls free of per-call closures.
@@ -197,14 +203,15 @@ type Processor struct {
 	// assumed outcome, awaiting recovery (oldest processed first).
 	mispQueue []instRef
 
-	// gcLive is the persistent mark set of collectGarbage.
-	gcLive map[rename.Tag]struct{}
 	// forcedScratch, ciYounger and ciViews are recovery-path scratch buffers.
 	forcedScratch []bool
 	ciYounger     []*peState
 	ciViews       []core.TraceView
 
-	branchClasses map[uint32]branchClass
+	// branchClasses is the static Table 5 classification, indexed by PC
+	// (zero value for non-branch PCs, matching the old map's missing-key
+	// semantics).
+	branchClasses []branchClass
 
 	Stats Stats
 
@@ -273,8 +280,6 @@ func build(prog *isa.Program, model Model, cfg Config, snap *Snapshot) *Processo
 
 		arbuf: arb.New(),
 
-		subs:     make(map[rename.Tag][]subRef),
-		loadRecs: make(map[uint32][]instRef),
 		busPerPE: make([]int, cfg.NumPEs),
 		head:     -1,
 		tail:     -1,
@@ -318,6 +323,10 @@ func build(prog *isa.Program, model Model, cfg Config, snap *Snapshot) *Processo
 		p.fe.expectedPC = snap.emu.PC
 		p.Stats.WarmupInsts = snap.warmupInsts
 	}
+	// Checkpoints into the next-trace predictor's history ring reach back at
+	// most one window plus one fetch queue of in-flight traces; size the ring
+	// generously for deep-window configurations.
+	p.tp.EnsureHistoryCapacity(4 * cfg.NumPEs)
 	p.ctor = &trace.Constructor{
 		Prog: prog,
 		Sel:  trace.SelConfig{MaxLen: cfg.MaxTraceLen, NTB: model.NTB, FG: model.FG},
@@ -464,7 +473,7 @@ const (
 // classifyBranches statically analyses every conditional branch in the
 // program with a large-bound FGCI analysis, for Table 5 accounting.
 func (p *Processor) classifyBranches() {
-	p.branchClasses = make(map[uint32]branchClass)
+	p.branchClasses = make([]branchClass, p.prog.Len())
 	acfg := core.AnalyzeConfig{MaxSize: 4 * p.cfg.MaxTraceLen, MaxEdges: 8, MaxScan: 2048}
 	for pc := uint32(0); int(pc) < p.prog.Len(); pc++ {
 		in := p.prog.At(pc)

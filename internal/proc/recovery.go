@@ -84,14 +84,14 @@ func (p *Processor) mispValid(st *instState) bool {
 		return st.resolved && st.resolvedTaken != st.assumedTaken
 	}
 	if st.isIndirect {
-		if !st.targetKnown || st.checkedTarget {
+		if !st.cold().targetKnown || st.cold().checkedTarget {
 			return false
 		}
 		pe := st.pe
 		if st.slot != len(pe.insts)-1 || pe.next < 0 {
 			return false
 		}
-		return p.pes[pe.next].tr.Desc.StartPC != st.actualTarget
+		return p.pes[pe.next].tr.Desc.StartPC != st.cold().actualTarget
 	}
 	return false
 }
@@ -184,7 +184,7 @@ func (p *Processor) startRecovery(st *instState) {
 		if p.debugLog != nil {
 			//tracep:allow debug-only: the argument boxing happens only with tracing enabled
 			p.debugf("recovery start: mode=%d pe=%d(log %d) slot=%d pc=%d isBr=%v resolved=%v indirect=%v oldDesc=%v oldNextPC=%d tail=%d fetchQ=%d",
-				mode, pe.id, pe.logical, slot, st.pc, st.isBr, st.resolvedTaken, st.isIndirect, pe.tr.Desc, pe.tr.NextPC, p.tail, p.fe.queue.len())
+				mode, pe.id, pe.logical, slot, st.cold().pc, st.isBr, st.resolvedTaken, st.isIndirect, pe.tr.Desc, pe.tr.NextPC, p.tail, p.fe.queue.len())
 		}
 	}
 	switch mode {
@@ -205,8 +205,8 @@ func (p *Processor) startRecovery(st *instState) {
 		st.assumedTaken = st.resolvedTaken
 	} else {
 		rec.isIndirect = true
-		rec.correctedTarget = st.actualTarget
-		st.checkedTarget = true
+		rec.correctedTarget = st.cold().actualTarget
+		st.cold().checkedTarget = true
 		if p.debugLog != nil {
 			if p.debugLog != nil {
 				//tracep:allow debug-only: the argument boxing happens only with tracing enabled
@@ -241,6 +241,7 @@ func (p *Processor) startRecovery(st *instState) {
 	// intact (only the successor changes).
 	if rec.isIndirect {
 		rec.newTrace = pe.tr
+		rec.newTrace.Retain() // the recovery's reference, dropped at endRecovery
 		rec.installAt = p.cycle + 1
 		return
 	}
@@ -260,6 +261,7 @@ func (p *Processor) startRecovery(st *instState) {
 	newTr, _ := p.ctor.Build(pe.tr.Desc.StartPC, forced)
 	p.forcedScratch = forced[:0]
 	rec.newTrace = newTr
+	rec.newTrace.Retain() // the recovery's reference, transferred to the PE at install
 	repair := int64(p.ctor.SuffixCycles(newTr, slot))
 	rec.installAt = p.cycle + repair
 }
@@ -291,8 +293,8 @@ func (p *Processor) findCIPoint(st *instState) *peState {
 	case CGCIRET:
 		ci, ok = core.FindRET(views, 0)
 	case CGCIMLBRET:
-		isBackward := st.isBr && st.inst.IsBackwardBranch(st.pc)
-		ci, ok = core.FindMLBRET(views, 0, isBackward, st.pc+1)
+		isBackward := st.isBr && st.inst.IsBackwardBranch(st.cold().pc)
+		ci, ok = core.FindMLBRET(views, 0, isBackward, st.cold().pc+1)
 	}
 	if !ok {
 		return nil
@@ -428,7 +430,9 @@ func (p *Processor) installRepair() {
 			pe.insts[i].invalidate()
 		}
 		pe.ensureSlots(len(newTr.Insts))
+		p.releaseTrace(pe.tr)
 		pe.tr = newTr
+		rec.newTrace = nil // the recovery's reference is now the PE's
 		pe.insts = pe.ptrs[:len(newTr.Insts)]
 		states := pe.insts
 		for i := slot + 1; i < len(newTr.Insts); i++ {
@@ -465,7 +469,7 @@ func (p *Processor) installRepair() {
 				}
 			}
 		}
-		p.tcache.Insert(newTr)
+		p.insertTrace(newTr)
 	}
 
 	if p.debugLog != nil {
@@ -635,23 +639,23 @@ func (p *Processor) rebindOperand(st *instState, k int, newTag rename.Tag) {
 //tracep:noalloc
 func (p *Processor) retargetIndirectRecovery(st *instState) {
 	rec := &p.rec
-	if st.actualTarget == rec.correctedTarget {
-		st.checkedTarget = true
+	if st.cold().actualTarget == rec.correctedTarget {
+		st.cold().checkedTarget = true
 		return
 	}
 	if p.debugLog != nil {
 		if p.debugLog != nil {
 			//tracep:allow debug-only: the argument boxing happens only with tracing enabled
-			p.debugf("retarget indirect recovery: %d -> %d (phase %d)", rec.correctedTarget, st.actualTarget, rec.phase)
+			p.debugf("retarget indirect recovery: %d -> %d (phase %d)", rec.correctedTarget, st.cold().actualTarget, rec.phase)
 		}
 	}
 	switch rec.phase {
 	case recRepairing:
-		rec.correctedTarget = st.actualTarget
-		st.checkedTarget = true
+		rec.correctedTarget = st.cold().actualTarget
+		st.cold().checkedTarget = true
 	case recInserting:
-		rec.correctedTarget = st.actualTarget
-		st.checkedTarget = true
+		rec.correctedTarget = st.cold().actualTarget
+		st.cold().checkedTarget = true
 		pe := rec.pe
 		ci := rec.ciPE
 		ciAlive := ci != nil && ci.active && ci.gen == rec.ciGen
@@ -668,7 +672,7 @@ func (p *Processor) retargetIndirectRecovery(st *instState) {
 		// re-inserted traces bind live-ins to live producers.
 		p.specMap = pe.mapAfter
 		p.dropFetchQueue(pe.histPos + 1)
-		p.fe.expectedPC = st.actualTarget
+		p.fe.expectedPC = st.cold().actualTarget
 		p.fe.waitIndirect = false
 		p.fe.stopped = false
 		if !ciAlive {
@@ -688,6 +692,9 @@ func (p *Processor) retargetIndirectRecovery(st *instState) {
 //
 //tracep:noalloc
 func (p *Processor) endRecovery() {
+	// A repair that never installed (degenerate endings) still owns its
+	// reference to the repaired trace; drop it.
+	p.releaseTrace(p.rec.newTrace)
 	red, gens := p.rec.redispatch[:0], p.rec.redispatchGens[:0]
 	p.rec = recovery{redispatch: red, redispatchGens: gens}
 }

@@ -54,7 +54,7 @@ func (p *Processor) retireStep() {
 	for _, st := range pe.insts {
 		if st.cancelled {
 			//tracep:allow terminal: retirement invariant failure aborts the run
-			p.fail(fmt.Errorf("cancelled instruction at pc %d reached retirement", st.pc))
+			p.fail(fmt.Errorf("cancelled instruction at pc %d reached retirement", st.cold().pc))
 			return
 		}
 		if !st.final() {
@@ -63,7 +63,7 @@ func (p *Processor) retireStep() {
 		if st.isBr && st.resolvedTaken != st.assumedTaken {
 			return // a misprediction event is about to fire
 		}
-		if st.isIndirect && !st.checkedTarget {
+		if st.isIndirect && !st.cold().checkedTarget {
 			// Re-attempt validation: a recovery that completed with this
 			// target unresolved leaves no event behind, so the check is
 			// re-driven from here (it enqueues a misprediction or steers
@@ -84,13 +84,13 @@ func (p *Processor) retireStep() {
 		if st.isStore {
 			if !p.arbuf.Commit(st.lastAddr, st.seq(), p.mem) {
 				//tracep:allow terminal: a missing ARB version aborts the run
-				p.fail(fmt.Errorf("store at pc %d has no ARB version to commit", st.pc))
+				p.fail(fmt.Errorf("store at pc %d has no ARB version to commit", st.cold().pc))
 				return
 			}
 			// In-flight loads holding this store's data now source it from
 			// committed memory: rewrite their data sequence numbers so later
 			// snoops do not compare against a recycled PE's logical position.
-			for _, r := range p.loadRecs[st.lastAddr] {
+			for _, r := range p.loadRecs.get(st.lastAddr) {
 				if ld := r.st; r.gen == ld.gen && !ld.cancelled && ld.dataSeq == st.seq() {
 					ld.dataSeq = arb.MemSeq
 				}
@@ -131,11 +131,14 @@ func (p *Processor) retireStep() {
 //tracep:noalloc
 func (p *Processor) accountRetired(st *instState) {
 	if st.isBr {
-		p.bp.UpdateDirection(st.pc, st.resolvedTaken)
-		cls := p.branchClasses[st.pc]
+		p.bp.UpdateDirection(st.cold().pc, st.resolvedTaken)
+		var cls branchClass
+		if int(st.cold().pc) < len(p.branchClasses) {
+			cls = p.branchClasses[st.cold().pc]
+		}
 		cs := &p.Stats.BranchClasses[cls.kind]
 		cs.Dynamic++
-		if st.fetchPredTaken != st.resolvedTaken {
+		if st.cold().fetchPredTaken != st.resolvedTaken {
 			cs.Mispredicted++
 		}
 		if cls.kind == classFGCISmall || cls.kind == classFGCIBig {
@@ -146,6 +149,6 @@ func (p *Processor) accountRetired(st *instState) {
 		return
 	}
 	if st.isIndirect {
-		p.bp.UpdateIndirect(st.pc, st.actualTarget)
+		p.bp.UpdateIndirect(st.cold().pc, st.cold().actualTarget)
 	}
 }

@@ -44,6 +44,73 @@ func TestFileCloneIndependence(t *testing.T) {
 	}
 }
 
+// TestPagedFileCloneAcrossPages pins the paged layout's clone semantics on a
+// file big enough to span several pages, with freelist and generation state
+// in play: live entries survive page boundaries, swept tags read as stale
+// through both files, writes through either file never reach the other, and
+// the copied freelist makes both files hand out identical future tags.
+func TestPagedFileCloneAcrossPages(t *testing.T) {
+	f := NewFile()
+	const n = 3*pageSize + 17
+	tags := make([]Tag, n)
+	for i := range tags {
+		tags[i] = f.AllocReady(int64(i))
+	}
+	// Sweep every third tag so the freelist and generation bumps span pages.
+	for i, tg := range tags {
+		if i%3 != 0 {
+			f.Mark(tg)
+		}
+	}
+	f.SweepUnmarked()
+
+	c := f.Clone()
+	if c.Size() != f.Size() || c.Slots() != f.Slots() {
+		t.Fatalf("clone counters: size %d/%d, slots %d/%d", c.Size(), f.Size(), c.Slots(), f.Slots())
+	}
+
+	// Swept tags are stale through both files.
+	for _, i := range []int{0, 3 * pageSize} {
+		if f.Get(tags[i]) != nil || c.Get(tags[i]) != nil {
+			t.Errorf("swept tag %d still resolves", i)
+		}
+	}
+	// Live entries on every page carry their values.
+	for _, i := range []int{1, pageSize - 1, pageSize + 2, 2*pageSize + 1, n - 1} {
+		if i%3 == 0 {
+			t.Fatalf("probe %d was swept; pick a non-multiple of 3", i)
+		}
+		if e := c.Get(tags[i]); e == nil || e.Val != int64(i) {
+			t.Fatalf("clone lost entry %d: %+v", i, e)
+		}
+	}
+
+	// Writes are independent, including beyond the first page. (The index
+	// must not be a multiple of 3, which the sweep above retired.)
+	idx := pageSize + 2
+	f.Write(tags[idx], -5)
+	if c.Get(tags[idx]).Val != int64(idx) {
+		t.Error("original's Write reached the clone")
+	}
+	c.Write(tags[idx], -7)
+	if f.Get(tags[idx]).Val != -5 {
+		t.Error("clone's Write reached the original")
+	}
+
+	// Both files drain the copied freelist in the same order: every future
+	// allocation yields the same tag (slot and bumped generation) on each
+	// side, first reusing swept slots, then extending the frontier.
+	for i := 0; i < n/3+4; i++ {
+		ta, tb := f.Alloc(), c.Alloc()
+		if ta != tb {
+			t.Fatalf("allocation %d diverged: %d vs %d", i, ta, tb)
+		}
+	}
+	if f.Slots() != c.Slots() {
+		t.Errorf("frontiers diverged: %d vs %d", f.Slots(), c.Slots())
+	}
+}
+
 // TestMapFrom: warm values seed ready tags in the same register order as
 // InitialMap, so the zero-value case is indistinguishable from reset.
 func TestMapFrom(t *testing.T) {

@@ -3,18 +3,40 @@
 // value tags, per-trace map checkpoints, and the global register file
 // holding tag values.
 //
-// Tags are allocated monotonically and garbage-collected by mark/sweep
-// (Table 1 does not bound the physical register file, and unbounded tags
-// make the selective-reissue semantics exact: a re-dispatched control
-// independent trace compares its source tags against the updated maps and
-// reissues only instructions whose names changed, §2.2.1).
+// Tags are garbage-collected by mark/sweep (Table 1 does not bound the
+// physical register file, and unbounded tags make the selective-reissue
+// semantics exact: a re-dispatched control independent trace compares its
+// source tags against the updated maps and reissues only instructions whose
+// names changed, §2.2.1). A tag packs a physical slot index with the slot's
+// generation, so lookups are a gen-checked array index instead of a map
+// probe, and a stale tag (its slot swept and reused) reads as invalid
+// exactly like a deleted map key used to.
 package rename
 
 import "tracep/internal/isa"
 
 // Tag names a value produced by some instruction (or the initial
-// architectural state). Tag 0 is invalid.
+// architectural state). Tag 0 is invalid. The low 32 bits hold the physical
+// slot index plus one (so a zero word stays invalid), the high 32 bits the
+// slot generation at allocation time.
 type Tag uint64
+
+// makeTag packs a slot index and generation into a tag.
+//
+//tracep:noalloc
+func makeTag(idx, gen uint32) Tag {
+	return Tag(gen)<<32 | Tag(idx+1)
+}
+
+// SlotIndex returns the dense physical slot behind t, or -1 for the invalid
+// tag. The index is stable while t is live and strictly below Slots(), which
+// lets callers maintain their own flat per-slot side tables (the processor's
+// subscriber table) without a map.
+//
+//tracep:noalloc
+func SlotIndex(t Tag) int {
+	return int(uint32(t)) - 1
+}
 
 // Entry is a global register file cell.
 type Entry struct {
@@ -25,21 +47,36 @@ type Entry struct {
 // Map translates architectural registers to tags.
 type Map [isa.NumRegs]Tag
 
-// entryBlock is how many entries a fresh arena block holds: large enough to
-// amortise block allocation to noise, small enough not to bloat short runs.
-const entryBlock = 512
+// pageBits sizes a register-file page: large enough to amortise page
+// allocation to noise, small enough not to bloat short runs.
+const (
+	pageBits = 9
+	pageSize = 1 << pageBits
+	pageMask = pageSize - 1
+)
 
-// File is the global register file: tag -> value storage. Entries are
-// recycled: Sweep returns dead entries to an internal pool that Alloc drains
-// before touching the heap, and entries the pool cannot supply (between
-// garbage collections) come from block arenas, so the allocate/sweep churn
-// of the dispatch loop costs one heap allocation per entryBlock entries at
-// worst and none at all once the pool covers the inter-GC working set.
+// page is one fixed-size block of register file slots with their parallel
+// metadata lanes. Entries (read on every operand lookup) and metadata
+// (generation checks, liveness, GC marks) sit in separate arrays so the hot
+// Get path touches densely packed cache lines.
+type page struct {
+	ents   [pageSize]Entry
+	gen    [pageSize]uint32
+	live   [pageSize]bool
+	marked [pageSize]bool
+}
+
+// File is the global register file: tag -> value storage, laid out as pages
+// of slots indexed directly by the tag's low bits. Swept slots go on a
+// freelist that Alloc drains before extending the frontier, and each reuse
+// bumps the slot generation so stale tags read as invalid. Clone block-copies
+// the pages out of one contiguous arena.
 type File struct {
-	m     map[Tag]*Entry
-	next  Tag
-	pool  []*Entry //tracep:noclone recycling pool; clones start cold
-	block []Entry  //tracep:noclone fresh-entry arena; clones start cold
+	pages    []*page
+	free     []uint32 // swept slot indexes, drained LIFO
+	frontier int      // slots [0, frontier) have been handed out at least once
+	slots    int      // total capacity across pages
+	used     int      // live slot count
 
 	Allocated uint64
 	Swept     uint64
@@ -47,38 +84,59 @@ type File struct {
 
 // NewFile builds an empty register file.
 func NewFile() *File {
-	return &File{m: make(map[Tag]*Entry), next: 1}
+	return &File{}
+}
+
+// slot resolves a tag to its page and intra-page index, nil page if the tag
+// is invalid, out of range, stale, or swept.
+//
+//tracep:noalloc
+func (f *File) slot(t Tag) (*page, uint32) {
+	lo := uint32(t)
+	if lo == 0 || int(lo) > f.frontier {
+		return nil, 0
+	}
+	idx := lo - 1
+	pg := f.pages[idx>>pageBits]
+	s := idx & pageMask
+	if !pg.live[s] || pg.gen[s] != uint32(t>>32) {
+		return nil, 0
+	}
+	return pg, s
 }
 
 // Alloc creates a new, not-ready tag.
 //
 //tracep:noalloc
 func (f *File) Alloc() Tag {
-	t := f.next
-	f.next++
-	var e *Entry
-	if n := len(f.pool); n > 0 {
-		e = f.pool[n-1]
-		f.pool = f.pool[:n-1]
-		*e = Entry{}
+	var idx uint32
+	if n := len(f.free); n > 0 {
+		idx = f.free[n-1]
+		f.free = f.free[:n-1]
 	} else {
-		if len(f.block) == 0 {
-			//tracep:allow amortised: one arena block per entryBlock allocations
-			f.block = make([]Entry, entryBlock)
+		if f.frontier == f.slots {
+			//tracep:allow amortised: one page per pageSize allocations
+			f.pages = append(f.pages, new(page))
+			f.slots += pageSize
 		}
-		e = &f.block[0]
-		f.block = f.block[1:]
+		idx = uint32(f.frontier)
+		f.frontier++
 	}
-	f.m[t] = e
+	pg := f.pages[idx>>pageBits]
+	s := idx & pageMask
+	pg.ents[s] = Entry{}
+	pg.live[s] = true
+	pg.marked[s] = false
+	f.used++
 	f.Allocated++
-	return t
+	return makeTag(idx, pg.gen[s])
 }
 
 // AllocReady creates a new tag holding v, already ready. Used to seed the
 // initial architectural state.
 func (f *File) AllocReady(v int64) Tag {
 	t := f.Alloc()
-	e := f.m[t]
+	e := f.Get(t)
 	e.Val, e.Ready = v, true
 	return t
 }
@@ -87,7 +145,11 @@ func (f *File) AllocReady(v int64) Tag {
 //
 //tracep:noalloc
 func (f *File) Get(t Tag) *Entry {
-	return f.m[t]
+	pg, s := f.slot(t)
+	if pg == nil {
+		return nil
+	}
+	return &pg.ents[s]
 }
 
 // Write sets t's value and marks it ready, returning whether the value
@@ -96,10 +158,11 @@ func (f *File) Get(t Tag) *Entry {
 //
 //tracep:noalloc
 func (f *File) Write(t Tag, v int64) (changed bool) {
-	e := f.m[t]
-	if e == nil {
+	pg, s := f.slot(t)
+	if pg == nil {
 		return false
 	}
+	e := &pg.ents[s]
 	changed = !e.Ready || e.Val != v
 	e.Val, e.Ready = v, true
 	return changed
@@ -107,52 +170,103 @@ func (f *File) Write(t Tag, v int64) (changed bool) {
 
 // Unready marks t not-ready again (its producer is being re-executed).
 func (f *File) Unready(t Tag) {
-	if e := f.m[t]; e != nil {
-		e.Ready = false
+	if pg, s := f.slot(t); pg != nil {
+		pg.ents[s].Ready = false
 	}
 }
 
 // Size returns the number of live tags.
 //
 //tracep:noalloc
-func (f *File) Size() int { return len(f.m) }
+func (f *File) Size() int { return f.used }
+
+// Slots returns the file's slot capacity: every live tag's SlotIndex is
+// strictly below it. Callers size per-slot side tables off this.
+//
+//tracep:noalloc
+func (f *File) Slots() int { return f.frontier }
+
+// freeSlot retires slot idx: its generation is bumped so outstanding tags go
+// stale, and the index joins the freelist for reuse.
+//
+//tracep:noalloc
+func (f *File) freeSlot(pg *page, s, idx uint32) {
+	pg.live[s] = false
+	pg.gen[s]++
+	//tracep:allow freelist return: swept slots are recycled for Alloc
+	f.free = append(f.free, idx)
+	f.used--
+	f.Swept++
+}
+
+// Mark flags t as live for the next SweepUnmarked. Invalid or stale tags are
+// ignored. This is the allocation-free way for a caller to run mark/sweep:
+// mark every root, then SweepUnmarked.
+//
+//tracep:noalloc
+func (f *File) Mark(t Tag) {
+	if pg, s := f.slot(t); pg != nil {
+		pg.marked[s] = true
+	}
+}
+
+// SweepUnmarked frees every live slot not marked since the previous sweep
+// and clears the marks, walking slots in index order so the freelist (and
+// with it future tag assignment) is deterministic.
+//
+//tracep:noalloc
+func (f *File) SweepUnmarked() {
+	for i := 0; i < f.frontier; i++ {
+		pg := f.pages[i>>pageBits]
+		s := uint32(i) & pageMask
+		if !pg.live[s] {
+			continue
+		}
+		if pg.marked[s] {
+			pg.marked[s] = false
+			continue
+		}
+		f.freeSlot(pg, s, uint32(i))
+	}
+}
 
 // Sweep removes every tag for which live returns false. The caller marks
 // roots (current maps, per-trace checkpoints, operand references).
 //
 //tracep:noalloc
 func (f *File) Sweep(live func(Tag) bool) {
-	// Per-tag deletions commute; only pool storage order varies, which
-	// never affects values handed back out.
-	//tracep:orderinvariant
-	for t, e := range f.m {
-		//tracep:allow the live predicate is collectGarbage's mark-set lookup, alloc-free
-		if !live(t) {
-			delete(f.m, t)
-			//tracep:allow pool return: swept entries are recycled for Alloc
-			f.pool = append(f.pool, e)
-			f.Swept++
+	for i := 0; i < f.frontier; i++ {
+		pg := f.pages[i>>pageBits]
+		s := uint32(i) & pageMask
+		if !pg.live[s] {
+			continue
+		}
+		//tracep:allow the live predicate is the caller's mark-set lookup, alloc-free
+		if !live(makeTag(uint32(i), pg.gen[s])) {
+			f.freeSlot(pg, s, uint32(i))
 		}
 	}
 }
 
-// Clone returns a deep copy of the register file: every live entry is
-// duplicated, so writes through one file never reach the other. Tag identity
-// (numbering and the allocation cursor) is preserved, which keeps rename maps
-// captured alongside the file valid against the clone.
+// Clone returns a deep copy of the register file: pages are block-copied
+// into one contiguous arena, so writes through one file never reach the
+// other. Tag identity (slot numbering, generations and the freelist) is
+// preserved, which keeps rename maps captured alongside the file valid
+// against the clone and makes both files hand out identical future tags.
 func (f *File) Clone() *File {
 	c := &File{
-		m:         make(map[Tag]*Entry, len(f.m)),
-		next:      f.next,
+		pages:     make([]*page, len(f.pages)),
+		free:      append([]uint32(nil), f.free...),
+		frontier:  f.frontier,
+		slots:     f.slots,
+		used:      f.used,
 		Allocated: f.Allocated,
 		Swept:     f.Swept,
 	}
-	arena := make([]Entry, len(f.m))
-	i := 0
-	for t, e := range f.m { //tracep:orderinvariant arena slot assignment never escapes
-		arena[i] = *e
-		c.m[t] = &arena[i]
-		i++
+	arena := make([]page, len(f.pages))
+	for i, pg := range f.pages {
+		arena[i] = *pg
+		c.pages[i] = &arena[i]
 	}
 	return c
 }

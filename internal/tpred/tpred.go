@@ -46,11 +46,18 @@ type Predictor struct {
 	simple  []entry //tracep:nostats model state
 	histLen int     //tracep:nostats model state
 
-	// hist is the speculative history of trace IDs: hist[len-1] is the most
-	// recent trace. The frontend snapshots positions into this (append-only
-	// within a run) sequence and rebuilds suffixes on recovery.
+	// hist is the speculative history of trace IDs, stored as a power-of-two
+	// ring indexed by absolute position (hist[pos&(len-1)]): the frontend
+	// checkpoints absolute positions and rebuilds suffixes on recovery, but
+	// only ever reads the histLen positions preceding a live checkpoint, and
+	// live checkpoints reach back at most the machine's in-flight trace
+	// count — so a small fixed arena replaces the old grow-forever slice.
+	// EnsureHistoryCapacity sizes the ring for deep windows.
 	//tracep:nostats model state
 	hist []uint64
+	// pos is the absolute history length: the next position SpecUpdate fills.
+	//tracep:nostats model state
+	pos int
 
 	// Stats.
 	Predictions     uint64
@@ -71,6 +78,7 @@ func New(cfg Config) *Predictor {
 		path:    make([]entry, cfg.PathEntries),
 		simple:  make([]entry, cfg.SimpleEntries),
 		histLen: cfg.HistLen,
+		hist:    make([]uint64, defaultHistRing),
 	}
 	if cfg.Seed != 0 {
 		x := uint64(cfg.Seed) ^ 0xA24BAED4963EE407
@@ -91,7 +99,7 @@ func New(cfg Config) *Predictor {
 }
 
 // Clone returns a deep copy of the predictor: both component tables, the
-// speculative history, and the counters.
+// speculative history ring, and the counters.
 func (p *Predictor) Clone() *Predictor {
 	return &Predictor{
 		cfg:             p.cfg,
@@ -99,41 +107,76 @@ func (p *Predictor) Clone() *Predictor {
 		simple:          append([]entry(nil), p.simple...),
 		histLen:         p.histLen,
 		hist:            append([]uint64(nil), p.hist...),
+		pos:             p.pos,
 		Predictions:     p.Predictions,
 		PathPredictions: p.PathPredictions,
 		Trains:          p.Trains,
 	}
 }
 
+// defaultHistRing is the speculative-history ring capacity at construction:
+// ample for the default machine (in-flight traces are bounded by twice the
+// PE count). Must be a power of two.
+const defaultHistRing = 256
+
+// EnsureHistoryCapacity grows the history ring so that checkpoints up to
+// depth positions behind the frontier (plus the hash's histLen lookback)
+// remain readable. Called once at processor construction; deep-window
+// configurations get a proportionally larger arena.
+func (p *Predictor) EnsureHistoryCapacity(depth int) {
+	need := depth + p.histLen + 1
+	n := len(p.hist)
+	for n < need {
+		n *= 2
+	}
+	if n == len(p.hist) {
+		return
+	}
+	ring := make([]uint64, n)
+	lo := p.pos - len(p.hist)
+	if lo < 0 {
+		lo = 0
+	}
+	for i := lo; i < p.pos; i++ {
+		ring[i&(n-1)] = p.hist[i&(len(p.hist)-1)]
+	}
+	p.hist = ring
+}
+
 // ResetStats zeroes the prediction/training counters, keeping the tables.
 func (p *Predictor) ResetStats() { p.Predictions, p.PathPredictions, p.Trains = 0, 0, 0 }
 
-// hashPath folds the most recent histLen trace IDs into a path index,
-// weighting recent traces with more bits (a DOLC-style hash).
+// hashPathAt folds the histLen trace IDs preceding absolute position pos
+// into a path index, weighting recent traces with more bits (a DOLC-style
+// hash).
 //
 //tracep:noalloc
-func hashPath(hist []uint64, histLen, mask int) int {
+func (p *Predictor) hashPathAt(pos int) int {
 	h := uint64(0x9E3779B97F4A7C15)
-	start := len(hist) - histLen
+	start := pos - p.histLen
 	if start < 0 {
 		start = 0
 	}
-	for i := start; i < len(hist); i++ {
-		h = (h<<5 | h>>59) ^ hist[i]
+	rmask := len(p.hist) - 1
+	for i := start; i < pos; i++ {
+		h = (h<<5 | h>>59) ^ p.hist[i&rmask]
 		h *= 0xBF58476D1CE4E5B9
 	}
-	return int(h^(h>>21)) & mask
+	return int(h^(h>>21)) & (len(p.path) - 1)
 }
 
+// hashSimpleAt indexes the simple component with the trace ID at absolute
+// position pos-1.
+//
 //tracep:noalloc
-func hashSimple(hist []uint64, mask int) int {
-	if len(hist) == 0 {
+func (p *Predictor) hashSimpleAt(pos int) int {
+	if pos == 0 {
 		return 0
 	}
-	h := hist[len(hist)-1]
+	h := p.hist[(pos-1)&(len(p.hist)-1)]
 	h ^= h >> 17
 	h *= 0xBF58476D1CE4E5B9
-	return int(h^(h>>29)) & mask
+	return int(h^(h>>29)) & (len(p.simple) - 1)
 }
 
 // Predict returns the predicted next trace descriptor given the current
@@ -144,12 +187,12 @@ func hashSimple(hist []uint64, mask int) int {
 //tracep:noalloc
 func (p *Predictor) Predict() (trace.Descriptor, bool) {
 	p.Predictions++
-	pe := &p.path[hashPath(p.hist, p.histLen, len(p.path)-1)]
+	pe := &p.path[p.hashPathAt(p.pos)]
 	if pe.valid && pe.ctr >= 2 {
 		p.PathPredictions++
 		return pe.desc, true
 	}
-	se := &p.simple[hashSimple(p.hist, len(p.simple)-1)]
+	se := &p.simple[p.hashSimpleAt(p.pos)]
 	if se.valid {
 		return se.desc, true
 	}
@@ -166,15 +209,15 @@ func (p *Predictor) Predict() (trace.Descriptor, bool) {
 //
 //tracep:noalloc
 func (p *Predictor) SpecUpdate(d trace.Descriptor) int {
-	pos := len(p.hist)
-	//tracep:allow speculative history retains capacity after Reset/Rewind
-	p.hist = append(p.hist, d.ID())
+	pos := p.pos
+	p.hist[pos&(len(p.hist)-1)] = d.ID()
+	p.pos = pos + 1
 	return pos
 }
 
 // HistoryPos returns the current speculative history length (the checkpoint
 // that a trace fetched next would receive).
-func (p *Predictor) HistoryPos() int { return len(p.hist) }
+func (p *Predictor) HistoryPos() int { return p.pos }
 
 // Rewind truncates the speculative history to pos, discarding younger trace
 // IDs. Used when recovery backs the predictor up to a mispredicted trace.
@@ -184,32 +227,34 @@ func (p *Predictor) Rewind(pos int) {
 	if pos < 0 {
 		pos = 0
 	}
-	if pos < len(p.hist) {
-		p.hist = p.hist[:pos]
+	if pos < p.pos {
+		p.pos = pos
 	}
 }
 
 // ReplaceAt overwrites the history element at pos (the repaired trace's new
-// ID after an FGCI repair, where all younger history is preserved).
+// ID after an FGCI repair, where all younger history is preserved). Positions
+// older than the ring's reach have already been overwritten and are ignored
+// (live traces are always within reach).
 //
 //tracep:noalloc
 func (p *Predictor) ReplaceAt(pos int, d trace.Descriptor) {
-	if pos >= 0 && pos < len(p.hist) {
-		p.hist[pos] = d.ID()
+	if pos >= 0 && pos < p.pos && p.pos-pos <= len(p.hist) {
+		p.hist[pos&(len(p.hist)-1)] = d.ID()
 	}
 }
 
-// histAt returns the history prefix of length pos.
+// clampPos bounds a checkpoint to the current history length.
 //
 //tracep:noalloc
-func (p *Predictor) histAt(pos int) []uint64 {
-	if pos > len(p.hist) {
-		pos = len(p.hist)
+func (p *Predictor) clampPos(pos int) int {
+	if pos > p.pos {
+		pos = p.pos
 	}
 	if pos < 0 {
 		pos = 0
 	}
-	return p.hist[:pos]
+	return pos
 }
 
 // Train updates both components with the actual descriptor of the trace
@@ -221,9 +266,9 @@ func (p *Predictor) histAt(pos int) []uint64 {
 //tracep:noalloc
 func (p *Predictor) Train(pos int, actual trace.Descriptor) {
 	p.Trains++
-	h := p.histAt(pos)
-	train(&p.path[hashPath(h, p.histLen, len(p.path)-1)], actual)
-	train(&p.simple[hashSimple(h, len(p.simple)-1)], actual)
+	pos = p.clampPos(pos)
+	train(&p.path[p.hashPathAt(pos)], actual)
+	train(&p.simple[p.hashSimpleAt(pos)], actual)
 }
 
 // train applies 2-bit replace-on-zero hysteresis to one table entry.
@@ -250,4 +295,4 @@ func train(e *entry, actual trace.Descriptor) {
 }
 
 // Reset clears the speculative history (not the tables); used at run start.
-func (p *Predictor) Reset() { p.hist = p.hist[:0] }
+func (p *Predictor) Reset() { p.pos = 0 }

@@ -39,6 +39,7 @@ func NewCache(cfg CacheConfig) *Cache {
 func (c *Cache) Lookup(d Descriptor) (*Trace, bool) {
 	key := d.ID()
 	if c.timing.Touch(key) {
+		//tracep:allow map access: the trace cache content index is cold (one probe per fetch, gated by the timing hit)
 		if tr, ok := c.store[key]; ok {
 			return tr, true
 		}
@@ -51,27 +52,51 @@ func (c *Cache) Lookup(d Descriptor) (*Trace, bool) {
 	return nil, false
 }
 
-// Insert fills the cache with tr, evicting an LRU victim if needed.
+// Insert fills the cache with tr, evicting an LRU victim if needed. It
+// returns the trace the cache stopped holding — the LRU victim, or a
+// different trace previously stored under the same key — so the caller can
+// drop the cache's reference to it (nil when nothing was displaced). fresh
+// is false when tr itself was already resident under its key, in which case
+// the cache's reference count for tr is unchanged.
 //
 //tracep:noalloc
-func (c *Cache) Insert(tr *Trace) {
+func (c *Cache) Insert(tr *Trace) (evicted *Trace, fresh bool) {
 	key := tr.Desc.ID()
-	if evicted, evict := c.timing.Fill(key); evict {
-		delete(c.store, evicted)
+	//tracep:allow map access: the trace cache content index is cold (one probe per construction, not per cycle)
+	if old, ok := c.store[key]; ok {
+		if old == tr {
+			c.timing.Fill(key)
+			return nil, false
+		}
+		evicted = old
 	}
+	if victim, evict := c.timing.Fill(key); evict {
+		//tracep:allow map access: the trace cache content index is cold (one probe per construction, not per cycle)
+		if vtr, ok := c.store[victim]; ok {
+			evicted = vtr
+		}
+		//tracep:allow map access: the trace cache content index is cold (one probe per construction, not per cycle)
+		delete(c.store, victim)
+	}
+	//tracep:allow map access: the trace cache content index is cold (one probe per construction, not per cycle)
 	c.store[key] = tr
+	return evicted, true
 }
 
 // Clone returns a deep copy of the cache's timing state and content index.
 // The *Trace values themselves are shared: traces are immutable once
 // inserted (repairs construct new traces rather than editing resident ones),
-// so clones may alias them safely.
+// so clones may alias them safely. Shared traces are pinned immortal —
+// neither holder may recycle storage the other still reads. (The engine only
+// ever clones empty caches — snapshots capture the trace cache at reset — so
+// pinning costs nothing there.)
 func (c *Cache) Clone() *Cache {
 	n := &Cache{
 		timing: c.timing.Clone(),
 		store:  make(map[uint64]*Trace, len(c.store)),
 	}
 	for k, tr := range c.store { //tracep:orderinvariant map-to-map copy
+		tr.refs = -1
 		n.store[k] = tr
 	}
 	return n

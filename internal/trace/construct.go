@@ -52,6 +52,11 @@ type Constructor struct {
 	scratch *Trace
 	// frozenScratch backs the open-FGCI-region branch list across builds.
 	frozenScratch []int
+	// pool holds recycled persistent traces (Recycle) awaiting reuse as
+	// scratch, so the fetch stream's trace churn — construct, dispatch,
+	// evict, retire — reuses a bounded set of Trace structures instead of
+	// allocating one per kept build.
+	pool []*Trace
 }
 
 // Build constructs the trace starting at startPC. The first len(forced)
@@ -79,8 +84,13 @@ func (c *Constructor) Build(startPC uint32, forced []bool) (*Trace, int) {
 func (c *Constructor) BuildTransient(startPC uint32, forced []bool) (*Trace, int) {
 	t := c.scratch
 	if t == nil {
-		//tracep:allow one-time: the scratch trace is allocated once and reused until Keep transfers it
-		t = &Trace{}
+		if n := len(c.pool); n > 0 {
+			t = c.pool[n-1]
+			c.pool = c.pool[:n-1]
+		} else {
+			//tracep:allow pool miss: the steady state recycles retired traces back into the pool
+			t = &Trace{}
+		}
 		c.scratch = t
 	}
 	t.reset()
@@ -227,6 +237,19 @@ func (c *Constructor) Keep(t *Trace) *Trace {
 		c.scratch = nil
 	}
 	return t
+}
+
+// Recycle returns a dead persistent trace — one whose last reference was
+// just Released — to the constructor's pool; a future build reuses its
+// storage. The caller must guarantee nothing still reads the trace.
+//
+//tracep:noalloc
+func (c *Constructor) Recycle(t *Trace) {
+	if t == nil || t == c.scratch {
+		return
+	}
+	//tracep:allow pool growth is bounded by the peak number of in-flight traces
+	c.pool = append(c.pool, t)
 }
 
 // SuffixCycles estimates the trace-buffer repair latency for re-fetching tr

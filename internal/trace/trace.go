@@ -137,6 +137,37 @@ type Trace struct {
 	// consumer fan-out first and carves exactly-sized segments from one
 	// allocation instead of growing each list separately.
 	consumerArena []int16
+
+	// refs counts the trace's holders — the trace cache and each in-flight
+	// consumer (fetch entry, PE, active recovery). A persistent trace whose
+	// count drops to zero may be recycled into a Constructor's pool, so its
+	// storage backs a future build instead of becoming garbage. Zero also
+	// means "untracked" (a trace that was never retained is never recycled),
+	// and -1 marks an immortal trace shared across cache clones.
+	refs int32
+}
+
+// Retain adds a reference to the trace. No-op on immortal traces.
+//
+//tracep:noalloc
+func (t *Trace) Retain() {
+	if t.refs >= 0 {
+		t.refs++
+	}
+}
+
+// Release drops one reference and reports whether the count reached zero —
+// i.e. the caller held the last reference and may recycle the trace's
+// storage (Constructor.Recycle). Untracked and immortal traces always report
+// false.
+//
+//tracep:noalloc
+func (t *Trace) Release() bool {
+	if t.refs <= 0 {
+		return false
+	}
+	t.refs--
+	return t.refs == 0
 }
 
 // Len returns the trace's physical instruction count.
